@@ -1,0 +1,247 @@
+// Command javmm-experiments regenerates the paper's tables and figures (and
+// the §6 extension ablations) and prints them as ASCII tables. EXPERIMENTS.md
+// records a captured run next to the paper's numbers.
+//
+// Usage:
+//
+//	javmm-experiments                 # run everything at paper scale
+//	javmm-experiments -run fig10      # one experiment
+//	javmm-experiments -warmup 120s    # quicker, slightly less faithful
+//
+// Experiment IDs: table1 fig1 fig5 fig8 fig9 table2 fig10 fig11 table3 fig12
+// x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"javmm/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs     = flag.String("run", "all", "comma-separated experiment ids")
+		warmup     = flag.Duration("warmup", 300*time.Second, "virtual warmup before each migration")
+		profileDur = flag.Duration("profile", 600*time.Second, "Figure 5 profiling duration")
+		seeds      = flag.Int("seeds", 3, "repetitions per configuration (>=3 gives CIs)")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "javmm-experiments:", err)
+			os.Exit(1)
+		}
+	}
+	csvOut = *csvDir
+
+	o := experiments.Options{
+		Warmup:     *warmup,
+		ProfileDur: *profileDur,
+	}
+	for i := 1; i <= *seeds; i++ {
+		o.Seeds = append(o.Seeds, int64(i))
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*runIDs, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	selected := func(ids ...string) bool {
+		if all {
+			return true
+		}
+		for _, id := range ids {
+			if want[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	if err := run(o, selected); err != nil {
+		fmt.Fprintln(os.Stderr, "javmm-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// csvOut, when non-empty, receives one CSV file per rendered table.
+var csvOut string
+
+func run(o experiments.Options, selected func(...string) bool) error {
+	show := func(t *experiments.Table) {
+		fmt.Println(t.Render())
+		if csvOut != "" {
+			path := filepath.Join(csvOut, t.Slug()+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "javmm-experiments: writing", path, ":", err)
+			}
+		}
+	}
+
+	if selected("table1") {
+		show(experiments.Table1())
+	}
+	if selected("fig1") {
+		t, err := experiments.Figure1(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("fig5") {
+		t, err := experiments.Figure5(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("fig8", "fig9") {
+		fig8, fig9, err := experiments.Figure8and9(o)
+		if err != nil {
+			return err
+		}
+		if selected("fig8") {
+			show(fig8)
+		}
+		if selected("fig9") {
+			show(fig9)
+		}
+	}
+	if selected("table2", "fig10", "fig11") {
+		profs, err := experiments.Figure10Workloads()
+		if err != nil {
+			return err
+		}
+		cs, err := experiments.CompareWorkloads(profs, o, nil)
+		if err != nil {
+			return err
+		}
+		if selected("table2") {
+			show(experiments.Table2(cs))
+		}
+		if selected("fig10") {
+			timeT, trafficT, downT, cpuT := experiments.Figure10(cs)
+			show(timeT)
+			show(trafficT)
+			show(downT)
+			show(cpuT)
+		}
+		if selected("fig11") {
+			for _, t := range experiments.Figure11(cs, 80) {
+				show(t)
+			}
+		}
+	}
+	if selected("table3", "fig12") {
+		profs, err := experiments.Figure12Workloads()
+		if err != nil {
+			return err
+		}
+		overrides := experiments.Table3Overrides()
+		cs, err := experiments.CompareWorkloads(profs, o, overrides)
+		if err != nil {
+			return err
+		}
+		if selected("table3") {
+			show(experiments.Table3(cs, overrides))
+		}
+		if selected("fig12") {
+			timeT, trafficT, downT := experiments.Figure12(cs)
+			show(timeT)
+			show(trafficT)
+			show(downT)
+		}
+	}
+	if selected("x2") {
+		t, err := experiments.AblationCompression(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x3") {
+		t, err := experiments.AblationCache(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x4") {
+		t, err := experiments.AblationPolicy(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x5") {
+		t, err := experiments.AblationFinalUpdate(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x6") {
+		t, err := experiments.AblationALB(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x7") {
+		t, err := experiments.AblationScale(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x8") {
+		t, err := experiments.AblationPostCopy(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x9") {
+		t, err := experiments.AblationReplication(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x10") {
+		t, err := experiments.AblationCongestion(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x11") {
+		t, err := experiments.AblationG1(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x12") {
+		t, err := experiments.AblationFreePages(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x13") {
+		t, err := experiments.AblationDelta(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	return nil
+}

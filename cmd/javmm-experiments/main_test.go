@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"javmm/internal/experiments"
+)
+
+func fastOptions() experiments.Options {
+	return experiments.Options{
+		Warmup:     60 * time.Second,
+		Cooldown:   20 * time.Second,
+		Seeds:      []int64{1},
+		ProfileDur: 30 * time.Second,
+	}
+}
+
+func TestRunSelectedExperiments(t *testing.T) {
+	selected := func(ids ...string) bool {
+		for _, id := range ids {
+			if id == "table1" || id == "fig1" {
+				return true
+			}
+		}
+		return false
+	}
+	if err := run(fastOptions(), selected); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNothingSelected(t *testing.T) {
+	selected := func(...string) bool { return false }
+	if err := run(fastOptions(), selected); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectedGrouping(t *testing.T) {
+	// fig8 and fig9 share a runner; selecting only fig9 must still work.
+	selected := func(ids ...string) bool {
+		for _, id := range ids {
+			if id == "fig9" {
+				return true
+			}
+		}
+		return false
+	}
+	if err := run(fastOptions(), selected); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Command javmm-heapprof profiles Java heap usage and GC behaviour of the
+// workload catalog, reproducing the §4.2 study behind Figure 5: how much
+// memory each generation consumes, how much of the young generation is
+// garbage at each minor GC, and how long collections take — the three
+// observations that motivate JAVMM.
+//
+// Usage:
+//
+//	javmm-heapprof                    # all nine workloads, 10 minutes each
+//	javmm-heapprof -workload derby -dur 120s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"javmm"
+	"javmm/internal/experiments"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "", "profile a single workload (default: all)")
+		dur    = flag.Duration("dur", 600*time.Second, "virtual profiling duration")
+		memMiB = flag.Uint64("mem", 2048, "VM memory in MiB")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+	if err := run(*name, *dur, *memMiB<<20, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "javmm-heapprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, dur time.Duration, memBytes uint64, seed int64) error {
+	profiles := javmm.Workloads()
+	if name != "" {
+		p, err := javmm.Workload(name)
+		if err != nil {
+			return err
+		}
+		profiles = []javmm.Profile{p}
+	}
+
+	fmt.Printf("%-9s %-5s %-10s %-10s %-11s %-10s %-10s %-10s %-9s\n",
+		"workload", "cat", "young avg", "old avg", "garbage/GC", "live/GC", "garbage%", "GC time", "interval")
+	for _, p := range profiles {
+		hp, err := experiments.ProfileHeap(p, dur, memBytes, seed)
+		if err != nil {
+			return fmt.Errorf("profiling %s: %w", p.Name, err)
+		}
+		fmt.Printf("%-9s %-5d %-10s %-10s %-11s %-10s %-10.1f %-10v %-9s\n",
+			hp.Workload, p.Category,
+			mib(hp.AvgYoungCommitted), mib(hp.AvgOldUsed),
+			mib(hp.AvgGarbagePerGC), mib(hp.AvgLivePerGC),
+			hp.GarbageFraction*100,
+			hp.AvgMinorGCDuration.Round(time.Millisecond),
+			fmt.Sprintf("%.1fs", hp.GCIntervalSeconds))
+	}
+	return nil
+}
+
+func mib(b uint64) string { return fmt.Sprintf("%d MiB", b>>20) }

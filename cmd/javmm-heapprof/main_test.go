@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunSingleWorkload(t *testing.T) {
+	if err := run("derby", 30*time.Second, 2<<30, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if err := run("nosuch", time.Second, 2<<30, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog profiling is slow in -short mode")
+	}
+	if err := run("", 20*time.Second, 2<<30, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Command javmm-migrate live-migrates a simulated Java VM, the equivalent of
+// the paper's added Xen management command (`xl migrate` with
+// application-assistance, §3.3). It boots a VM running the chosen workload,
+// warms it up, migrates it in the chosen mode and prints the migration
+// report, optionally with the per-iteration breakdown.
+//
+// Usage:
+//
+//	javmm-migrate -workload derby -mode javmm -warmup 300s -v
+//	javmm-migrate -workload scimark -mode xen -bandwidth 117000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"javmm"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "derby", "workload to run: "+strings.Join(javmm.WorkloadNames(), ", "))
+		modeName     = flag.String("mode", "javmm", "migration mode: xen or javmm")
+		memMiB       = flag.Uint64("mem", 2048, "VM memory in MiB")
+		vcpus        = flag.Int("vcpus", 4, "virtual CPUs")
+		bandwidth    = flag.Uint64("bandwidth", javmm.GigabitEthernet, "link payload bandwidth in bytes/sec")
+		warmup       = flag.Duration("warmup", 300*time.Second, "virtual warmup before migration")
+		youngMiB     = flag.Uint64("young", 0, "override max young generation in MiB (0 = workload default)")
+		seed         = flag.Int64("seed", 1, "deterministic seed")
+		compress     = flag.Bool("compress", false, "compress unskipped pages (§6 extension)")
+		collector    = flag.String("collector", "parallel", "garbage collector: parallel or g1")
+		verbose      = flag.Bool("v", false, "print per-iteration details")
+	)
+	flag.Parse()
+	if err := run(*workloadName, *modeName, *collector, *memMiB, *vcpus, *bandwidth, *warmup, *youngMiB, *seed, *compress, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "javmm-migrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workloadName, modeName, collector string, memMiB uint64, vcpus int, bandwidth uint64,
+	warmup time.Duration, youngMiB uint64, seed int64, compress, verbose bool) error {
+
+	prof, err := javmm.Workload(workloadName)
+	if err != nil {
+		return err
+	}
+	if youngMiB != 0 {
+		prof.MaxYoungBytes = youngMiB << 20
+		if prof.InitialYoungBytes > prof.MaxYoungBytes {
+			prof.InitialYoungBytes = prof.MaxYoungBytes
+		}
+	}
+	var mode javmm.Mode
+	switch modeName {
+	case "xen":
+		mode = javmm.ModeXen
+	case "javmm":
+		mode = javmm.ModeJAVMM
+	default:
+		return fmt.Errorf("unknown mode %q (want xen or javmm)", modeName)
+	}
+
+	vm, err := javmm.BootVM(javmm.BootConfig{
+		MemBytes:  memMiB << 20,
+		VCPUs:     vcpus,
+		Profile:   prof,
+		Assisted:  mode == javmm.ModeJAVMM,
+		Seed:      seed,
+		Collector: collector,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("booted %s: %d MiB, %d vCPUs, workload %s (category %d)\n",
+		vm.Dom.Name(), memMiB, vcpus, prof.Name, prof.Category)
+	fmt.Printf("warming up for %v of virtual time...\n", warmup)
+	vm.Driver.Run(warmup)
+	if vm.Driver.Err != nil {
+		return vm.Driver.Err
+	}
+	fmt.Printf("at migration: young gen %d MiB committed, old gen %d MiB used, %d GCs so far\n",
+		vm.Heap.YoungCommitted()>>20, vm.Heap.OldUsed()>>20, len(vm.Heap.GCHistory()))
+
+	engine := javmm.EngineConfig{Compress: compress}
+	if verbose {
+		fmt.Printf("\n%-5s %-10s %-10s %-12s %-12s %-12s\n",
+			"iter", "start", "duration", "sent", "skip-dirty", "skip-bitmap")
+		engine.OnIteration = func(it javmm.IterationStats) {
+			mark := " "
+			if it.Last {
+				mark = "*"
+			}
+			fmt.Printf("%-4d%s %-10v %-10v %-12s %-12s %-12s\n",
+				it.Index, mark,
+				it.Start.Round(time.Millisecond),
+				it.Duration.Round(time.Millisecond),
+				mb(it.BytesOnWire),
+				mb(it.PagesSkippedDirty*4096),
+				mb(it.PagesSkippedBitmap*4096))
+		}
+	}
+	res, err := javmm.Migrate(vm, javmm.MigrateOptions{
+		Mode:      mode,
+		Bandwidth: bandwidth,
+		Engine:    engine,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nmigration complete (%s):\n", mode)
+	fmt.Printf("  total time          %v\n", res.TotalTime.Round(time.Millisecond))
+	fmt.Printf("  total traffic       %.2f GB (%d pages)\n", float64(res.TotalBytes())/1e9, res.TotalPagesSent)
+	fmt.Printf("  iterations          %d (%d live + stop-and-copy)\n", len(res.Iterations), res.LiveIterations())
+	fmt.Printf("  VM downtime         %v\n", res.VMDowntime.Round(time.Millisecond))
+	fmt.Printf("  workload downtime   %v\n", res.WorkloadDowntime.Round(time.Millisecond))
+	if mode == javmm.ModeJAVMM {
+		fmt.Printf("  enforced GC         %v\n", res.EnforcedGC.Round(time.Millisecond))
+		fmt.Printf("  final bitmap update %v\n", res.FinalUpdate.Round(time.Microsecond))
+	}
+	fmt.Printf("  daemon CPU (model)  %v\n", res.CPUTime.Round(time.Millisecond))
+	if res.VerifyErr != nil {
+		return fmt.Errorf("destination verification FAILED: %w", res.VerifyErr)
+	}
+	fmt.Printf("  verification        OK (destination pages match)\n")
+	return nil
+}
+
+func mb(b uint64) string { return fmt.Sprintf("%.1f MB", float64(b)/1e6) }

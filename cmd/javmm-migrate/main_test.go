@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"javmm"
+)
+
+func TestRunJavmmMode(t *testing.T) {
+	err := run("derby", "javmm", "parallel", 2048, 4, javmm.GigabitEthernet,
+		60*time.Second, 0, 1, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunXenModeWithYoungOverride(t *testing.T) {
+	err := run("compiler", "xen", "parallel", 2048, 4, javmm.GigabitEthernet,
+		60*time.Second, 512, 1, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompression(t *testing.T) {
+	err := run("crypto", "javmm", "g1", 1024, 2, javmm.GigabitEthernet,
+		30*time.Second, 256, 1, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if err := run("nosuch", "xen", "parallel", 2048, 4, 1, time.Second, 0, 1, false, false); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunRejectsUnknownMode(t *testing.T) {
+	if err := run("derby", "warp", "parallel", 2048, 4, 1, time.Second, 0, 1, false, false); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

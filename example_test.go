@@ -1,0 +1,72 @@
+package javmm_test
+
+import (
+	"fmt"
+	"time"
+
+	"javmm"
+)
+
+// Example shows the canonical usage: boot a workload VM, warm it up, migrate
+// it with application assistance, and inspect the result. Everything runs on
+// a virtual clock, so the output is exactly reproducible.
+func Example() {
+	prof, err := javmm.Workload("derby")
+	if err != nil {
+		panic(err)
+	}
+	vm, err := javmm.BootVM(javmm.BootConfig{Profile: prof, Assisted: true, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	vm.Driver.Run(300 * time.Second)
+
+	res, err := javmm.Migrate(vm, javmm.MigrateOptions{Mode: javmm.ModeJAVMM})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("verified: %v\n", res.VerifyErr == nil)
+	fmt.Printf("young generation skipped, survivors shipped: last iteration %.0f MB\n",
+		float64(res.LastIterBytes)/1e6)
+	// Output:
+	// verified: true
+	// young generation skipped, survivors shipped: last iteration 17 MB
+}
+
+// ExampleMigrate_comparison migrates the same workload under both modes, the
+// paper's core experiment.
+func ExampleMigrate_comparison() {
+	prof, _ := javmm.Workload("xml") // largest young generation: best case
+	var times [2]time.Duration
+	for i, mode := range []javmm.Mode{javmm.ModeXen, javmm.ModeJAVMM} {
+		vm, err := javmm.BootVM(javmm.BootConfig{
+			Profile:  prof,
+			Assisted: mode == javmm.ModeJAVMM,
+			Seed:     1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		vm.Driver.Run(300 * time.Second)
+		res, err := javmm.Migrate(vm, javmm.MigrateOptions{Mode: mode})
+		if err != nil {
+			panic(err)
+		}
+		times[i] = res.TotalTime
+	}
+	fmt.Printf("JAVMM reduces xml migration time by %.0f%%\n",
+		(1-times[1].Seconds()/times[0].Seconds())*100)
+	// Output:
+	// JAVMM reduces xml migration time by 91%
+}
+
+// ExampleWorkloads lists the SPECjvm2008-like catalog.
+func ExampleWorkloads() {
+	for _, p := range javmm.Workloads()[:3] {
+		fmt.Printf("%s (category %d)\n", p.Name, p.Category)
+	}
+	// Output:
+	// derby (category 1)
+	// compiler (category 1)
+	// xml (category 1)
+}

@@ -1,0 +1,3 @@
+module javmm
+
+go 1.22

@@ -1,0 +1,617 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"javmm/internal/migration"
+	"javmm/internal/workload"
+)
+
+// fastOpts keeps test runtimes reasonable while preserving the steady-state
+// heap shapes (category-1 young generations saturate well before 120 s).
+func fastOpts() Options {
+	return Options{
+		Warmup:     120 * time.Second,
+		Cooldown:   40 * time.Second,
+		Seeds:      []int64{1},
+		ProfileDur: 60 * time.Second,
+	}
+}
+
+func mustLookup(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, err := workload.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPaperShapeDerby asserts the paper's headline result at full scale:
+// JAVMM migrates the derby VM with far less time, traffic and downtime than
+// vanilla Xen (paper: −82 % time, −84 % traffic, −83 % downtime).
+func TestPaperShapeDerby(t *testing.T) {
+	prof := mustLookup(t, "derby")
+	o := Options{Warmup: 300 * time.Second, Seeds: []int64{1}}
+	o.fillDefaults()
+	xen, err := RunMigration(o.runOpts(prof, migration.ModeVanilla, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jav, err := RunMigration(o.runOpts(prof, migration.ModeAppAssisted, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Run{xen, jav} {
+		if r.VerifyErr != nil {
+			t.Fatal(r.VerifyErr)
+		}
+	}
+	if jav.Report.TotalTime.Seconds() > 0.4*xen.Report.TotalTime.Seconds() {
+		t.Errorf("JAVMM time %v not ≪ Xen %v", jav.Report.TotalTime, xen.Report.TotalTime)
+	}
+	if float64(jav.Report.TotalBytes()) > 0.4*float64(xen.Report.TotalBytes()) {
+		t.Errorf("JAVMM traffic %d not ≪ Xen %d", jav.Report.TotalBytes(), xen.Report.TotalBytes())
+	}
+	if jav.WorkloadDowntime.Seconds() > 0.5*xen.WorkloadDowntime.Seconds() {
+		t.Errorf("JAVMM downtime %v not ≪ Xen %v", jav.WorkloadDowntime, xen.WorkloadDowntime)
+	}
+	// Table 2: the derby young generation saturates at 1 GiB.
+	if xen.YoungCommittedAtMigration != 1<<30 {
+		t.Errorf("derby young at migration = %d", xen.YoungCommittedAtMigration)
+	}
+	// §5.3: framework memory overhead ≤ ~1 MB.
+	if total := jav.LKMBitmapBytes + jav.LKMCacheBytes; total > 2<<20 {
+		t.Errorf("LKM memory overhead = %d bytes", total)
+	}
+	// JAVMM must also use less daemon CPU (X1).
+	if jav.Report.CPUTime >= xen.Report.CPUTime {
+		t.Errorf("JAVMM CPU %v not below Xen %v", jav.Report.CPUTime, xen.Report.CPUTime)
+	}
+	// Xen's throughput timeline must show a visible dip; JAVMM's only the
+	// short pause (paper Figure 11).
+	if len(jav.Samples) == 0 || len(xen.Samples) == 0 {
+		t.Fatal("missing throughput samples")
+	}
+}
+
+// TestPaperShapeScimark asserts the unfavourable case: comparable time,
+// slightly less traffic, but LONGER workload downtime under JAVMM
+// (paper §5.3).
+func TestPaperShapeScimark(t *testing.T) {
+	prof := mustLookup(t, "scimark")
+	o := Options{Warmup: 300 * time.Second, Seeds: []int64{1}}
+	o.fillDefaults()
+	xen, err := RunMigration(o.runOpts(prof, migration.ModeVanilla, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jav, err := RunMigration(o.runOpts(prof, migration.ModeAppAssisted, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xen.VerifyErr != nil || jav.VerifyErr != nil {
+		t.Fatalf("verification: xen=%v javmm=%v", xen.VerifyErr, jav.VerifyErr)
+	}
+	if jav.WorkloadDowntime <= xen.WorkloadDowntime {
+		t.Errorf("scimark JAVMM downtime %v should exceed Xen %v", jav.WorkloadDowntime, xen.WorkloadDowntime)
+	}
+	if jav.Report.TotalBytes() >= xen.Report.TotalBytes() {
+		t.Errorf("scimark JAVMM traffic %d should be slightly below Xen %d",
+			jav.Report.TotalBytes(), xen.Report.TotalBytes())
+	}
+	ratio := jav.Report.TotalTime.Seconds() / xen.Report.TotalTime.Seconds()
+	if ratio < 0.6 || ratio > 1.4 {
+		t.Errorf("scimark times should be comparable; ratio = %.2f", ratio)
+	}
+	// Category 3: small young, large old.
+	if xen.YoungCommittedAtMigration > 256<<20 {
+		t.Errorf("scimark young = %d", xen.YoungCommittedAtMigration)
+	}
+	if xen.OldUsedAtMigration < 300<<20 {
+		t.Errorf("scimark old = %d", xen.OldUsedAtMigration)
+	}
+}
+
+// TestEveryWorkloadMigratesCorrectly migrates all nine catalog workloads
+// under both migrators and checks the correctness invariant for each — the
+// suite-wide safety net.
+func TestEveryWorkloadMigratesCorrectly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("18 full migrations are slow in -short mode")
+	}
+	o := fastOpts()
+	o.fillDefaults()
+	for _, prof := range workload.Catalog() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			for _, mode := range []migration.Mode{migration.ModeVanilla, migration.ModeAppAssisted} {
+				r, err := RunMigration(o.runOpts(prof, mode, 1))
+				if err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+				if r.VerifyErr != nil {
+					t.Fatalf("%s: %v", mode, r.VerifyErr)
+				}
+				if r.Report.TotalTime <= 0 || r.Report.TotalBytes() == 0 {
+					t.Fatalf("%s: degenerate report", mode)
+				}
+			}
+		})
+	}
+}
+
+func TestProfileHeapDerby(t *testing.T) {
+	hp, err := ProfileHeap(mustLookup(t, "derby"), 120*time.Second, 2<<30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 5(b): over 97 % of young memory is garbage at each minor GC.
+	if hp.GarbageFraction < 0.9 {
+		t.Errorf("derby garbage fraction = %v", hp.GarbageFraction)
+	}
+	if hp.AvgYoungCommitted < 512<<20 {
+		t.Errorf("derby avg young = %d", hp.AvgYoungCommitted)
+	}
+	if hp.MinorGCs == 0 || hp.AvgMinorGCDuration == 0 {
+		t.Error("no GC data collected")
+	}
+	if hp.GCIntervalSeconds <= 0 {
+		t.Error("GC interval not computed")
+	}
+}
+
+// TestFigure5Observations asserts the §4.2 observations the whole system
+// rests on, per workload category.
+func TestFigure5Observations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine profiling runs are slow in -short mode")
+	}
+	gigabit := 117e6 // bytes/sec
+	for _, prof := range workload.Catalog() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			hp, err := ProfileHeap(prof, 120*time.Second, 2<<30, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch prof.Category {
+			case workload.Category1:
+				// Observation 1: young grows to the max and is large.
+				if hp.AvgYoungCommitted < uint64(float64(prof.MaxYoungBytes)*0.8) {
+					t.Errorf("young avg %d MiB, want near max %d MiB",
+						hp.AvgYoungCommitted>>20, prof.MaxYoungBytes>>20)
+				}
+				fallthrough
+			case workload.Category2:
+				// Observation 2: ≥95 % of collected young memory is garbage.
+				if hp.GarbageFraction < 0.9 {
+					t.Errorf("garbage fraction %.2f, want >0.9", hp.GarbageFraction)
+				}
+				// Observation 3: collecting the garbage beats transferring
+				// it over gigabit.
+				transfer := float64(hp.AvgGarbagePerGC) / gigabit
+				if hp.AvgMinorGCDuration.Seconds() >= transfer {
+					t.Errorf("GC %.2fs not faster than transfer %.2fs",
+						hp.AvgMinorGCDuration.Seconds(), transfer)
+				}
+			case workload.Category3:
+				// scimark: more old than young, low garbage fraction.
+				if hp.AvgOldUsed <= hp.AvgYoungCommitted {
+					t.Errorf("old %d MiB not above young %d MiB",
+						hp.AvgOldUsed>>20, hp.AvgYoungCommitted>>20)
+				}
+				if hp.GarbageFraction > 0.85 {
+					t.Errorf("scimark garbage fraction %.2f unexpectedly high", hp.GarbageFraction)
+				}
+			}
+		})
+	}
+}
+
+func TestFigure1RunsAndRenders(t *testing.T) {
+	tab, err := Figure1(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.Render()
+	if !strings.Contains(s, "Figure 1") || !strings.Contains(s, "dirtying rate") {
+		t.Fatalf("render:\n%s", s)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("only %d iterations", len(tab.Rows))
+	}
+	// The stop-and-copy row is marked.
+	last := tab.Rows[len(tab.Rows)-1][0]
+	if !strings.HasSuffix(last, "*") {
+		t.Fatalf("last row %q not marked", last)
+	}
+}
+
+func TestFigure5AllWorkloads(t *testing.T) {
+	o := fastOpts()
+	tab, err := Figure5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	}
+	s := tab.Render()
+	for _, name := range workload.Names() {
+		if !strings.Contains(s, name) {
+			t.Errorf("missing %s in Figure 5", name)
+		}
+	}
+}
+
+func TestFigure8and9(t *testing.T) {
+	fig8, fig9, err := Figure8and9(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"xen", "javmm"} {
+		if !strings.Contains(fig8.Render(), mode) || !strings.Contains(fig9.Render(), mode) {
+			t.Fatalf("mode %s missing", mode)
+		}
+	}
+	// Figure 9's JAVMM rows must show young-gen skipping.
+	var youngSkipped bool
+	for _, row := range fig9.Rows {
+		if row[0] == "javmm" && row[4] != "0 B" {
+			youngSkipped = true
+		}
+	}
+	if !youngSkipped {
+		t.Fatal("JAVMM skipped no young-gen pages in Figure 9")
+	}
+}
+
+func TestComparisonPipeline(t *testing.T) {
+	prof := mustLookup(t, "crypto")
+	cs, err := CompareWorkloads([]workload.Profile{prof}, fastOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || len(cs[0].Xen) != 1 || len(cs[0].Javmm) != 1 {
+		t.Fatalf("comparisons = %+v", cs)
+	}
+	timeT, trafficT, downT, cpuT := Figure10(cs)
+	for _, tab := range []*Table{timeT, trafficT, downT, cpuT} {
+		if len(tab.Rows) != 1 {
+			t.Fatalf("table %q rows = %d", tab.Title, len(tab.Rows))
+		}
+	}
+	t2 := Table2(cs)
+	if len(t2.Rows) != 1 {
+		t.Fatal("Table 2 empty")
+	}
+	figs := Figure11(cs, 40)
+	if len(figs) != 1 || len(figs[0].Rows) == 0 {
+		t.Fatal("Figure 11 empty")
+	}
+	// Crypto favours JAVMM: check the reduction column is positive.
+	red := timeT.Rows[0][3]
+	if !strings.HasPrefix(red, "+") {
+		t.Fatalf("crypto time reduction = %q", red)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"n1"},
+	}
+	tab.AddRow("xxx", "y")
+	s := tab.Render()
+	for _, want := range []string{"T\n", "a", "bb", "xxx", "note: n1", "---"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableCSVAndSlug(t *testing.T) {
+	tab := &Table{
+		Title:  "Figure 10(a). Total migration time",
+		Header: []string{"workload", "xen"},
+		Notes:  []string{"ignored in CSV"},
+	}
+	tab.AddRow("derby", "62.7 s")
+	tab.AddRow("with,comma", "x")
+	csv := tab.CSV()
+	want := "workload,xen\nderby,62.7 s\n\"with,comma\",x\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+	if got := tab.Slug(); got != "figure-10-a-total-migration-time" {
+		t.Fatalf("Slug = %q", got)
+	}
+	if got := (&Table{Title: "X12. OS-assisted"}).Slug(); got != "x12-os-assisted" {
+		t.Fatalf("Slug = %q", got)
+	}
+	a := &Table{Title: "Figure 11. Throughput of derby around migration (begins at 300 s)"}
+	b := &Table{Title: "Figure 11. Throughput of crypto around migration (begins at 300 s)"}
+	if a.Slug() == b.Slug() {
+		t.Fatalf("per-workload slugs collide: %q", a.Slug())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[string]string{
+		fmtBytes(500):                   "500 B",
+		fmtBytes(1500):                  "1.5 KB",
+		fmtBytes(2500000):               "2.5 MB",
+		fmtBytes(7320000000):            "7.32 GB",
+		fmtMiB(1 << 30):                 "1024 MiB",
+		fmtDur(1500 * time.Millisecond): "1.50 s",
+		fmtDur(2500 * time.Microsecond): "2.5 ms",
+		fmtDur(300 * time.Microsecond):  "300 µs",
+		fmtReduction(10, 2):             "+80%",
+		fmtReduction(0, 2):              "n/a",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("format: got %q want %q", got, want)
+		}
+	}
+}
+
+func TestChooseMode(t *testing.T) {
+	gb := uint64(117000000)
+	favourable := &HeapProfile{
+		GarbageFraction:    0.97,
+		AvgYoungCommitted:  1 << 30,
+		AvgGarbagePerGC:    800 << 20,
+		AvgMinorGCDuration: 900 * time.Millisecond,
+	}
+	if ChooseMode(favourable, gb) != migration.ModeAppAssisted {
+		t.Error("favourable profile not assisted")
+	}
+	survivors := &HeapProfile{GarbageFraction: 0.3, AvgYoungCommitted: 1 << 30}
+	if ChooseMode(survivors, gb) != migration.ModeVanilla {
+		t.Error("high-survival profile not vanilla")
+	}
+	tiny := &HeapProfile{GarbageFraction: 0.97, AvgYoungCommitted: 64 << 20}
+	if ChooseMode(tiny, gb) != migration.ModeVanilla {
+		t.Error("tiny-young profile not vanilla")
+	}
+	slowGC := &HeapProfile{
+		GarbageFraction:    0.97,
+		AvgYoungCommitted:  1 << 30,
+		AvgGarbagePerGC:    100 << 20,
+		AvgMinorGCDuration: 5 * time.Second,
+	}
+	if ChooseMode(slowGC, gb) != migration.ModeVanilla {
+		t.Error("slow-GC profile not vanilla")
+	}
+}
+
+func TestAblationFinalUpdateShapes(t *testing.T) {
+	tab, err := AblationFinalUpdate(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The re-walk strategy's final update must be slower than the delta
+	// strategy's (that is why the paper deferred it).
+	delta := tab.Rows[0][1]
+	rewalk := tab.Rows[1][1]
+	if delta == rewalk {
+		t.Logf("final updates equal (%s); acceptable but unexpected", delta)
+	}
+}
+
+func TestAblationCacheShapes(t *testing.T) {
+	o := fastOpts()
+	o.MemBytes = 2 << 30
+	tab, err := AblationCache(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	s := tab.Render()
+	if !strings.Contains(s, "xen") || !strings.Contains(s, "javmm") {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func TestAblationCompressionShapes(t *testing.T) {
+	tab, err := AblationCompression(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[4][0] != "javmm+hints" {
+		t.Fatalf("row 5 = %q", tab.Rows[4][0])
+	}
+}
+
+func TestAblationPolicyShapes(t *testing.T) {
+	tab, err := AblationPolicy(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The policy must pick vanilla for scimark and javmm for derby.
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "derby":
+			if row[3] != "javmm" {
+				t.Errorf("policy for derby = %q", row[3])
+			}
+		case "scimark":
+			if row[3] != "xen" {
+				t.Errorf("policy for scimark = %q", row[3])
+			}
+		}
+	}
+}
+
+func TestAblationALBShapes(t *testing.T) {
+	tab, err := AblationALB(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// ALB must show a ballooned young generation at migration.
+	if !strings.Contains(tab.Rows[1][4], "128") {
+		t.Fatalf("ALB young at migration = %q", tab.Rows[1][4])
+	}
+}
+
+func TestAblationScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8 GiB VM run is slow in -short mode")
+	}
+	tab, err := AblationScale(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Reductions stay positive at scale.
+	for _, row := range tab.Rows {
+		if !strings.HasPrefix(row[3], "+") || !strings.HasPrefix(row[6], "+") {
+			t.Fatalf("scale row lost the JAVMM advantage: %v", row)
+		}
+	}
+}
+
+func TestAblationPostCopyShapes(t *testing.T) {
+	tab, err := AblationPostCopy(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[2][0] != "post-copy" {
+		t.Fatalf("row order: %v", tab.Rows)
+	}
+	// Post-copy must record degradation; pre-copy none.
+	if tab.Rows[0][4] != "0 µs" {
+		t.Fatalf("xen degradation = %q", tab.Rows[0][4])
+	}
+	if tab.Rows[2][4] == "0 µs" {
+		t.Fatal("post-copy recorded no degradation")
+	}
+}
+
+func TestAblationReplicationShapes(t *testing.T) {
+	tab, err := AblationReplication(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[1][3] == "0" {
+		t.Fatal("deprotection omitted no pages")
+	}
+}
+
+func TestAblationCongestionShapes(t *testing.T) {
+	tab, err := AblationCongestion(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Xen slows under congestion; JAVMM is barely affected.
+	if tab.Rows[0][3] == "1.0x" {
+		t.Fatalf("xen unaffected by congestion: %v", tab.Rows[0])
+	}
+}
+
+func TestAblationG1Shapes(t *testing.T) {
+	tab, err := AblationG1(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The re-reporting configuration must beat the non-re-reporting one on
+	// traffic (the §6 finding this ablation exists for).
+	noRe, withRe := tab.Rows[1], tab.Rows[2]
+	if noRe[4] != "0" {
+		t.Fatalf("no-re-report row reports = %q", noRe[4])
+	}
+	if withRe[4] == "0" {
+		t.Fatal("re-report row sent no reports")
+	}
+}
+
+func TestAblationFreePagesShapes(t *testing.T) {
+	tab, err := AblationFreePages(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The light VM must benefit substantially; skipped volume non-zero.
+	if tab.Rows[3][4] == "0 B" {
+		t.Fatal("light VM skipped no free pages")
+	}
+}
+
+func TestAblationDeltaShapes(t *testing.T) {
+	tab, err := AblationDelta(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[1][5] == "0" {
+		t.Fatal("xen+delta recorded no resends")
+	}
+}
+
+func TestTable1Static(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFigure12Sweep(t *testing.T) {
+	// One category-1 workload at a reduced young cap suffices to validate
+	// the sweep wiring; the full sweep runs in the benchmark harness.
+	prof := mustLookup(t, "compiler")
+	cs, err := CompareWorkloads([]workload.Profile{prof}, fastOpts(), Table3Overrides())
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeT, trafficT, downT := Figure12(cs)
+	for _, tab := range []*Table{timeT, trafficT, downT} {
+		if len(tab.Rows) != 1 {
+			t.Fatalf("table %q rows = %d", tab.Title, len(tab.Rows))
+		}
+	}
+	t3 := Table3(cs, Table3Overrides())
+	if len(t3.Rows) != 1 {
+		t.Fatal("Table 3 empty")
+	}
+	// Compiler capped at 512 MiB: observed young must equal the cap.
+	if !strings.Contains(t3.Rows[0][2], "512") {
+		t.Fatalf("compiler observed young = %q", t3.Rows[0][2])
+	}
+}

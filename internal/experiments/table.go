@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a printable experiment result: an ASCII-rendered equivalent of a
+// paper table or figure's data.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render produces the aligned ASCII form.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180 CSV (header row first, notes omitted) —
+// the machine-readable form behind regenerating the paper's figures with any
+// plotting tool.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(t.Header)
+	for _, row := range t.Rows {
+		w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Slug returns a filesystem-friendly name derived from the title up to any
+// parenthetical ("Figure 10(a). Total migration time" → a unique kebab-case
+// name).
+func (t *Table) Slug() string {
+	head, _, _ := strings.Cut(t.Title, " (")
+	// Keep it reasonably short: at most six words.
+	words := strings.Fields(head)
+	if len(words) > 6 {
+		words = words[:6]
+	}
+	head = strings.Join(words, " ")
+	var b strings.Builder
+	lastDash := false
+	for _, r := range strings.ToLower(head) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash && b.Len() > 0 {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+// fmtBytes renders a byte count in MB/GB with one decimal (decimal units, as
+// migration traffic is usually reported).
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2f GB", float64(b)/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.1f MB", float64(b)/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.1f KB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// fmtMiB renders a byte count in whole MiB (heap sizes).
+func fmtMiB(b uint64) string { return fmt.Sprintf("%d MiB", b>>20) }
+
+// fmtDur renders a duration with sensible precision for the tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1f ms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%d µs", d.Microseconds())
+	}
+}
+
+// fmtReduction renders the JAVMM-vs-Xen reduction percentage the paper
+// quotes (positive = JAVMM smaller/better).
+func fmtReduction(xen, javmm float64) string {
+	if xen == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.0f%%", (xen-javmm)/xen*100)
+}

@@ -1,0 +1,77 @@
+package guestos
+
+import "javmm/internal/mem"
+
+// Compression hints, the §6 extension: "To exploit compression at a lower
+// CPU cost, we are extending the framework to compress only the memory pages
+// that have not been skipped over. The transfer bitmap can use multiple bits
+// per VM memory page to indicate the suitable compression methods to apply."
+//
+// The LKM keeps a per-page hint level next to the transfer bitmap.
+// Applications mark areas whose content they know to be compressible (e.g.
+// a JVM's old generation: long-lived, pointer- and string-heavy data) or
+// explicitly incompressible (already-compressed media buffers). The
+// migration engine consults the hints for pages it actually sends.
+const (
+	// HintDefault applies the engine's uniform policy.
+	HintDefault uint8 = iota
+	// HintFast marks lightly-compressible content: cheap algorithm, modest
+	// ratio.
+	HintFast
+	// HintStrong marks highly-compressible content: expensive algorithm,
+	// strong ratio.
+	HintStrong
+	// HintNone marks incompressible content: send raw, skip the CPU.
+	HintNone
+)
+
+// MsgCompressionHints is sent by an application to label areas of its
+// memory with a compression hint.
+type MsgCompressionHints struct {
+	App   AppID
+	Areas []mem.VARange
+	Level uint8
+}
+
+// hintsInit lazily allocates the hint map (one byte per page — the
+// simulator's rendering of "multiple bits per page").
+func (l *LKM) hintsInit() {
+	if l.hints == nil {
+		l.hints = make([]uint8, l.guest.Dom.NumPages())
+	}
+}
+
+// applyHints records a hint for every mapped page of the app's areas.
+func (l *LKM) applyHints(st *appState, areas []mem.VARange, level uint8) {
+	if level > HintNone {
+		l.InvalidMsgs++
+		return
+	}
+	l.hintsInit()
+	for _, a := range areas {
+		st.proc.AS.Walk(a.PageAlignInward(), func(va mem.VA, p mem.PFN) {
+			l.hints[p] = level
+		})
+	}
+	l.HintedPages = 0
+	for _, h := range l.hints {
+		if h != HintDefault {
+			l.HintedPages++
+		}
+	}
+}
+
+// HintFor returns the compression hint for page p (HintDefault when no app
+// hinted it). The migration engine calls this for pages it sends.
+func (l *LKM) HintFor(p mem.PFN) uint8 {
+	if l.hints == nil {
+		return HintDefault
+	}
+	return l.hints[p]
+}
+
+// resetHints clears the hint map at migration end.
+func (l *LKM) resetHints() {
+	l.hints = nil
+	l.HintedPages = 0
+}

@@ -1,0 +1,127 @@
+// Package guestos implements the guest-side half of the application-assisted
+// live migration framework (paper §3): the netlink-style message bus between
+// the kernel and applications, the /proc control interface, and the Loadable
+// Kernel Module (LKM) that owns the transfer bitmap, performs VA→PFN
+// translation, and coordinates the migration workflow.
+package guestos
+
+import (
+	"fmt"
+
+	"javmm/internal/mem"
+)
+
+// AppID identifies an application process to the LKM, like a PID on the
+// netlink socket.
+type AppID int
+
+// Netlink message types, mirroring Figure 4 of the paper.
+type (
+	// MsgQuerySkipAreas is multicast by the LKM when migration begins:
+	// "skip-over areas?".
+	MsgQuerySkipAreas struct{}
+
+	// MsgPrepareSuspension is multicast by the LKM before the last
+	// iteration: "prep. for suspension! skip-over areas?".
+	MsgPrepareSuspension struct{}
+
+	// MsgVMResumed is multicast by the LKM after the VM resumes at the
+	// destination: "VM resumed!".
+	MsgVMResumed struct{}
+
+	// MsgReportAreas is an application's response to MsgQuerySkipAreas,
+	// carrying the current VA ranges of its skip-over areas.
+	MsgReportAreas struct {
+		App   AppID
+		Areas []mem.VARange
+	}
+
+	// MsgAreaShrunk notifies the LKM that VA ranges left a skip-over area
+	// (paper §3.3.4: shrink must be reported immediately).
+	MsgAreaShrunk struct {
+		App  AppID
+		Left []mem.VARange
+	}
+
+	// MsgSuspensionReady is an application's "ready for suspension!"
+	// response, carrying the final VA ranges of its skip-over areas. For
+	// JAVMM this is the post-GC young generation minus the occupied From
+	// space (paper §4.3.2).
+	MsgSuspensionReady struct {
+		App   AppID
+		Areas []mem.VARange
+	}
+)
+
+// Socket is an application's endpoint on the netlink multicast group. The
+// application receives LKM multicasts through the handler it subscribed with
+// and sends messages to the kernel with Send.
+type Socket struct {
+	bus *Bus
+	app AppID
+}
+
+// App returns the application ID bound to the socket.
+func (s *Socket) App() AppID { return s.app }
+
+// Send delivers a message from the application to the kernel (the LKM).
+func (s *Socket) Send(msg any) error {
+	if s.bus.kernel == nil {
+		return fmt.Errorf("guestos: netlink send from app %d: no kernel receiver", s.app)
+	}
+	s.bus.toKernel++
+	s.bus.kernel(s.app, msg)
+	return nil
+}
+
+// Close removes the socket from the multicast group. A closed socket's
+// application stops receiving LKM queries — from the framework's point of
+// view it behaves like an application that exited.
+func (s *Socket) Close() {
+	delete(s.bus.subs, s.app)
+}
+
+// Bus is the netlink multicast group shared by the LKM and applications
+// (paper §3.3.1: bi-directional, asynchronous, capable of multicasting).
+type Bus struct {
+	subs     map[AppID]func(msg any)
+	kernel   func(from AppID, msg any)
+	nextID   AppID
+	toKernel uint64
+	toApps   uint64
+}
+
+// NewBus returns an empty multicast group.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[AppID]func(msg any)), nextID: 1}
+}
+
+// BindKernel installs the kernel-side receiver (the LKM).
+func (b *Bus) BindKernel(fn func(from AppID, msg any)) { b.kernel = fn }
+
+// Subscribe adds an application to the multicast group and returns its
+// socket. The handler receives every LKM multicast.
+func (b *Bus) Subscribe(handler func(msg any)) *Socket {
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = handler
+	return &Socket{bus: b, app: id}
+}
+
+// Multicast delivers msg to every subscribed application, in subscription
+// order (deterministic iteration).
+func (b *Bus) Multicast(msg any) {
+	// Iterate in AppID order for determinism.
+	for id := AppID(1); id < b.nextID; id++ {
+		if h, ok := b.subs[id]; ok {
+			b.toApps++
+			h(msg)
+		}
+	}
+}
+
+// Subscribers returns the number of live subscriptions.
+func (b *Bus) Subscribers() int { return len(b.subs) }
+
+// Stats returns (messages to kernel, multicast deliveries to apps).
+func (b *Bus) Stats() (toKernel, toApps uint64) { return b.toKernel, b.toApps }

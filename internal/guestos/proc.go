@@ -1,0 +1,137 @@
+package guestos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"javmm/internal/mem"
+)
+
+// ProcEntry is the /proc control file through which an application passes
+// skip-over VA ranges to the LKM (paper §3.3.2). Each application opens its
+// own entry, bound to its netlink socket identity, and writes line-oriented
+// text commands:
+//
+//	skip 0x3b00-0x8aff[,0x...-0x...]     report skip-over areas
+//	shrink 0x6b00-0x8aff[,...]           VA ranges left an area
+//	ready 0x3b00-0x5fff[,...]            suspension-ready, final areas
+//	ready                                suspension-ready, no skip areas left
+//	hint strong|fast|none 0xA-0xB[,...]  compression hints (§6 extension)
+//
+// The text surface exists because the paper uses one; programmatic callers
+// (the TI agent) may also send the equivalent netlink messages directly.
+type ProcEntry struct {
+	sock *Socket
+}
+
+// OpenProc opens the application's /proc control entry.
+func OpenProc(sock *Socket) *ProcEntry { return &ProcEntry{sock: sock} }
+
+// Write parses and executes one command line.
+func (p *ProcEntry) Write(line string) error {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return fmt.Errorf("guestos: empty /proc command")
+	}
+	verb := fields[0]
+	if verb == "hint" {
+		if len(fields) != 3 {
+			return fmt.Errorf("guestos: /proc hint: want `hint LEVEL RANGES`")
+		}
+		var level uint8
+		switch fields[1] {
+		case "fast":
+			level = HintFast
+		case "strong":
+			level = HintStrong
+		case "none":
+			level = HintNone
+		default:
+			return fmt.Errorf("guestos: /proc hint: unknown level %q", fields[1])
+		}
+		ranges, err := ParseVARanges(fields[2])
+		if err != nil {
+			return fmt.Errorf("guestos: /proc hint: %w", err)
+		}
+		return p.sock.Send(MsgCompressionHints{App: p.sock.App(), Areas: ranges, Level: level})
+	}
+	var ranges []mem.VARange
+	if len(fields) > 1 {
+		var err error
+		ranges, err = ParseVARanges(fields[1])
+		if err != nil {
+			return fmt.Errorf("guestos: /proc %s: %w", verb, err)
+		}
+	}
+	switch verb {
+	case "skip":
+		if len(ranges) == 0 {
+			return fmt.Errorf("guestos: /proc skip: no ranges")
+		}
+		return p.sock.Send(MsgReportAreas{App: p.sock.App(), Areas: ranges})
+	case "shrink":
+		if len(ranges) == 0 {
+			return fmt.Errorf("guestos: /proc shrink: no ranges")
+		}
+		return p.sock.Send(MsgAreaShrunk{App: p.sock.App(), Left: ranges})
+	case "ready":
+		return p.sock.Send(MsgSuspensionReady{App: p.sock.App(), Areas: ranges})
+	default:
+		return fmt.Errorf("guestos: unknown /proc command %q", verb)
+	}
+}
+
+// ParseVARanges parses "0xA-0xB[,0xC-0xD...]" into VA ranges. Hex (0x) and
+// decimal forms are accepted; each range must have Start < End.
+func ParseVARanges(s string) ([]mem.VARange, error) {
+	var out []mem.VARange
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, ok := strings.Cut(part, "-")
+		if !ok {
+			return nil, fmt.Errorf("range %q: want START-END", part)
+		}
+		start, err := parseAddr(lo)
+		if err != nil {
+			return nil, fmt.Errorf("range %q: %w", part, err)
+		}
+		end, err := parseAddr(hi)
+		if err != nil {
+			return nil, fmt.Errorf("range %q: %w", part, err)
+		}
+		if end <= start {
+			return nil, fmt.Errorf("range %q: end not after start", part)
+		}
+		out = append(out, mem.VARange{Start: mem.VA(start), End: mem.VA(end)})
+	}
+	return out, nil
+}
+
+func parseAddr(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if rest, ok := strings.CutPrefix(s, "0x"); ok {
+		return strconv.ParseUint(rest, 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// FormatVARanges renders ranges in the syntax ParseVARanges accepts.
+func FormatVARanges(ranges []mem.VARange) string {
+	parts := make([]string, len(ranges))
+	for i, r := range ranges {
+		parts[i] = fmt.Sprintf("%#x-%#x", uint64(r.Start), uint64(r.End))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Status renders a human-readable snapshot of the LKM for /proc reads and
+// debugging.
+func (l *LKM) Status() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "state: %s\n", l.state)
+	fmt.Fprintf(&b, "transfer bits cleared: %d\n", l.transfer.Len()-l.transfer.Count())
+	fmt.Fprintf(&b, "apps: %d\n", len(l.apps))
+	fmt.Fprintf(&b, "pfn cache high water: %d entries (%d bytes)\n", l.CacheHighWater, l.CacheBytes())
+	fmt.Fprintf(&b, "invalid messages: %d\n", l.InvalidMsgs)
+	return b.String()
+}

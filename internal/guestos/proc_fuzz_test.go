@@ -1,0 +1,52 @@
+package guestos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseVARanges exercises the /proc range parser. Run with
+// `go test -fuzz FuzzParseVARanges ./internal/guestos` for open-ended
+// fuzzing; the seed corpus below runs as part of the normal test suite.
+func FuzzParseVARanges(f *testing.F) {
+	for _, seed := range []string{
+		"0x1000-0x2000",
+		"0x1000-0x2000,0x3000-0x4000",
+		"4096-8192",
+		"0x-0x",
+		"-",
+		",",
+		"0xffffffffffffffff-0x0",
+		"0x0-0xffffffffffffffff",
+		"1-2,3-4,5-6,7-8,9-10",
+		strings.Repeat("0x1-0x2,", 100) + "0x1-0x2",
+		"0x1000-0x2000,garbage",
+		"  0x10 - 0x20  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ranges, err := ParseVARanges(s)
+		if err != nil {
+			return
+		}
+		// Parsed ranges must be well-formed and re-parseable.
+		for _, r := range ranges {
+			if r.End <= r.Start {
+				t.Fatalf("parser accepted inverted range %v from %q", r, s)
+			}
+		}
+		back, err := ParseVARanges(FormatVARanges(ranges))
+		if err != nil {
+			t.Fatalf("format/parse round trip failed for %q: %v", s, err)
+		}
+		if len(back) != len(ranges) {
+			t.Fatalf("round trip changed arity for %q", s)
+		}
+		for i := range back {
+			if back[i] != ranges[i] {
+				t.Fatalf("round trip changed ranges for %q: %v vs %v", s, ranges, back)
+			}
+		}
+	})
+}

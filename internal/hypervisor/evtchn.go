@@ -1,0 +1,69 @@
+package hypervisor
+
+import "fmt"
+
+// EventChannel is Xen's inter-domain notification primitive, reduced to what
+// the migration framework needs: a bidirectional port pair between the
+// migration daemon in dom0 and the LKM in the guest (paper §3.3.1: "A special
+// event channel port is created when the guest VM is created, through which
+// the migration daemon can communicate with the LKM throughout the migration
+// process").
+//
+// Delivery is synchronous and in-order — the simulator is single-threaded —
+// but the API is message-passing so neither side holds a direct reference to
+// the other, preserving the paper's isolation between dom0 and the guest.
+type EventChannel struct {
+	daemon *Endpoint
+	guest  *Endpoint
+}
+
+// Endpoint is one side of an event channel.
+type Endpoint struct {
+	name    string
+	peer    *Endpoint
+	handler func(msg any)
+	sent    uint64
+	dropped uint64
+}
+
+// NewEventChannel creates a connected port pair. The daemon side lives in
+// dom0's migration tooling; the guest side is bound by the LKM at load time.
+func NewEventChannel() *EventChannel {
+	d := &Endpoint{name: "daemon"}
+	g := &Endpoint{name: "guest"}
+	d.peer, g.peer = g, d
+	return &EventChannel{daemon: d, guest: g}
+}
+
+// Daemon returns the dom0-side endpoint.
+func (ec *EventChannel) Daemon() *Endpoint { return ec.daemon }
+
+// Guest returns the guest-side endpoint.
+func (ec *EventChannel) Guest() *Endpoint { return ec.guest }
+
+// Bind installs the handler invoked when the peer notifies this endpoint.
+// Rebinding replaces the handler.
+func (e *Endpoint) Bind(fn func(msg any)) { e.handler = fn }
+
+// Notify delivers msg to the peer endpoint. If the peer has not bound a
+// handler the message is dropped and counted; the framework's timeout logic
+// (paper §6, security discussion) handles unresponsive parties above this
+// layer.
+func (e *Endpoint) Notify(msg any) {
+	e.sent++
+	if e.peer.handler == nil {
+		e.dropped++
+		return
+	}
+	e.peer.handler(msg)
+}
+
+// Sent returns the number of notifications sent from this endpoint.
+func (e *Endpoint) Sent() uint64 { return e.sent }
+
+// Dropped returns the number of notifications that found no bound peer
+// handler.
+func (e *Endpoint) Dropped() uint64 { return e.dropped }
+
+// String identifies the endpoint for diagnostics.
+func (e *Endpoint) String() string { return fmt.Sprintf("evtchn:%s", e.name) }

@@ -1,0 +1,92 @@
+package mem
+
+import "testing"
+
+// Benchmarks for the primitives on the migration hot path: the engine tests
+// and iterates bitmap bits for every page of every round.
+
+func BenchmarkBitmapSetClear(b *testing.B) {
+	bm := NewBitmap(1 << 19) // 2 GiB of pages
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := PFN(i) & (1<<19 - 1)
+		bm.Set(p)
+		bm.Clear(p)
+	}
+}
+
+func BenchmarkBitmapTest(b *testing.B) {
+	bm := NewBitmap(1 << 19)
+	for p := PFN(0); p < 1<<19; p += 3 {
+		bm.Set(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bm.Test(PFN(i) & (1<<19 - 1))
+	}
+}
+
+func BenchmarkBitmapCount(b *testing.B) {
+	bm := NewBitmap(1 << 19)
+	bm.SetAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bm.Count()
+	}
+}
+
+func BenchmarkBitmapRangeSparse(b *testing.B) {
+	bm := NewBitmap(1 << 19)
+	for p := PFN(0); p < 1<<19; p += 64 {
+		bm.Set(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		bm.Range(func(PFN) bool { n++; return true })
+	}
+}
+
+func BenchmarkBitmapAndNot(b *testing.B) {
+	x, y := NewBitmap(1<<19), NewBitmap(1<<19)
+	x.SetAll()
+	for p := PFN(0); p < 1<<19; p += 2 {
+		y.Set(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AndNot(y)
+		x.Or(y)
+	}
+}
+
+func BenchmarkVersionStoreWrite(b *testing.B) {
+	s := NewVersionStore(1 << 19)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Write(PFN(i) & (1<<19 - 1))
+	}
+}
+
+func BenchmarkVersionStoreExportImport(b *testing.B) {
+	src := NewVersionStore(1 << 10)
+	dst := NewVersionStore(1 << 10)
+	for p := PFN(0); p < 1<<10; p++ {
+		src.Write(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := PFN(i) & (1<<10 - 1)
+		if err := dst.Import(p, src.Export(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkByteStoreWrite(b *testing.B) {
+	s := NewByteStore(1 << 12)
+	b.SetBytes(PageSize)
+	for i := 0; i < b.N; i++ {
+		s.Write(PFN(i) & (1<<12 - 1))
+	}
+}

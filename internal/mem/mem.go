@@ -1,0 +1,136 @@
+// Package mem provides the memory primitives shared by the guest, the
+// hypervisor and the migration engine: page geometry, typed page frame
+// numbers and virtual addresses, bitmaps, and page stores.
+//
+// The simulator works at the same granularity as Xen's migration tooling:
+// 4 KiB pages identified by Page Frame Numbers (PFNs) in the guest's
+// pseudo-physical address space. Applications, as in the paper, speak Virtual
+// Addresses (VAs); the guest kernel bridges the two (paper §3.2).
+package mem
+
+import "fmt"
+
+const (
+	// PageShift is log2 of the page size.
+	PageShift = 12
+	// PageSize is the size of a guest memory page in bytes (4 KiB), matching
+	// the page size assumed throughout the paper (§3.3.3).
+	PageSize = 1 << PageShift
+	// PageMask masks the offset bits of an address.
+	PageMask = PageSize - 1
+)
+
+// PFN is a guest page frame number: an index into the VM's contiguous
+// pseudo-physical memory. The migration daemon transfers memory in PFN space
+// (paper §3.2).
+type PFN uint64
+
+// VA is a guest virtual address. Applications describe skip-over areas as VA
+// ranges (paper §3.3.2).
+type VA uint64
+
+// NoPFN marks an unmapped translation.
+const NoPFN = PFN(^uint64(0))
+
+// PageOf returns the virtual page number containing va.
+func (va VA) PageOf() uint64 { return uint64(va) >> PageShift }
+
+// Offset returns the offset of va within its page.
+func (va VA) Offset() uint64 { return uint64(va) & PageMask }
+
+// PageBase returns the address of the first byte of va's page.
+func (va VA) PageBase() VA { return va &^ VA(PageMask) }
+
+// Bytes returns the byte address of the first byte of the frame.
+func (p PFN) Bytes() uint64 { return uint64(p) << PageShift }
+
+// VARange is a half-open virtual address range [Start, End). Applications
+// report skip-over areas as VARanges.
+type VARange struct {
+	Start VA
+	End   VA
+}
+
+// Len returns the number of bytes covered by the range.
+func (r VARange) Len() uint64 {
+	if r.End <= r.Start {
+		return 0
+	}
+	return uint64(r.End - r.Start)
+}
+
+// Empty reports whether the range covers no bytes.
+func (r VARange) Empty() bool { return r.End <= r.Start }
+
+// Contains reports whether va lies inside the range.
+func (r VARange) Contains(va VA) bool { return va >= r.Start && va < r.End }
+
+// Overlaps reports whether the two ranges share any byte.
+func (r VARange) Overlaps(o VARange) bool {
+	return !r.Empty() && !o.Empty() && r.Start < o.End && o.Start < r.End
+}
+
+// Intersect returns the overlap of the two ranges (possibly empty).
+func (r VARange) Intersect(o VARange) VARange {
+	out := VARange{Start: maxVA(r.Start, o.Start), End: minVA(r.End, o.End)}
+	if out.Empty() {
+		return VARange{}
+	}
+	return out
+}
+
+// PageAlignInward shrinks the range to whole pages: the start rounds up to the
+// next page boundary and the end rounds down to the previous one. This is the
+// alignment rule the LKM applies to application-specified skip-over areas so
+// that every page in the aligned range may be skipped in its entirety
+// (paper §3.3.2). The result may be empty.
+func (r VARange) PageAlignInward() VARange {
+	start := VA((uint64(r.Start) + PageMask) &^ uint64(PageMask))
+	end := r.End &^ VA(PageMask)
+	if end <= start {
+		return VARange{}
+	}
+	return VARange{Start: start, End: end}
+}
+
+// Pages returns the number of whole pages in a page-aligned range.
+func (r VARange) Pages() uint64 { return r.Len() / PageSize }
+
+// String renders the range like "[0x3b000,0x8b000)".
+func (r VARange) String() string {
+	return fmt.Sprintf("[%#x,%#x)", uint64(r.Start), uint64(r.End))
+}
+
+// Subtract returns the parts of r not covered by o, in address order. The
+// result has zero, one or two ranges. The LKM uses it to compute the VA
+// ranges that joined or left a skip-over area between bitmap updates.
+func (r VARange) Subtract(o VARange) []VARange {
+	if r.Empty() {
+		return nil
+	}
+	if !r.Overlaps(o) {
+		return []VARange{r}
+	}
+	var out []VARange
+	if o.Start > r.Start {
+		out = append(out, VARange{Start: r.Start, End: o.Start})
+	}
+	if o.End < r.End {
+		out = append(out, VARange{Start: o.End, End: r.End})
+	}
+	return out
+}
+
+func minVA(a, b VA) VA {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxVA(a, b VA) VA {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageGeometry(t *testing.T) {
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096", PageSize)
+	}
+	va := VA(0x3b07)
+	if got := va.PageOf(); got != 3 {
+		t.Fatalf("PageOf = %d, want 3", got)
+	}
+	if got := va.Offset(); got != 0xb07 {
+		t.Fatalf("Offset = %#x, want 0xb07", got)
+	}
+	if got := va.PageBase(); got != 0x3000 {
+		t.Fatalf("PageBase = %#x, want 0x3000", got)
+	}
+	if got := PFN(3).Bytes(); got != 0x3000 {
+		t.Fatalf("PFN(3).Bytes = %#x, want 0x3000", got)
+	}
+}
+
+func TestVARangeBasics(t *testing.T) {
+	r := VARange{Start: 0x1000, End: 0x3000}
+	if r.Len() != 0x2000 {
+		t.Fatalf("Len = %#x", r.Len())
+	}
+	if r.Empty() {
+		t.Fatal("non-empty range reported Empty")
+	}
+	if !r.Contains(0x1000) || r.Contains(0x3000) {
+		t.Fatal("Contains boundary semantics wrong (half-open expected)")
+	}
+	if (VARange{Start: 5, End: 5}).Len() != 0 {
+		t.Fatal("empty range has nonzero Len")
+	}
+	if (VARange{Start: 9, End: 4}).Len() != 0 {
+		t.Fatal("inverted range has nonzero Len")
+	}
+}
+
+func TestVARangeOverlapsIntersect(t *testing.T) {
+	a := VARange{Start: 0x1000, End: 0x3000}
+	b := VARange{Start: 0x2000, End: 0x4000}
+	c := VARange{Start: 0x3000, End: 0x4000}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("overlapping ranges not detected")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("touching half-open ranges should not overlap")
+	}
+	got := a.Intersect(b)
+	if got.Start != 0x2000 || got.End != 0x3000 {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if !a.Intersect(c).Empty() {
+		t.Fatal("disjoint Intersect not empty")
+	}
+}
+
+// TestPageAlignInward checks the §3.3.2 rule: start rounds up, end rounds
+// down, so every page in the aligned range is wholly inside the original.
+func TestPageAlignInward(t *testing.T) {
+	cases := []struct {
+		in, want VARange
+	}{
+		{VARange{0x3b00, 0x8aff}, VARange{0x4000, 0x8000}},
+		{VARange{0x4000, 0x8000}, VARange{0x4000, 0x8000}},
+		{VARange{0x4001, 0x4fff}, VARange{}},
+		{VARange{0x0, 0x1000}, VARange{0x0, 0x1000}},
+		{VARange{0x10, 0x20}, VARange{}},
+	}
+	for _, c := range cases {
+		if got := c.in.PageAlignInward(); got != c.want {
+			t.Errorf("PageAlignInward(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPageAlignInwardProperty(t *testing.T) {
+	f := func(start, length uint32) bool {
+		r := VARange{Start: VA(start), End: VA(start) + VA(length)}
+		a := r.PageAlignInward()
+		if a.Empty() {
+			return true
+		}
+		// Aligned boundaries, and contained in the original.
+		return a.Start.Offset() == 0 && a.End.Offset() == 0 &&
+			a.Start >= r.Start && a.End <= r.End
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	r := VARange{0x1000, 0x5000}
+	cases := []struct {
+		o    VARange
+		want []VARange
+	}{
+		{VARange{0x2000, 0x3000}, []VARange{{0x1000, 0x2000}, {0x3000, 0x5000}}},
+		{VARange{0x0, 0x6000}, nil},
+		{VARange{0x5000, 0x6000}, []VARange{r}},
+		{VARange{0x1000, 0x2000}, []VARange{{0x2000, 0x5000}}},
+		{VARange{0x4000, 0x6000}, []VARange{{0x1000, 0x4000}}},
+	}
+	for _, c := range cases {
+		got := r.Subtract(c.o)
+		if len(got) != len(c.want) {
+			t.Errorf("Subtract(%v) = %v, want %v", c.o, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Subtract(%v)[%d] = %v, want %v", c.o, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestSubtractProperty: the subtraction pieces exactly tile r minus o.
+func TestSubtractProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		r := VARange{VA(rng.Intn(100)), VA(rng.Intn(100))}
+		o := VARange{VA(rng.Intn(100)), VA(rng.Intn(100))}
+		pieces := r.Subtract(o)
+		var total uint64
+		for _, p := range pieces {
+			if p.Empty() {
+				t.Fatalf("Subtract produced empty piece %v", p)
+			}
+			if p.Overlaps(o) {
+				t.Fatalf("piece %v overlaps subtracted %v", p, o)
+			}
+			if p.Start < r.Start || p.End > r.End {
+				t.Fatalf("piece %v outside %v", p, r)
+			}
+			total += p.Len()
+		}
+		want := r.Len() - r.Intersect(o).Len()
+		if total != want {
+			t.Fatalf("Subtract(%v, %v) covers %d bytes, want %d", r, o, total, want)
+		}
+	}
+}

@@ -1,0 +1,751 @@
+// Package migration implements the pre-copy live-migration engine: Xen's
+// iterative dirty-page transfer loop, extended with the transfer-bitmap
+// consultation that makes it application-assisted (paper §3.3.3).
+//
+// The engine reproduces xc_domain_save's structure:
+//
+//   - Iteration 1 sends every page of the VM.
+//   - Each following iteration sends the pages dirtied during the previous
+//     iteration (read-and-clear of the hypervisor's log-dirty bitmap).
+//   - Within an iteration, a page that has already been re-dirtied in the
+//     current round is skipped — it would be resent anyway (the
+//     "skipped (already dirtied)" series of Figure 9).
+//   - Migration enters the stop-and-copy phase when the pending dirty set is
+//     small, when the iteration cap (Xen default: 30) is reached, or when a
+//     configured traffic cap is exceeded.
+//
+// In application-assisted mode the engine additionally skips any page whose
+// transfer bit is cleared, coordinates the pre-suspension handshake with the
+// in-guest LKM, and charges the final bitmap update to downtime.
+package migration
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"javmm/internal/guestos"
+	"javmm/internal/hypervisor"
+	"javmm/internal/mem"
+	"javmm/internal/netsim"
+	"javmm/internal/simclock"
+)
+
+// Mode selects the migration algorithm.
+type Mode int
+
+const (
+	// ModeVanilla is unmodified Xen pre-copy: application-agnostic.
+	ModeVanilla Mode = iota
+	// ModeAppAssisted consults the LKM's transfer bitmap and runs the
+	// collaborative workflow of paper §3.3.5.
+	ModeAppAssisted
+)
+
+// String names the mode as in the paper's evaluation.
+func (m Mode) String() string {
+	switch m {
+	case ModeVanilla:
+		return "xen"
+	case ModeAppAssisted:
+		return "javmm"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// GuestExecutor runs guest activity for a span of virtual time. The
+// implementation must advance the source clock by exactly d, performing the
+// guest's memory writes, GCs and op completions along the way. This is the
+// interleaving that races the guest's dirtying rate against the migration
+// link (Figure 1).
+type GuestExecutor interface {
+	Run(d time.Duration)
+}
+
+// Throttleable is optionally implemented by executors that support Clark-
+// style write throttling (paper §2: slow down dirtying by stalling write-
+// heavy processes). Factor 1.0 is full speed.
+type Throttleable interface {
+	SetThrottle(factor float64)
+}
+
+// Config tunes the engine. The zero value plus FillDefaults matches the
+// paper's testbed: Xen defaults over gigabit Ethernet.
+type Config struct {
+	Mode Mode
+
+	// MaxIterations forces stop-and-copy after this many live iterations
+	// (Xen default 30, the cap the paper's Figure 8(a) run hits).
+	MaxIterations int
+	// DirtyPageThreshold enters stop-and-copy once the pending dirty set
+	// (intersected with the transfer bitmap) is at most this many pages
+	// (Xen uses 50).
+	DirtyPageThreshold uint64
+	// MaxTrafficFactor aborts pre-copy once total traffic exceeds this
+	// multiple of VM memory. Xen's xc_domain_save default is 3; zero
+	// selects that default and a negative value disables the cap.
+	MaxTrafficFactor float64
+	// ChunkPages is the transfer granularity at which the engine
+	// interleaves guest execution with page pushes. Default 1024 pages
+	// (4 MiB ≈ 34 ms on gigabit).
+	ChunkPages uint64
+	// ResumptionTime models reconnecting devices and activating the VM at
+	// the destination; the paper measures ~170 ms (§5.3).
+	ResumptionTime time.Duration
+
+	// PageExamineCost and PageCopyCost model the daemon's CPU time per
+	// page considered and per page actually sent; used for the §5.3 CPU
+	// comparison (X1).
+	PageExamineCost time.Duration
+	PageCopyCost    time.Duration
+
+	// Compress enables the §6 extension: pages that are not skipped are
+	// compressed before transmission. CompressionRatio is the modelled
+	// wire-size factor in (0,1]; CompressCostPerPage is daemon CPU per
+	// compressed page.
+	Compress            bool
+	CompressionRatio    float64
+	CompressCostPerPage time.Duration
+
+	// DeltaCompression enables the XBZRLE-style baseline of Svärd et al.
+	// (paper §2): the daemon keeps a cache of previously-sent pages and
+	// transmits only the delta when a page is resent. Attacks exactly the
+	// repeated-resend problem JAVMM removes at the source — ablation X13
+	// compares them. DeltaRatio is the modelled wire factor for a resend
+	// (default 0.15); DeltaCostPerPage is the daemon CPU per delta encode.
+	// Report.DeltaCacheBytes carries the daemon-side cache cost (one full
+	// page copy per VM page).
+	DeltaCompression bool
+	DeltaRatio       float64
+	DeltaCostPerPage time.Duration
+
+	// HintedCompression refines Compress with the per-page hints the LKM
+	// collects from applications (§6: "multiple bits per VM memory page to
+	// indicate the suitable compression methods"). Requires Source.HintFor.
+	// Hinted-strong pages compress harder, hinted-none pages go raw with
+	// zero CPU.
+	HintedCompression bool
+
+	// ThrottleFactor, if in (0,1), applies Clark-style write throttling to
+	// the guest while migration cannot keep up with dirtying (baseline of
+	// paper §2).
+	ThrottleFactor float64
+
+	// IdleQuantum paces the engine's waiting loop while the LKM prepares
+	// applications for suspension.
+	IdleQuantum time.Duration
+
+	// ConservativeLastIter makes the stop-and-copy iteration consider
+	// every page dirtied at any point during migration, not just the
+	// final round. Required when the LKM runs its full-rewalk final
+	// update (guestos.LKMConfig.FinalUpdateRewalk), which learns about
+	// shrunk skip-over areas only at the end (paper §3.3.4, the deferred
+	// alternative design).
+	ConservativeLastIter bool
+
+	// OnIteration, if non-nil, is invoked after each completed iteration
+	// with its statistics — live progress for tools (like `xl migrate`'s
+	// console output).
+	OnIteration func(IterationStats)
+
+	// SkipFreePages enables the OS-assisted baseline of Koto et al.
+	// (paper §1/§2): pages the guest kernel holds on its free list are not
+	// transferred. Requires Source.GuestFree. The paper's assessment —
+	// "skipping free pages may only benefit the migration of
+	// lightly-loaded VMs" — is what ablation X12 measures.
+	SkipFreePages bool
+
+	// CancelAfter aborts the migration once it has run for this much
+	// virtual time without reaching stop-and-copy. Pre-copy is naturally
+	// abortable: the source VM has kept running throughout, so an abort
+	// just tears down dirty tracking and tells the guest the migration is
+	// over. Zero disables the deadline.
+	CancelAfter time.Duration
+	// ShouldCancel, if non-nil, is polled at chunk boundaries; returning
+	// true aborts like CancelAfter.
+	ShouldCancel func() bool
+}
+
+// FillDefaults populates unset fields with the paper's testbed defaults.
+func (c *Config) FillDefaults() {
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 30
+	}
+	if c.DirtyPageThreshold == 0 {
+		c.DirtyPageThreshold = 50
+	}
+	if c.MaxTrafficFactor == 0 {
+		c.MaxTrafficFactor = 3.0
+	}
+	if c.ChunkPages == 0 {
+		c.ChunkPages = 1024
+	}
+	if c.ResumptionTime == 0 {
+		c.ResumptionTime = 170 * time.Millisecond
+	}
+	if c.PageExamineCost == 0 {
+		c.PageExamineCost = 200 * time.Nanosecond
+	}
+	if c.PageCopyCost == 0 {
+		c.PageCopyCost = 2 * time.Microsecond
+	}
+	if c.Compress && c.CompressionRatio == 0 {
+		c.CompressionRatio = 0.45
+	}
+	if c.Compress && c.CompressCostPerPage == 0 {
+		c.CompressCostPerPage = 8 * time.Microsecond
+	}
+	if c.DeltaCompression && c.DeltaRatio == 0 {
+		c.DeltaRatio = 0.15
+	}
+	if c.DeltaCompression && c.DeltaCostPerPage == 0 {
+		c.DeltaCostPerPage = 5 * time.Microsecond
+	}
+	if c.IdleQuantum == 0 {
+		c.IdleQuantum = time.Millisecond
+	}
+}
+
+// IterationStats describes one migration iteration — the boxes of Figure 8
+// and the stacked bars of Figure 9.
+type IterationStats struct {
+	Index    int
+	Start    time.Duration // virtual time at iteration start
+	Duration time.Duration
+	Last     bool // the stop-and-copy iteration
+
+	PagesConsidered    uint64 // size of the round's to-send set
+	PagesSent          uint64
+	BytesOnWire        uint64
+	PagesSkippedDirty  uint64 // re-dirtied mid-round, deferred to next round
+	PagesSkippedBitmap uint64 // transfer bit cleared (e.g. young gen)
+	PagesSkippedFree   uint64 // on the guest's free list (SkipFreePages)
+	PagesDirtiedDuring uint64 // new dirtying while this iteration ran
+}
+
+// TransferRate returns the iteration's payload rate in bytes/sec.
+func (s IterationStats) TransferRate() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.BytesOnWire) / s.Duration.Seconds()
+}
+
+// DirtyRate returns the guest dirtying rate during the iteration in
+// pages/sec.
+func (s IterationStats) DirtyRate() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.PagesDirtiedDuring) / s.Duration.Seconds()
+}
+
+// Report is the outcome of one migration.
+type Report struct {
+	Mode       Mode
+	Iterations []IterationStats
+
+	TotalTime   time.Duration // migrate start to VM active at destination
+	VMDowntime  time.Duration // VM paused (stop-and-copy + resumption)
+	PrepareWait time.Duration // LKM prepare handshake (safepoint + GC wait)
+	FinalUpdate time.Duration // final transfer bitmap update (downtime part)
+	Resumption  time.Duration
+
+	TotalPagesSent uint64
+	LastIterBytes  uint64
+
+	// DeltaResends counts pages sent as deltas and DeltaCacheBytes the
+	// daemon-side page cache cost (DeltaCompression runs only).
+	DeltaResends    uint64
+	DeltaCacheBytes uint64
+	CPUTime         time.Duration // daemon CPU model (X1)
+	Fallbacks       int           // apps that timed out during prepare
+
+	// FinalTransfer is the transfer bitmap snapshot at VM pause: set bits
+	// are the pages the destination must have faithfully. Vanilla
+	// migrations have every bit set.
+	FinalTransfer *mem.Bitmap
+
+	// PostCopy is set for post-copy runs (MigratePostCopy). Post-copy
+	// semantics differ: the domain's memory IS the destination memory
+	// after switchover, so Dest.Store is a transport record and the
+	// correctness invariant is "every page became resident", not store
+	// equality.
+	PostCopy *PostCopyStats
+}
+
+// TotalBytes returns the migration's total payload traffic.
+func (r *Report) TotalBytes() uint64 {
+	var t uint64
+	for _, it := range r.Iterations {
+		t += it.BytesOnWire
+	}
+	return t
+}
+
+// LiveIterations returns the number of pre-copy iterations (excluding
+// stop-and-copy).
+func (r *Report) LiveIterations() int {
+	n := 0
+	for _, it := range r.Iterations {
+		if !it.Last {
+			n++
+		}
+	}
+	return n
+}
+
+// Source drives a migration from the source host.
+type Source struct {
+	Dom   *hypervisor.Domain
+	LKM   *guestos.LKM // required in ModeAppAssisted
+	Link  *netsim.Link
+	Clock *simclock.Clock
+	Exec  GuestExecutor // may be nil for an idle guest
+	Dest  *Destination
+	Cfg   Config
+	// GuestFree reports whether a frame is on the guest kernel's free list;
+	// required when Cfg.SkipFreePages is set (typically
+	// guest.Frames.Allocated negated).
+	GuestFree func(p mem.PFN) bool
+	// HintFor returns a page's compression hint (guestos.Hint*); required
+	// when Cfg.HintedCompression is set (typically the LKM's HintFor).
+	HintFor func(p mem.PFN) uint8
+
+	// mutable state during one migration
+	transfer  *mem.Bitmap
+	ready     bool
+	readyEv   guestos.EvSuspensionReady
+	report    *Report
+	sentBytes uint64
+	startedAt time.Duration
+	aborted   bool
+	sentOnce  *mem.Bitmap // pages already sent (delta-compression cache)
+}
+
+// Errors returned by Migrate.
+var (
+	ErrNoLKM   = errors.New("migration: app-assisted mode requires an LKM")
+	ErrNoDest  = errors.New("migration: destination required")
+	ErrNoLink  = errors.New("migration: link required")
+	ErrNoClock = errors.New("migration: clock required")
+	// ErrCancelled reports a migration aborted by CancelAfter or
+	// ShouldCancel. Migrate returns it together with the partial report;
+	// the VM keeps running at the source.
+	ErrCancelled = errors.New("migration: cancelled")
+)
+
+// Migrate runs the full migration and returns its report. The source domain
+// is left unpaused ("resumed at the destination"): in this simulator the
+// domain object represents the VM wherever it runs, while Dest holds the
+// destination host's copy of its memory for verification.
+func (s *Source) Migrate() (*Report, error) {
+	switch {
+	case s.Dom == nil:
+		return nil, errors.New("migration: source domain required")
+	case s.Dest == nil:
+		return nil, ErrNoDest
+	case s.Link == nil:
+		return nil, ErrNoLink
+	case s.Clock == nil:
+		return nil, ErrNoClock
+	case s.Cfg.Mode == ModeAppAssisted && s.LKM == nil:
+		return nil, ErrNoLKM
+	}
+	if s.Dest.Store.NumPages() != s.Dom.NumPages() {
+		return nil, fmt.Errorf("migration: destination has %d pages, source %d",
+			s.Dest.Store.NumPages(), s.Dom.NumPages())
+	}
+	s.Cfg.FillDefaults()
+	s.report = &Report{Mode: s.Cfg.Mode}
+	s.sentBytes = 0
+	s.ready = false
+	s.aborted = false
+
+	start := s.Clock.Now()
+	s.startedAt = start
+	if err := s.Dom.EnableLogDirty(); err != nil {
+		return nil, err
+	}
+	defer s.Dom.DisableLogDirty()
+
+	var ep *hypervisor.Endpoint
+	if s.Cfg.Mode == ModeAppAssisted {
+		ep = s.LKM.DaemonEndpoint()
+		ep.Bind(func(msg any) {
+			if ev, ok := msg.(guestos.EvSuspensionReady); ok {
+				s.ready = true
+				s.readyEv = ev
+			}
+		})
+		s.transfer = s.LKM.TransferBitmap()
+		ep.Notify(guestos.EvMigrationBegin{})
+	} else {
+		s.transfer = nil
+	}
+
+	if f := s.Cfg.ThrottleFactor; f > 0 && f < 1 {
+		if th, ok := s.Exec.(Throttleable); ok {
+			th.SetThrottle(f)
+			defer th.SetThrottle(1.0)
+		}
+	}
+
+	n := s.Dom.NumPages()
+	toSend := mem.NewBitmap(n)
+	toSend.SetAll() // iteration 1: all pages
+
+	s.sentOnce = nil
+	if s.Cfg.DeltaCompression {
+		s.sentOnce = mem.NewBitmap(n)
+		s.report.DeltaCacheBytes = n * mem.PageSize // one cached copy per page
+	}
+
+	var everDirty *mem.Bitmap
+	if s.Cfg.ConservativeLastIter {
+		everDirty = mem.NewBitmap(n)
+	}
+	newRound := func() {
+		s.Dom.PeekAndClear(toSend)
+		if everDirty != nil {
+			everDirty.Or(toSend)
+		}
+	}
+
+	abort := func() (*Report, error) {
+		if ep != nil {
+			ep.Notify(guestos.EvMigrationAborted{})
+		}
+		s.report.TotalTime = s.Clock.Now() - start
+		return s.report, ErrCancelled
+	}
+
+	iter := 1
+	for {
+		st := s.runIteration(iter, toSend, false)
+		s.report.Iterations = append(s.report.Iterations, st)
+		s.notifyIteration(st)
+		if s.aborted {
+			return abort()
+		}
+		if s.stopConditionMet(iter, st) {
+			break
+		}
+		iter++
+		newRound()
+	}
+
+	// Pre-suspension handshake (app-assisted): notify the LKM, run one more
+	// live round, then wait — without starting new dirty rounds — until the
+	// applications are suspension-ready and the final bitmap update is done.
+	if s.Cfg.Mode == ModeAppAssisted {
+		prepStart := s.Clock.Now()
+		ep.Notify(guestos.EvEnteringLastIter{})
+		iter++
+		newRound()
+		st := s.runIteration(iter, toSend, false)
+		if s.aborted {
+			return abort()
+		}
+		// The LKM's PrepareTimeout bounds this wait; the engine adds a hard
+		// backstop against a misconfigured (disabled) timeout.
+		waitDeadline := s.Clock.Now() + time.Minute
+		for !s.ready {
+			if s.cancelRequested() {
+				return abort()
+			}
+			if s.Clock.Now() >= waitDeadline {
+				return nil, errors.New("migration: guest never became suspension-ready")
+			}
+			s.advance(s.Cfg.IdleQuantum)
+		}
+		// The second-last iteration's duration includes the wait for the
+		// workload to reach a Safepoint and finish the enforced GC
+		// (Figure 8(b)).
+		st.Duration = s.Clock.Now() - st.Start
+		s.report.Iterations = append(s.report.Iterations, st)
+		s.notifyIteration(st)
+		s.report.PrepareWait = s.Clock.Now() - prepStart
+		s.report.FinalUpdate = s.readyEv.FinalUpdate
+		s.report.Fallbacks = s.readyEv.Fallbacks
+		// The final bitmap update runs with applications held; charge its
+		// (sub-millisecond) cost before pausing the VM.
+		s.Clock.Advance(s.report.FinalUpdate)
+	}
+
+	// Stop-and-copy.
+	if s.transfer != nil {
+		s.report.FinalTransfer = s.transfer.Clone()
+	} else {
+		s.report.FinalTransfer = mem.NewBitmap(n)
+		s.report.FinalTransfer.SetAll()
+	}
+	s.Dom.Pause()
+	pauseStart := s.Clock.Now()
+	s.Dom.PeekAndClear(toSend)
+	if everDirty != nil {
+		// Conservative mode: stop-and-copy considers every page dirtied
+		// at any point during migration.
+		toSend.Or(everDirty)
+	}
+	iter++
+	st := s.runIteration(iter, toSend, true)
+	s.report.Iterations = append(s.report.Iterations, st)
+	s.notifyIteration(st)
+	s.report.LastIterBytes = st.BytesOnWire
+
+	// Resumption: reconnect devices, activate at destination.
+	s.Clock.Advance(s.Cfg.ResumptionTime)
+	s.report.Resumption = s.Cfg.ResumptionTime
+	s.report.VMDowntime = s.Clock.Now() - pauseStart
+	s.Dom.Unpause()
+
+	if s.Cfg.Mode == ModeAppAssisted {
+		ep.Notify(guestos.EvVMResumed{})
+	}
+
+	s.report.TotalTime = s.Clock.Now() - start
+	return s.report, nil
+}
+
+// stopConditionMet decides, after a live iteration, whether to proceed to
+// stop-and-copy, using xc_domain_save's rules: few pages sent this round,
+// the iteration cap, or the traffic cap. (Xen keys on pages sent in the
+// round just finished, which is robust against momentary quiescence — a
+// guest paused inside a GC looks converged on an instantaneous dirty count
+// but not on round volume.)
+func (s *Source) stopConditionMet(iter int, st IterationStats) bool {
+	if iter >= s.Cfg.MaxIterations {
+		return true
+	}
+	if s.Cfg.MaxTrafficFactor > 0 &&
+		float64(s.sentBytes) >= s.Cfg.MaxTrafficFactor*float64(s.Dom.MemoryBytes()) {
+		return true
+	}
+	return st.PagesSent <= s.Cfg.DirtyPageThreshold
+}
+
+func scaleWire(w uint64, ratio float64) uint64 {
+	out := uint64(float64(w) * ratio)
+	if out == 0 {
+		out = 1
+	}
+	return out
+}
+
+// notifyIteration streams a completed iteration to the progress sink.
+func (s *Source) notifyIteration(st IterationStats) {
+	if s.Cfg.OnIteration != nil {
+		s.Cfg.OnIteration(st)
+	}
+}
+
+// cancelRequested reports whether the migration should abort now.
+func (s *Source) cancelRequested() bool {
+	if s.Cfg.CancelAfter > 0 && s.Clock.Now()-s.startedAt >= s.Cfg.CancelAfter {
+		return true
+	}
+	return s.Cfg.ShouldCancel != nil && s.Cfg.ShouldCancel()
+}
+
+// transferAllowed consults the transfer bitmap (paper §3.3.3): a cleared bit
+// means skip, even if dirty.
+func (s *Source) transferAllowed(p mem.PFN) bool {
+	return s.transfer == nil || s.transfer.Test(p)
+}
+
+// advance moves virtual time forward by d, running the guest if it is not
+// paused.
+func (s *Source) advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s.Exec != nil && !s.Dom.Paused() {
+		s.Exec.Run(d)
+		return
+	}
+	s.Clock.Advance(d)
+}
+
+// runIteration scans the to-send set once, pushing transferable pages to the
+// destination in chunks and interleaving guest execution.
+func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) IterationStats {
+	st := IterationStats{
+		Index:           index,
+		Start:           s.Clock.Now(),
+		Last:            last,
+		PagesConsidered: toSend.Count(),
+	}
+	dirtyBefore := s.Dom.DirtyEvents()
+
+	rawWire := s.Dom.Store().WireSize()
+	// pageWire returns a page's wire size and compression CPU cost under
+	// the active policy.
+	pageWire := func(p mem.PFN) (uint64, time.Duration) {
+		if s.sentOnce != nil {
+			if s.sentOnce.Test(p) {
+				s.report.DeltaResends++
+				return scaleWire(rawWire, s.Cfg.DeltaRatio), s.Cfg.DeltaCostPerPage
+			}
+			s.sentOnce.Set(p)
+		}
+		if s.Cfg.HintedCompression && s.HintFor != nil {
+			switch s.HintFor(p) {
+			case guestos.HintFast:
+				return scaleWire(rawWire, 0.6), 3 * time.Microsecond
+			case guestos.HintStrong:
+				return scaleWire(rawWire, 0.35), 12 * time.Microsecond
+			case guestos.HintNone:
+				return rawWire, 0
+			}
+		}
+		if s.Cfg.Compress {
+			return scaleWire(rawWire, s.Cfg.CompressionRatio), s.Cfg.CompressCostPerPage
+		}
+		return rawWire, 0
+	}
+
+	type pagePayload struct {
+		pfn     mem.PFN
+		payload []byte
+	}
+	chunk := make([]pagePayload, 0, s.Cfg.ChunkPages)
+	var chunkWire uint64
+
+	flush := func() {
+		if len(chunk) == 0 {
+			return
+		}
+		d := s.Link.Send(chunkWire)
+		st.PagesSent += uint64(len(chunk))
+		st.BytesOnWire += chunkWire
+		s.sentBytes += chunkWire
+		s.report.TotalPagesSent += uint64(len(chunk))
+		s.report.CPUTime += time.Duration(len(chunk)) * s.Cfg.PageCopyCost
+		for _, pp := range chunk {
+			s.Dest.receive(pp.pfn, pp.payload)
+		}
+		chunk = chunk[:0]
+		chunkWire = 0
+		s.advance(d)
+		// Cancellation is honoured at chunk boundaries during live
+		// iterations; stop-and-copy always runs to completion.
+		if !last && s.cancelRequested() {
+			s.aborted = true
+		}
+	}
+
+	toSend.Range(func(p mem.PFN) bool {
+		if s.aborted {
+			return false
+		}
+		s.report.CPUTime += s.Cfg.PageExamineCost
+		if !s.transferAllowed(p) {
+			st.PagesSkippedBitmap++
+			return true
+		}
+		if s.Cfg.SkipFreePages && s.GuestFree != nil && s.GuestFree(p) {
+			// Free-list pages carry no meaningful content; if the guest
+			// reallocates one it is zeroed (written) and caught by a later
+			// round.
+			st.PagesSkippedFree++
+			return true
+		}
+		if !last && s.Dom.DirtyNow(p) {
+			// Already re-dirtied this round: sending now would be wasted —
+			// the next round resends it (Figure 9, "already dirtied").
+			st.PagesSkippedDirty++
+			return true
+		}
+		w, compressCPU := pageWire(p)
+		chunkWire += w
+		s.report.CPUTime += compressCPU
+		chunk = append(chunk, pagePayload{pfn: p, payload: s.Dom.Store().Export(p)})
+		if uint64(len(chunk)) >= s.Cfg.ChunkPages {
+			flush()
+		}
+		return true
+	})
+	flush()
+
+	st.Duration = s.Clock.Now() - st.Start
+	st.PagesDirtiedDuring = s.Dom.DirtyEvents() - dirtyBefore
+	return st
+}
+
+// Destination is the receiving host's view of the migration: its own copy of
+// the VM's memory.
+type Destination struct {
+	Store          mem.PageStore
+	PagesReceived  uint64
+	BytesReceived  uint64
+	ImportFailures int
+
+	tee       *netsim.PageWriter
+	teeErrors int
+}
+
+// NewDestination returns a destination with zeroed memory of n pages,
+// version-backed like the simulated source.
+func NewDestination(n uint64) *Destination {
+	return &Destination{Store: mem.NewVersionStore(n)}
+}
+
+// NewDestinationWithStore uses a caller-provided store (e.g. a byte-backed
+// store in the TCP integration tests).
+func NewDestinationWithStore(store mem.PageStore) *Destination {
+	return &Destination{Store: store}
+}
+
+// ReceiveCheckpointPage imports a page pushed outside a migration — the
+// replication package's checkpoint stream uses the same destination
+// machinery (and Tee mirroring) as migration.
+func (d *Destination) ReceiveCheckpointPage(p mem.PFN, payload []byte) {
+	d.receive(p, payload)
+}
+
+func (d *Destination) receive(p mem.PFN, payload []byte) {
+	if err := d.Store.Import(p, payload); err != nil {
+		d.ImportFailures++
+		return
+	}
+	d.PagesReceived++
+	d.BytesReceived += uint64(len(payload))
+	if d.tee != nil {
+		if err := d.tee.WritePage(p, payload); err != nil {
+			d.teeErrors++
+		}
+	}
+}
+
+// VerifyMigration checks the migration correctness invariant (DESIGN.md §6):
+// every page the destination may legally observe must carry the source's
+// final content. required(p) reports whether page p's content matters after
+// resume (typically: the frame is still allocated in the guest); pages with
+// a cleared final transfer bit were declared skippable by their application
+// and are exempt.
+func VerifyMigration(src, dst mem.PageStore, finalTransfer *mem.Bitmap, required func(mem.PFN) bool) error {
+	if src.NumPages() != dst.NumPages() {
+		return fmt.Errorf("migration: page count mismatch: src %d dst %d", src.NumPages(), dst.NumPages())
+	}
+	var bad []mem.PFN
+	for p := mem.PFN(0); uint64(p) < src.NumPages(); p++ {
+		if !finalTransfer.Test(p) {
+			continue // skipped by application consent
+		}
+		if required != nil && !required(p) {
+			continue // e.g. freed frame: content irrelevant until rewritten
+		}
+		if src.Version(p) != dst.Version(p) {
+			bad = append(bad, p)
+			if len(bad) >= 8 {
+				break
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("migration: %d+ pages diverge at destination (first: %v)", len(bad), bad)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package migration
+
+import (
+	"time"
+
+	"javmm/internal/mem"
+)
+
+// Post-copy live migration, the related-work baseline of paper §2 (Hines &
+// Gopalan; Hirofuchi et al.): skip the pre-copy stage entirely, move the VM
+// immediately, and bring its memory over afterwards — pages the guest
+// touches before they arrive are demand-fetched from the source, while a
+// background pre-paging stream pushes the rest.
+//
+// Downtime is minimal by construction (only the CPU/device state moves
+// synchronously), but the resumed VM runs degraded until its working set is
+// resident: every fault costs a network round trip plus a page transfer.
+// The paper's framing — post-copy "skips over all memory pages ... incurring
+// performance penalties" — is exactly what the X8 ablation measures against
+// JAVMM.
+
+// PostCopyStats extends a Report for post-copy runs.
+type PostCopyStats struct {
+	// Faults is the number of demand fetches (guest touched a
+	// not-yet-resident page).
+	Faults uint64
+	// FaultStall is the cumulative guest stall from demand fetches.
+	FaultStall time.Duration
+	// PrefetchPages is the number of pages moved by background pre-paging.
+	PrefetchPages uint64
+	// ResidentAt is the virtual time (from migration start) at which every
+	// page had arrived at the destination.
+	ResidentAt time.Duration
+}
+
+// cpuStateBytes models the vCPU/device state moved during the post-copy
+// switchover.
+const cpuStateBytes = 2 << 20
+
+// MigratePostCopy migrates the VM post-copy style and returns the report
+// (with Report.PostCopy set). The transfer bitmap is not consulted: this is
+// the application-agnostic baseline.
+func (s *Source) MigratePostCopy() (*Report, error) {
+	switch {
+	case s.Dom == nil:
+		return nil, ErrNoDest
+	case s.Dest == nil:
+		return nil, ErrNoDest
+	case s.Link == nil:
+		return nil, ErrNoLink
+	case s.Clock == nil:
+		return nil, ErrNoClock
+	}
+	s.Cfg.FillDefaults()
+	n := s.Dom.NumPages()
+	s.report = &Report{Mode: s.Cfg.Mode}
+	pc := &PostCopyStats{}
+	s.report.PostCopy = pc
+	start := s.Clock.Now()
+
+	// Switchover: pause, move CPU/device state, resume at the destination.
+	s.Dom.Pause()
+	pauseStart := s.Clock.Now()
+	s.Clock.Advance(s.Link.Send(cpuStateBytes))
+	s.Clock.Advance(s.Cfg.ResumptionTime)
+	s.report.Resumption = s.Cfg.ResumptionTime
+	s.report.VMDowntime = s.Clock.Now() - pauseStart
+	s.Dom.Unpause()
+
+	resident := mem.NewBitmap(n)
+	var stallDebt time.Duration
+	wire := s.Dom.Store().WireSize()
+
+	fetch := func(p mem.PFN) time.Duration {
+		d := s.Link.RoundTrip() + s.Link.Send(wire)
+		s.Dest.receive(p, s.Dom.Store().Export(p))
+		resident.Set(p)
+		return d
+	}
+
+	s.Dom.SetPageFaultHook(func(p mem.PFN) {
+		if resident.Test(p) {
+			return
+		}
+		pc.Faults++
+		// The faulting vCPU stalls for a round trip plus the transfer;
+		// the debt is charged to guest time between prefetch chunks.
+		stallDebt += fetch(p)
+	})
+	defer s.Dom.SetPageFaultHook(nil)
+
+	// Background pre-paging: push non-resident pages in ascending order,
+	// interleaving guest execution (which triggers demand faults).
+	st := IterationStats{Index: 1, Start: s.Clock.Now(), Last: true}
+	cursor := mem.PFN(0)
+	chunk := s.Cfg.ChunkPages
+	for resident.Count() < n {
+		var pushed uint64
+		for pushed < chunk && cursor < mem.PFN(n) {
+			if !resident.Test(cursor) {
+				d := s.Link.Send(wire)
+				s.Dest.receive(cursor, s.Dom.Store().Export(cursor))
+				resident.Set(cursor)
+				pc.PrefetchPages++
+				pushed++
+				st.PagesSent++
+				st.BytesOnWire += wire
+				s.report.TotalPagesSent++
+				s.report.CPUTime += s.Cfg.PageCopyCost
+				// The guest runs while the push is in flight...
+				s.advance(d)
+				// ...and pays off any fault stalls it accumulated.
+				if stallDebt > 0 {
+					s.Clock.Advance(stallDebt)
+					pc.FaultStall += stallDebt
+					stallDebt = 0
+				}
+			}
+			cursor++
+		}
+		if cursor >= mem.PFN(n) {
+			cursor = 0 // demand faults may have left holes behind the cursor
+		}
+	}
+	pc.ResidentAt = s.Clock.Now() - start
+
+	// Fault fetches moved pages outside the iteration accounting; fold
+	// their traffic in for TotalBytes consistency.
+	st.BytesOnWire += pc.Faults * wire
+	st.PagesSent += pc.Faults
+	s.report.TotalPagesSent += pc.Faults
+	st.Duration = s.Clock.Now() - st.Start
+	st.PagesConsidered = n
+	s.report.Iterations = append(s.report.Iterations, st)
+	s.report.LastIterBytes = st.BytesOnWire
+
+	s.report.FinalTransfer = mem.NewBitmap(n)
+	s.report.FinalTransfer.SetAll()
+	s.report.TotalTime = s.Clock.Now() - start
+	return s.report, nil
+}

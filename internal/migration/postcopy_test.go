@@ -1,0 +1,98 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"javmm/internal/mem"
+)
+
+func TestPostCopyIdleGuest(t *testing.T) {
+	r := newRig(4096, 50*1000*1000)
+	rep, err := r.source(Config{}, nil).MigratePostCopy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := rep.PostCopy
+	if pc == nil {
+		t.Fatal("no post-copy stats")
+	}
+	if pc.Faults != 0 {
+		t.Fatalf("idle guest faulted %d times", pc.Faults)
+	}
+	if pc.PrefetchPages != 4096 {
+		t.Fatalf("prefetched %d pages, want all 4096", pc.PrefetchPages)
+	}
+	// Every page reached the destination transport record.
+	if r.dest.PagesReceived != 4096 {
+		t.Fatalf("destination received %d pages", r.dest.PagesReceived)
+	}
+	// Downtime is only the switchover: CPU state + resumption.
+	if rep.VMDowntime > time.Second {
+		t.Fatalf("post-copy downtime = %v", rep.VMDowntime)
+	}
+}
+
+func TestPostCopyDemandFaults(t *testing.T) {
+	r := newRig(8192, 20*1000*1000)
+	hot := mem.VARange{Start: 0x1000000, End: 0x1000000 + 2048*mem.PageSize}
+	sc := newScribbler(r.guest, r.clock, hot, 30000)
+	rep, err := r.source(Config{}, sc).MigratePostCopy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := rep.PostCopy
+	if pc.Faults == 0 {
+		t.Fatal("write-heavy guest never faulted")
+	}
+	if pc.FaultStall <= 0 {
+		t.Fatal("faults produced no stall")
+	}
+	if pc.Faults+pc.PrefetchPages != 8192 {
+		t.Fatalf("faults %d + prefetch %d != 8192 pages", pc.Faults, pc.PrefetchPages)
+	}
+	if pc.ResidentAt <= 0 || pc.ResidentAt > rep.TotalTime {
+		t.Fatalf("ResidentAt = %v of %v", pc.ResidentAt, rep.TotalTime)
+	}
+	// Post-copy moves each page exactly once: traffic ≈ memory size
+	// (plus the switchover state).
+	limit := float64(8192*mem.PageSize) * 1.05
+	if got := rep.TotalBytes(); float64(got) > limit {
+		t.Fatalf("post-copy traffic %d well above one memory size", got)
+	}
+}
+
+func TestPostCopyDowntimeBeatsPreCopyForFastDirtier(t *testing.T) {
+	hot := mem.VARange{Start: 0x1000000, End: 0x1000000 + 1024*mem.PageSize}
+
+	pre := newRig(4096, 10*1000*1000)
+	scPre := newScribbler(pre.guest, pre.clock, hot, 20000)
+	preRep, err := pre.source(Config{Mode: ModeVanilla}, scPre).Migrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := newRig(4096, 10*1000*1000)
+	scPost := newScribbler(post.guest, post.clock, hot, 20000)
+	postRep, err := post.source(Config{}, scPost).MigratePostCopy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if postRep.VMDowntime >= preRep.VMDowntime {
+		t.Fatalf("post-copy downtime %v not below pre-copy %v",
+			postRep.VMDowntime, preRep.VMDowntime)
+	}
+	// But the guest pays: stalls while the working set is non-resident.
+	if postRep.PostCopy.FaultStall == 0 {
+		t.Fatal("no degradation recorded for post-copy")
+	}
+}
+
+func TestPostCopyValidation(t *testing.T) {
+	r := newRig(64, 1000)
+	src := r.source(Config{}, nil)
+	src.Link = nil
+	if _, err := src.MigratePostCopy(); err == nil {
+		t.Fatal("missing link accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package migration
+
+import (
+	"fmt"
+	"io"
+
+	"javmm/internal/mem"
+	"javmm/internal/netsim"
+)
+
+// Tee mirrors every page the destination receives onto a page-stream writer,
+// so a real remote process (connected over TCP, a pipe, or any io.Writer)
+// can reconstruct the VM's memory from the stream. Integration tests use it
+// to check end-to-end byte equality of a migration across an actual network
+// connection; the simulated Link still governs timing.
+//
+// The caller owns stream termination: after Migrate returns, call
+// (*netsim.PageWriter).EndStream to flush and finish the remote side.
+func (d *Destination) Tee(w *netsim.PageWriter) { d.tee = w }
+
+// TeeErrors returns the number of frames that failed to write to the tee.
+func (d *Destination) TeeErrors() int { return d.teeErrors }
+
+// ReceiveIntoStore drains a page stream into store until end-of-stream,
+// returning the number of page frames applied. It is the receive loop a real
+// destination host runs.
+func ReceiveIntoStore(r io.Reader, store mem.PageStore) (uint64, error) {
+	pr := netsim.NewPageReader(r)
+	var pages uint64
+	for {
+		f, err := pr.Next()
+		if err != nil {
+			return pages, fmt.Errorf("migration: receiving page stream: %w", err)
+		}
+		switch f.Kind {
+		case netsim.FramePage:
+			if uint64(f.PFN) >= store.NumPages() {
+				return pages, fmt.Errorf("migration: stream carries PFN %d beyond memory (%d pages)",
+					f.PFN, store.NumPages())
+			}
+			if err := store.Import(f.PFN, f.Payload); err != nil {
+				return pages, fmt.Errorf("migration: importing page %d: %w", f.PFN, err)
+			}
+			pages++
+		case netsim.FrameEndIteration:
+			// Round boundaries are informational on the receive side.
+		case netsim.FrameEndStream:
+			return pages, nil
+		}
+	}
+}

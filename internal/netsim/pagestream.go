@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"javmm/internal/mem"
+)
+
+// The page-stream wire protocol carries migrated pages between real
+// processes (or goroutines) over any io.ReadWriter, typically a TCP
+// connection. Integration tests use it with byte-backed page stores to check
+// end-to-end content equality of a migration — the property the simulated
+// experiments assert via version stamps.
+//
+// Frame layout (big-endian):
+//
+//	kind   uint8   1 = page, 2 = end-of-iteration, 3 = end-of-stream
+//	pfn    uint64  (page frames only)
+//	length uint32  payload length (page frames only)
+//	payload bytes
+const (
+	framePage         = 1
+	frameEndIteration = 2
+	frameEndStream    = 3
+)
+
+// A Frame is one decoded protocol message.
+type Frame struct {
+	Kind    uint8
+	PFN     mem.PFN
+	Payload []byte
+}
+
+// PageWriter encodes frames onto a stream.
+type PageWriter struct {
+	w *bufio.Writer
+}
+
+// NewPageWriter returns a writer encoding onto w.
+func NewPageWriter(w io.Writer) *PageWriter {
+	return &PageWriter{w: bufio.NewWriter(w)}
+}
+
+// WritePage sends one page frame.
+func (pw *PageWriter) WritePage(p mem.PFN, payload []byte) error {
+	var hdr [13]byte
+	hdr[0] = framePage
+	binary.BigEndian.PutUint64(hdr[1:9], uint64(p))
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(payload)
+	return err
+}
+
+// EndIteration marks a pre-copy round boundary.
+func (pw *PageWriter) EndIteration() error {
+	return pw.w.WriteByte(frameEndIteration)
+}
+
+// EndStream marks migration completion and flushes buffered frames.
+func (pw *PageWriter) EndStream() error {
+	if err := pw.w.WriteByte(frameEndStream); err != nil {
+		return err
+	}
+	return pw.w.Flush()
+}
+
+// Flush pushes buffered frames to the underlying stream.
+func (pw *PageWriter) Flush() error { return pw.w.Flush() }
+
+// PageReader decodes frames from a stream.
+type PageReader struct {
+	r *bufio.Reader
+}
+
+// NewPageReader returns a reader decoding from r.
+func NewPageReader(r io.Reader) *PageReader {
+	return &PageReader{r: bufio.NewReader(r)}
+}
+
+// maxFramePayload bounds payload allocations against corrupt headers.
+const maxFramePayload = 1 << 20
+
+// Next reads the next frame. At end-of-stream it returns a frame with
+// Kind == frameEndStream and nil error; subsequent calls return io.EOF.
+func (pr *PageReader) Next() (Frame, error) {
+	kind, err := pr.r.ReadByte()
+	if err != nil {
+		return Frame{}, err
+	}
+	switch kind {
+	case frameEndIteration, frameEndStream:
+		return Frame{Kind: kind}, nil
+	case framePage:
+		var hdr [12]byte
+		if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+			return Frame{}, fmt.Errorf("netsim: truncated page header: %w", err)
+		}
+		pfn := mem.PFN(binary.BigEndian.Uint64(hdr[:8]))
+		n := binary.BigEndian.Uint32(hdr[8:12])
+		if n > maxFramePayload {
+			return Frame{}, fmt.Errorf("netsim: page payload %d exceeds limit", n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(pr.r, payload); err != nil {
+			return Frame{}, fmt.Errorf("netsim: truncated page payload: %w", err)
+		}
+		return Frame{Kind: framePage, PFN: pfn, Payload: payload}, nil
+	default:
+		return Frame{}, fmt.Errorf("netsim: unknown frame kind %d", kind)
+	}
+}
+
+// FrameKind helpers exported for tests and the migration engine.
+const (
+	FramePage         = framePage
+	FrameEndIteration = frameEndIteration
+	FrameEndStream    = frameEndStream
+)

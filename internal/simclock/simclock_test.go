@@ -1,0 +1,192 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroClockStartsAtZero(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvanceAccumulates(t *testing.T) {
+	c := New()
+	c.Advance(3 * time.Second)
+	c.Advance(250 * time.Millisecond)
+	if got, want := c.Now(), 3250*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	New().Advance(-time.Nanosecond)
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New()
+	c.AdvanceTo(5 * time.Second)
+	if got := c.Now(); got != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", got)
+	}
+}
+
+func TestAdvanceToPastPanics(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past did not panic")
+		}
+	}()
+	c.AdvanceTo(500 * time.Millisecond)
+}
+
+func TestAfterFuncFiresAtDeadline(t *testing.T) {
+	c := New()
+	var firedAt time.Duration = -1
+	c.AfterFunc(2*time.Second, func(now time.Duration) { firedAt = now })
+	c.Advance(time.Second)
+	if firedAt != -1 {
+		t.Fatalf("timer fired early at %v", firedAt)
+	}
+	c.Advance(3 * time.Second)
+	if firedAt != 2*time.Second {
+		t.Fatalf("timer fired at %v, want 2s", firedAt)
+	}
+}
+
+func TestTimersFireInDeadlineOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.AfterFunc(3*time.Second, func(time.Duration) { order = append(order, 3) })
+	c.AfterFunc(1*time.Second, func(time.Duration) { order = append(order, 1) })
+	c.AfterFunc(2*time.Second, func(time.Duration) { order = append(order, 2) })
+	c.Advance(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameDeadlineFiresInCreationOrder(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.AfterFunc(time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("fire order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := New()
+	fired := false
+	tm := c.AfterFunc(time.Second, func(time.Duration) { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	c.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	c := New()
+	tm := c.AfterFunc(time.Second, func(time.Duration) {})
+	c.Advance(2 * time.Second)
+	if tm.Stop() {
+		t.Fatal("Stop() = true on fired timer")
+	}
+}
+
+func TestTimerFiringCanScheduleTimers(t *testing.T) {
+	c := New()
+	var times []time.Duration
+	c.AfterFunc(time.Second, func(now time.Duration) {
+		times = append(times, now)
+		c.AfterFunc(time.Second, func(now time.Duration) {
+			times = append(times, now)
+		})
+	})
+	c.Advance(5 * time.Second)
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("chained timers fired at %v, want [1s 2s]", times)
+	}
+}
+
+func TestPendingSorted(t *testing.T) {
+	c := New()
+	c.AfterFunc(3*time.Second, func(time.Duration) {})
+	c.AfterFunc(1*time.Second, func(time.Duration) {})
+	got := c.Pending()
+	if len(got) != 2 || got[0] != time.Second || got[1] != 3*time.Second {
+		t.Fatalf("Pending() = %v", got)
+	}
+}
+
+func TestStopwatchElapsed(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	sw := NewStopwatch(c)
+	c.Advance(4 * time.Second)
+	if got := sw.Elapsed(); got != 4*time.Second {
+		t.Fatalf("Elapsed() = %v, want 4s", got)
+	}
+}
+
+func TestStopwatchExcludesPauses(t *testing.T) {
+	c := New()
+	sw := NewStopwatch(c)
+	c.Advance(2 * time.Second)
+	sw.Pause()
+	c.Advance(3 * time.Second)
+	sw.Resume()
+	c.Advance(1 * time.Second)
+	if got := sw.Elapsed(); got != 6*time.Second {
+		t.Fatalf("Elapsed() = %v, want 6s", got)
+	}
+	if got := sw.Active(); got != 3*time.Second {
+		t.Fatalf("Active() = %v, want 3s", got)
+	}
+}
+
+func TestStopwatchActiveDuringPause(t *testing.T) {
+	c := New()
+	sw := NewStopwatch(c)
+	c.Advance(time.Second)
+	sw.Pause()
+	c.Advance(time.Second)
+	if got := sw.Active(); got != time.Second {
+		t.Fatalf("Active() mid-pause = %v, want 1s", got)
+	}
+}
+
+func TestStopwatchDoublePauseResumeAreIdempotent(t *testing.T) {
+	c := New()
+	sw := NewStopwatch(c)
+	sw.Pause()
+	sw.Pause()
+	c.Advance(time.Second)
+	sw.Resume()
+	sw.Resume()
+	c.Advance(time.Second)
+	if got := sw.Active(); got != time.Second {
+		t.Fatalf("Active() = %v, want 1s", got)
+	}
+}

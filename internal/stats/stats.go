@@ -1,0 +1,115 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: means, standard deviations and the 90 % confidence intervals
+// the paper reports on its bar graphs (§5.1: "we report the average of the
+// measurements, and show 90% confidence intervals").
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two values.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// tTable holds two-sided 90 % critical values of Student's t distribution by
+// degrees of freedom; experiments repeat runs at least three times (df ≥ 2).
+var tTable = map[int]float64{
+	1: 6.314, 2: 2.920, 3: 2.353, 4: 2.132, 5: 2.015,
+	6: 1.943, 7: 1.895, 8: 1.860, 9: 1.833, 10: 1.812,
+}
+
+// tCrit returns the 90 % two-sided critical value for df degrees of freedom,
+// falling back to the normal approximation for large df.
+func tCrit(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if v, ok := tTable[df]; ok {
+		return v
+	}
+	return 1.645
+}
+
+// CI90 returns the mean and the half-width of its 90 % confidence interval.
+func CI90(xs []float64) (mean, half float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	half = tCrit(len(xs)-1) * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, half
+}
+
+// MeanDuration returns the mean of durations.
+func MeanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var s time.Duration
+	for _, d := range ds {
+		s += d
+	}
+	return s / time.Duration(len(ds))
+}
+
+// DurationsToSeconds converts durations to float seconds for CI math.
+func DurationsToSeconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// Min returns the smallest value, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

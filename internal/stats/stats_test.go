@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Known sample: {2,4,4,4,5,5,7,9} has sample stddev ~2.138.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); math.Abs(got-2.13809) > 1e-4 {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-value StdDev != 0")
+	}
+}
+
+func TestCI90KnownValues(t *testing.T) {
+	// Three runs: mean 10, sd 1 → half = 2.920 * 1/sqrt(3) = 1.6859.
+	mean, half := CI90([]float64{9, 10, 11})
+	if !almost(mean, 10) {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(half-2.920/math.Sqrt(3)) > 1e-9 {
+		t.Fatalf("half = %v", half)
+	}
+	_, zero := CI90([]float64{5})
+	if zero != 0 {
+		t.Fatal("single-value CI not zero")
+	}
+}
+
+func TestCIShrinksWithMoreSamples(t *testing.T) {
+	three := []float64{9, 10, 11}
+	nine := []float64{9, 10, 11, 9, 10, 11, 9, 10, 11}
+	_, h3 := CI90(three)
+	_, h9 := CI90(nine)
+	if h9 >= h3 {
+		t.Fatalf("CI did not shrink: %v -> %v", h3, h9)
+	}
+}
+
+func TestTCritFallback(t *testing.T) {
+	if tCrit(0) != 0 {
+		t.Fatal("df=0 crit nonzero")
+	}
+	if tCrit(50) != 1.645 {
+		t.Fatal("large-df fallback wrong")
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	if MeanDuration(nil) != 0 {
+		t.Fatal("MeanDuration(nil) != 0")
+	}
+	got := MeanDuration([]time.Duration{time.Second, 3 * time.Second})
+	if got != 2*time.Second {
+		t.Fatalf("MeanDuration = %v", got)
+	}
+}
+
+func TestDurationsToSeconds(t *testing.T) {
+	got := DurationsToSeconds([]time.Duration{1500 * time.Millisecond})
+	if len(got) != 1 || !almost(got[0], 1.5) {
+		t.Fatalf("DurationsToSeconds = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatal("Min/Max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max not zero")
+	}
+}
+
+// Property: mean lies within [min, max]; stddev is non-negative and zero for
+// constant slices.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6 && StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

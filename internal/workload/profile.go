@@ -1,0 +1,312 @@
+// Package workload provides synthetic equivalents of the SPECjvm2008
+// workloads the paper evaluates (Table 1), a driver that executes them
+// against the simulated JVM under virtual time, and the external throughput
+// analyzer of §5.1.
+//
+// Each profile is calibrated against the paper's measurements: the observed
+// young/old generation sizes of Tables 2 and 3, the garbage ratios and GC
+// durations of Figure 5, and the category taxonomy of §5.3 (category 1: high
+// allocation rate, short-lived objects; category 2: medium allocation rate;
+// category 3: low allocation rate, long-lived objects).
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Category is the paper's §5.3 workload taxonomy.
+type Category int
+
+// Workload categories.
+const (
+	// Category1 workloads have high object allocation rates and mostly
+	// short-lived objects; the young generation grows to its maximum.
+	Category1 Category = 1
+	// Category2 workloads have medium allocation rates and mostly
+	// short-lived objects.
+	Category2 Category = 2
+	// Category3 workloads have low allocation rates and mostly long-lived
+	// objects: small young generation, large old generation.
+	Category3 Category = 3
+)
+
+// Profile describes one workload's heap behaviour and execution rates.
+type Profile struct {
+	Name        string
+	Description string // Table 1 text
+	Category    Category
+
+	// AllocBytesPerSec is the object allocation rate.
+	AllocBytesPerSec uint64
+	// OpsPerSec is the benchmark operation completion rate at full speed
+	// (the y-axis of Figure 11).
+	OpsPerSec float64
+
+	// Survival model.
+	EdenSurvival     float64
+	SurvivorSurvival float64
+	TenureThreshold  int
+
+	// Heap sizing.
+	InitialYoungBytes uint64
+	MaxYoungBytes     uint64 // -Xmn (varied in Table 3)
+	MaxOldBytes       uint64
+	OldSeedBytes      uint64 // long-lived data resident at migration time
+
+	// Background dirtying.
+	OldMutatePagesPerSec float64 // in-place updates of old-gen data
+	// OldHotBytes confines old-gen mutation to a cyclically-rewritten hot
+	// region (numeric kernels); zero spreads it uniformly.
+	OldHotBytes       uint64
+	JITPagesPerSec    float64 // code cache churn
+	KernelPagesPerSec float64 // guest kernel housekeeping
+
+	// SafepointDelay is the time Java threads take to reach a Safepoint
+	// (0.7 s for compiler in Figure 8(b)).
+	SafepointDelay time.Duration
+
+	// GC duration model overrides (zero = jvm package defaults).
+	MinorGCBase   time.Duration
+	MinorCopyNsPB float64
+	MinorScanNsPB float64
+
+	// WriteTrapCost is the guest-side cost of one log-dirty write fault,
+	// which degrades throughput while migration runs (§1 reports >20 %
+	// degradation for derby under vanilla Xen migration).
+	WriteTrapCost time.Duration
+}
+
+const (
+	mib = 1 << 20
+	gib = 1 << 30
+)
+
+// Catalog returns the nine SPECjvm2008-like workloads of Table 1, calibrated
+// to the paper's heap profile (Figure 5) and experimental settings (Tables 2
+// and 3).
+func Catalog() []Profile {
+	return []Profile{
+		{
+			Name:        "derby",
+			Description: "Apache Derby database with business logic",
+			Category:    Category1,
+
+			AllocBytesPerSec: 280 * mib,
+			OpsPerSec:        0.65,
+			EdenSurvival:     0.013,
+			SurvivorSurvival: 0.5,
+			TenureThreshold:  4,
+
+			InitialYoungBytes: 64 * mib,
+			MaxYoungBytes:     1 * gib,
+			MaxOldBytes:       768 * mib,
+			OldSeedBytes:      140 * mib,
+
+			OldMutatePagesPerSec: 400,
+			JITPagesPerSec:       20,
+			KernelPagesPerSec:    200,
+			SafepointDelay:       120 * time.Millisecond,
+			WriteTrapCost:        2500 * time.Nanosecond,
+		},
+		{
+			Name:        "compiler",
+			Description: "OpenJDK 7 front-end compiler",
+			Category:    Category1,
+
+			AllocBytesPerSec: 230 * mib,
+			OpsPerSec:        1.4,
+			EdenSurvival:     0.05,
+			SurvivorSurvival: 0.55,
+			TenureThreshold:  4,
+
+			InitialYoungBytes: 64 * mib,
+			MaxYoungBytes:     1 * gib,
+			MaxOldBytes:       512 * mib,
+			OldSeedBytes:      50 * mib,
+
+			OldMutatePagesPerSec: 150,
+			JITPagesPerSec:       40,
+			KernelPagesPerSec:    200,
+			SafepointDelay:       700 * time.Millisecond,
+			WriteTrapCost:        2 * time.Microsecond,
+		},
+		{
+			Name:        "xml",
+			Description: "Apply style sheets to XML documents",
+			Category:    Category1,
+
+			AllocBytesPerSec: 410 * mib,
+			OpsPerSec:        2.1,
+			EdenSurvival:     0.01,
+			SurvivorSurvival: 0.4,
+			TenureThreshold:  4,
+
+			InitialYoungBytes: 96 * mib,
+			MaxYoungBytes:     1536 * mib,
+			MaxOldBytes:       256 * mib,
+			OldSeedBytes:      20 * mib,
+
+			OldMutatePagesPerSec: 80,
+			JITPagesPerSec:       20,
+			KernelPagesPerSec:    200,
+			SafepointDelay:       80 * time.Millisecond,
+			WriteTrapCost:        2 * time.Microsecond,
+		},
+		{
+			Name:        "sunflow",
+			Description: "An open-source image rendering system",
+			Category:    Category1,
+
+			AllocBytesPerSec: 250 * mib,
+			OpsPerSec:        1.8,
+			EdenSurvival:     0.02,
+			SurvivorSurvival: 0.5,
+			TenureThreshold:  4,
+
+			InitialYoungBytes: 64 * mib,
+			MaxYoungBytes:     1 * gib,
+			MaxOldBytes:       384 * mib,
+			OldSeedBytes:      40 * mib,
+
+			OldMutatePagesPerSec: 120,
+			JITPagesPerSec:       30,
+			KernelPagesPerSec:    200,
+			SafepointDelay:       100 * time.Millisecond,
+			WriteTrapCost:        2 * time.Microsecond,
+		},
+		{
+			Name:        "serial",
+			Description: "Serialize and deserialize primitives and objects",
+			Category:    Category2,
+
+			AllocBytesPerSec: 130 * mib,
+			OpsPerSec:        3.2,
+			EdenSurvival:     0.02,
+			SurvivorSurvival: 0.5,
+			TenureThreshold:  4,
+
+			InitialYoungBytes: 64 * mib,
+			MaxYoungBytes:     1 * gib,
+			MaxOldBytes:       256 * mib,
+			OldSeedBytes:      35 * mib,
+
+			OldMutatePagesPerSec: 150,
+			JITPagesPerSec:       20,
+			KernelPagesPerSec:    200,
+			SafepointDelay:       60 * time.Millisecond,
+			WriteTrapCost:        2 * time.Microsecond,
+		},
+		{
+			Name:        "crypto",
+			Description: "Sign and verify with cryptographic hashes",
+			Category:    Category2,
+
+			AllocBytesPerSec: 132 * mib,
+			OpsPerSec:        2.7,
+			EdenSurvival:     0.015,
+			SurvivorSurvival: 0.5,
+			TenureThreshold:  4,
+
+			InitialYoungBytes: 64 * mib,
+			MaxYoungBytes:     1 * gib,
+			MaxOldBytes:       256 * mib,
+			OldSeedBytes:      16 * mib,
+
+			OldMutatePagesPerSec: 60,
+			JITPagesPerSec:       15,
+			KernelPagesPerSec:    200,
+			SafepointDelay:       50 * time.Millisecond,
+			WriteTrapCost:        2 * time.Microsecond,
+		},
+		{
+			Name:        "scimark",
+			Description: "Compute the LU factorization of matrices",
+			Category:    Category3,
+
+			AllocBytesPerSec: 25 * mib,
+			OpsPerSec:        0.3,
+			EdenSurvival:     0.3,
+			SurvivorSurvival: 0.3,
+			TenureThreshold:  2,
+
+			InitialYoungBytes: 64 * mib,
+			MaxYoungBytes:     1 * gib,
+			MaxOldBytes:       640 * mib,
+			OldSeedBytes:      420 * mib,
+
+			OldMutatePagesPerSec: 44000,
+			OldHotBytes:          128 * mib,
+			JITPagesPerSec:       10,
+			KernelPagesPerSec:    200,
+			// Tight JIT-compiled numeric loops poll for Safepoints
+			// coarsely; time-to-safepoint is long for LU factorization.
+			SafepointDelay: time.Second,
+			WriteTrapCost:  2 * time.Microsecond,
+		},
+		{
+			Name:        "mpeg",
+			Description: "MP3 decoding",
+			Category:    Category2,
+
+			AllocBytesPerSec: 55 * mib,
+			OpsPerSec:        4.5,
+			EdenSurvival:     0.02,
+			SurvivorSurvival: 0.5,
+			TenureThreshold:  4,
+
+			InitialYoungBytes: 64 * mib,
+			MaxYoungBytes:     1 * gib,
+			MaxOldBytes:       256 * mib,
+			OldSeedBytes:      30 * mib,
+
+			OldMutatePagesPerSec: 100,
+			JITPagesPerSec:       15,
+			KernelPagesPerSec:    200,
+			SafepointDelay:       40 * time.Millisecond,
+			WriteTrapCost:        2 * time.Microsecond,
+		},
+		{
+			Name:        "compress",
+			Description: "Compression by a modified Lempel-Ziv method",
+			Category:    Category2,
+
+			AllocBytesPerSec: 90 * mib,
+			OpsPerSec:        3.8,
+			EdenSurvival:     0.025,
+			SurvivorSurvival: 0.5,
+			TenureThreshold:  4,
+
+			InitialYoungBytes: 64 * mib,
+			MaxYoungBytes:     1 * gib,
+			MaxOldBytes:       256 * mib,
+			OldSeedBytes:      45 * mib,
+
+			OldMutatePagesPerSec: 200,
+			JITPagesPerSec:       15,
+			KernelPagesPerSec:    200,
+			SafepointDelay:       50 * time.Millisecond,
+			WriteTrapCost:        2 * time.Microsecond,
+		},
+	}
+}
+
+// Lookup returns the catalog profile with the given name.
+func Lookup(name string) (Profile, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Names returns the catalog workload names in catalog order.
+func Names() []string {
+	cat := Catalog()
+	out := make([]string, len(cat))
+	for i, p := range cat {
+		out[i] = p.Name
+	}
+	return out
+}

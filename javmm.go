@@ -1,0 +1,403 @@
+// Package javmm is a faithful, laptop-scale reproduction of
+// "Application-Assisted Live Migration of Virtual Machines with Java
+// Applications" (Hou, Shin, Sung — EuroSys 2015).
+//
+// It provides, as a library:
+//
+//   - a deterministic simulation of Xen pre-copy live migration (iterative
+//     dirty-page transfer, log-dirty rounds, stop conditions, stop-and-copy),
+//   - the paper's generic application-assisted migration framework — an
+//     in-guest LKM bridging the migration daemon and applications over
+//     netlink/event channels, a transfer bitmap, a PFN cache, and the
+//     five-state migration workflow,
+//   - JAVMM itself: a HotSpot-like generational-heap JVM simulator whose TI
+//     agent skips migrating young-generation garbage and ships only the
+//     survivors of an enforced pre-suspension minor GC,
+//   - nine SPECjvm2008-like workloads calibrated to the paper's heap
+//     profiles, and an experiment harness regenerating every table and
+//     figure of the evaluation.
+//
+// The quickest path from zero to a migrated VM:
+//
+//	prof, _ := javmm.Workload("derby")
+//	vm, _ := javmm.BootVM(javmm.BootConfig{Profile: prof, Assisted: true})
+//	vm.Driver.Run(300 * time.Second) // warm up
+//	res, _ := javmm.Migrate(vm, javmm.MigrateOptions{Mode: javmm.ModeJAVMM})
+//	fmt.Println(res.TotalTime, res.TotalBytes(), res.WorkloadDowntime)
+//
+// Everything runs against a virtual clock: a 60-second migration completes
+// in well under a second of wall time and is exactly reproducible.
+package javmm
+
+import (
+	"fmt"
+	"time"
+
+	"javmm/internal/cacheapp"
+	"javmm/internal/guestos"
+	"javmm/internal/hypervisor"
+	"javmm/internal/jvm"
+	"javmm/internal/mem"
+	"javmm/internal/migration"
+	"javmm/internal/netsim"
+	"javmm/internal/replication"
+	"javmm/internal/simclock"
+	"javmm/internal/workload"
+)
+
+// Re-exported core types. The implementation lives under internal/; these
+// aliases are the supported public surface.
+type (
+	// VM is a fully assembled guest: domain, guest OS with the framework
+	// LKM, JVM, optional JAVMM agent and workload driver.
+	VM = workload.VM
+	// BootConfig parameterizes VM assembly.
+	BootConfig = workload.BootConfig
+	// Profile describes a workload's heap behaviour and execution rates.
+	Profile = workload.Profile
+	// Sample is one per-second throughput observation.
+	Sample = workload.Sample
+	// Report is the migration engine's outcome.
+	Report = migration.Report
+	// IterationStats describes one pre-copy iteration.
+	IterationStats = migration.IterationStats
+	// Mode selects the migration algorithm.
+	Mode = migration.Mode
+	// EngineConfig tunes the pre-copy engine.
+	EngineConfig = migration.Config
+	// MemRange is a half-open guest virtual address range.
+	MemRange = mem.VARange
+	// Guest is the in-guest operating system state (processes, LKM).
+	Guest = guestos.Guest
+	// Process is a guest user process with a walkable address space.
+	Process = guestos.Process
+	// JVM is the simulated HotSpot instance inside a VM.
+	JVM = jvm.JVM
+	// CacheApp is the memcached-like application of the §6 extension.
+	CacheApp = cacheapp.App
+	// CacheAppConfig parameterizes CacheApp.
+	CacheAppConfig = cacheapp.Config
+	// Clock is the deterministic virtual clock all components share.
+	Clock = simclock.Clock
+	// GuestExecutor runs guest activity for spans of virtual time.
+	GuestExecutor = migration.GuestExecutor
+)
+
+// Migration modes.
+const (
+	// ModeXen is unmodified pre-copy migration, agnostic of applications.
+	ModeXen = migration.ModeVanilla
+	// ModeJAVMM is application-assisted migration with JVM assistance.
+	ModeJAVMM = migration.ModeAppAssisted
+)
+
+// Collector names for BootConfig.Collector.
+const (
+	// CollectorParallel is the contiguous-young-generation parallel
+	// scavenger the paper prototypes against.
+	CollectorParallel = workload.CollectorParallel
+	// CollectorG1 is the garbage-first-style regional collector of the
+	// paper's §6 future work: a non-contiguous, churning young generation.
+	CollectorG1 = workload.CollectorG1
+)
+
+// Link bandwidth presets (payload bytes/sec).
+const (
+	// GigabitEthernet is the paper's testbed network.
+	GigabitEthernet = netsim.GigabitEffective
+	// TenGigabitEthernet models the §6 upgraded environment.
+	TenGigabitEthernet = netsim.TenGigabitEffective
+)
+
+// Workloads returns the nine SPECjvm2008-like workload profiles (Table 1).
+func Workloads() []Profile { return workload.Catalog() }
+
+// Workload returns the named catalog profile.
+func Workload(name string) (Profile, error) { return workload.Lookup(name) }
+
+// WorkloadNames returns the catalog names in Table 1 order.
+func WorkloadNames() []string { return workload.Names() }
+
+// BootVM assembles a VM running the given workload. With Assisted set the
+// JAVMM TI agent is loaded, enabling ModeJAVMM migration; either way the VM
+// can be migrated with ModeXen.
+func BootVM(cfg BootConfig) (*VM, error) { return workload.Boot(cfg) }
+
+// MigrateOptions parameterizes Migrate.
+type MigrateOptions struct {
+	// Mode selects vanilla pre-copy (ModeXen) or application-assisted
+	// migration (ModeJAVMM, requires a VM booted with Assisted).
+	Mode Mode
+	// Bandwidth is the link's payload bandwidth in bytes/sec
+	// (default GigabitEthernet).
+	Bandwidth uint64
+	// Latency is the link's one-way latency (default 100 µs).
+	Latency time.Duration
+	// Engine overrides pre-copy engine defaults (iteration cap, dirty
+	// threshold, compression, ...). Mode above wins over Engine.Mode.
+	Engine EngineConfig
+	// SkipVerify disables the post-migration correctness check.
+	SkipVerify bool
+	// Executor overrides the guest executor run during migration; nil uses
+	// the VM's workload driver. Use Multiplex to run several applications.
+	Executor GuestExecutor
+}
+
+// Result combines the engine report with guest-side observations.
+type Result struct {
+	*Report
+	// WorkloadDowntime is the application-visible downtime: stop-and-copy
+	// and resumption, plus (JAVMM) the enforced GC and final bitmap update.
+	WorkloadDowntime time.Duration
+	// EnforcedGC is the duration of the pre-suspension collection (zero
+	// for ModeXen).
+	EnforcedGC time.Duration
+	// VerifyErr is the destination-consistency check outcome; nil means
+	// every required page matched (always nil when SkipVerify).
+	VerifyErr error
+	// Destination holds the destination host's copy of the VM memory.
+	Destination *migration.Destination
+}
+
+// Migrate live-migrates the VM over a simulated link and returns the
+// combined result. The VM keeps running (at "the destination") afterwards
+// and can be migrated again.
+func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
+	if opts.Bandwidth == 0 {
+		opts.Bandwidth = GigabitEthernet
+	}
+	if opts.Latency == 0 {
+		opts.Latency = 100 * time.Microsecond
+	}
+	cfg := opts.Engine
+	cfg.Mode = opts.Mode
+
+	exec := opts.Executor
+	if exec == nil {
+		exec = vm.Driver
+	}
+	dest := migration.NewDestination(vm.Dom.NumPages())
+	src := &migration.Source{
+		Dom:   vm.Dom,
+		LKM:   vm.Guest.LKM,
+		Link:  netsim.NewLink(vm.Clock, opts.Bandwidth, opts.Latency),
+		Clock: vm.Clock,
+		Exec:  exec,
+		Dest:  dest,
+		Cfg:   cfg,
+	}
+	report, err := src.Migrate()
+	if err != nil {
+		return nil, err
+	}
+	if vm.Driver.Err != nil {
+		return nil, fmt.Errorf("javmm: workload failed during migration: %w", vm.Driver.Err)
+	}
+	res := &Result{Report: report, Destination: dest}
+	hist := vm.Heap.GCHistory()
+	for i := len(hist) - 1; i >= 0; i-- {
+		if st := hist[i]; st.Enforced {
+			res.EnforcedGC = st.Duration
+			break
+		}
+	}
+	res.WorkloadDowntime = report.VMDowntime
+	if opts.Mode == ModeJAVMM {
+		res.WorkloadDowntime += res.EnforcedGC + report.FinalUpdate
+	}
+	if !opts.SkipVerify {
+		res.VerifyErr = migration.VerifyMigration(
+			vm.Dom.Store(), dest.Store, report.FinalTransfer,
+			func(p mem.PFN) bool { return vm.Guest.Frames.Allocated(p) })
+	}
+	return res, nil
+}
+
+// PostCopyStats describes a post-copy migration's demand-fault behaviour.
+type PostCopyStats = migration.PostCopyStats
+
+// MigratePostCopy migrates the VM post-copy style (related work, §2 of the
+// paper): minimal downtime by construction, but the resumed VM stalls on
+// demand faults until its working set arrives. Verification does not apply —
+// after switchover the VM's memory IS the destination memory; the returned
+// Result carries the fault statistics instead.
+func MigratePostCopy(vm *VM, opts MigrateOptions) (*Result, *PostCopyStats, error) {
+	if opts.Bandwidth == 0 {
+		opts.Bandwidth = GigabitEthernet
+	}
+	if opts.Latency == 0 {
+		opts.Latency = 100 * time.Microsecond
+	}
+	exec := opts.Executor
+	if exec == nil {
+		exec = vm.Driver
+	}
+	dest := migration.NewDestination(vm.Dom.NumPages())
+	src := &migration.Source{
+		Dom:   vm.Dom,
+		Link:  netsim.NewLink(vm.Clock, opts.Bandwidth, opts.Latency),
+		Clock: vm.Clock,
+		Exec:  exec,
+		Dest:  dest,
+		Cfg:   opts.Engine,
+	}
+	report, err := src.MigratePostCopy()
+	if err != nil {
+		return nil, nil, err
+	}
+	if vm.Driver.Err != nil {
+		return nil, nil, fmt.Errorf("javmm: workload failed during migration: %w", vm.Driver.Err)
+	}
+	res := &Result{
+		Report:           report,
+		Destination:      dest,
+		WorkloadDowntime: report.VMDowntime,
+	}
+	return res, report.PostCopy, nil
+}
+
+// ReplicationReport summarizes a continuous-checkpointing run.
+type ReplicationReport = replication.Report
+
+// Replicate runs Remus-style continuous checkpointing of the VM to a backup
+// host for the given virtual window (paper §2's RemusDB relative). With
+// deprotect set, the applications' skip-over areas — JAVMM's young
+// generation — are omitted from every checkpoint (memory deprotection).
+func Replicate(vm *VM, window time.Duration, deprotect bool, bandwidth uint64) (*ReplicationReport, error) {
+	if bandwidth == 0 {
+		bandwidth = GigabitEthernet
+	}
+	r := &replication.Replicator{
+		Dom:    vm.Dom,
+		LKM:    vm.Guest.LKM,
+		Link:   netsim.NewLink(vm.Clock, bandwidth, 100*time.Microsecond),
+		Clock:  vm.Clock,
+		Exec:   vm.Driver,
+		Backup: migration.NewDestination(vm.Dom.NumPages()),
+		Cfg:    replication.Config{Deprotect: deprotect},
+	}
+	rep, err := r.Protect(window)
+	if err != nil {
+		return nil, err
+	}
+	if vm.Driver.Err != nil {
+		return nil, fmt.Errorf("javmm: workload failed during replication: %w", vm.Driver.Err)
+	}
+	return rep, nil
+}
+
+// NewCacheVM boots a VM running the memcached-like cache application of the
+// §6 extension instead of a JVM workload. The returned app implements
+// GuestExecutor; migrate with MigrateCustom.
+func NewCacheVM(memBytes, cacheBytes uint64, assisted bool) (*CacheApp, *Guest, *Clock, error) {
+	if memBytes == 0 {
+		memBytes = 2 << 30
+	}
+	clock := simclock.New()
+	dom := hypervisor.NewDomain("cache-vm", clock, mem.NewVersionStore(memBytes/mem.PageSize), 4)
+	g := guestos.NewGuest(dom, guestos.LKMConfig{Clock: clock})
+	app, err := cacheapp.Launch(cacheapp.Config{
+		Guest:      g,
+		Clock:      clock,
+		CacheBytes: cacheBytes,
+		Assisted:   assisted,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return app, g, clock, nil
+}
+
+// MigrateCustom migrates a guest driven by any GuestExecutor (e.g. a
+// CacheApp, or an application built directly on the framework). required, if
+// non-nil, refines the verification predicate: return false for pages whose
+// content is legitimately meaningless at the destination (freed frames are
+// always exempt).
+func MigrateCustom(g *Guest, exec GuestExecutor, opts MigrateOptions, required func(p mem.PFN) bool) (*Result, error) {
+	if opts.Bandwidth == 0 {
+		opts.Bandwidth = GigabitEthernet
+	}
+	if opts.Latency == 0 {
+		opts.Latency = 100 * time.Microsecond
+	}
+	cfg := opts.Engine
+	cfg.Mode = opts.Mode
+
+	dest := migration.NewDestination(g.Dom.NumPages())
+	src := &migration.Source{
+		Dom:   g.Dom,
+		LKM:   g.LKM,
+		Link:  netsim.NewLink(g.Dom.Clock(), opts.Bandwidth, opts.Latency),
+		Clock: g.Dom.Clock(),
+		Exec:  exec,
+		Dest:  dest,
+		Cfg:   cfg,
+	}
+	report, err := src.Migrate()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Report: report, Destination: dest, WorkloadDowntime: report.VMDowntime}
+	if !opts.SkipVerify {
+		res.VerifyErr = migration.VerifyMigration(
+			g.Dom.Store(), dest.Store, report.FinalTransfer,
+			func(p mem.PFN) bool {
+				if !g.Frames.Allocated(p) {
+					return false
+				}
+				return required == nil || required(p)
+			})
+	}
+	return res, nil
+}
+
+// PFN re-exports the page frame number type for verification predicates.
+type PFN = mem.PFN
+
+// VA re-exports the guest virtual address type.
+type VA = mem.VA
+
+// AttachCacheApp launches a cache application inside an existing VM's guest,
+// alongside the JVM — the multi-application scenario of §6. The app gets its
+// own process and (if assisted) its own netlink registration with the LKM,
+// which coordinates concurrent transfer bitmap updates from all applications.
+// Run it together with the VM's driver via Multiplex.
+func AttachCacheApp(vm *VM, cacheBase VA, cacheBytes uint64, assisted bool) (*CacheApp, error) {
+	return cacheapp.Launch(cacheapp.Config{
+		Guest:      vm.Guest,
+		Clock:      vm.Clock,
+		CacheBase:  cacheBase,
+		CacheBytes: cacheBytes,
+		Assisted:   assisted,
+	})
+}
+
+// MultiExec time-shares the guest CPUs among several executors, round-robin
+// in one-millisecond slices: while one application's slice runs, the others
+// are descheduled. It implements GuestExecutor.
+type MultiExec struct {
+	execs []GuestExecutor
+	next  int
+}
+
+// Multiplex combines executors into one round-robin MultiExec.
+func Multiplex(execs ...GuestExecutor) *MultiExec {
+	if len(execs) == 0 {
+		panic("javmm: Multiplex needs at least one executor")
+	}
+	return &MultiExec{execs: execs}
+}
+
+// Run implements GuestExecutor.
+func (m *MultiExec) Run(d time.Duration) {
+	const slice = time.Millisecond
+	for d > 0 {
+		q := slice
+		if d < q {
+			q = d
+		}
+		m.execs[m.next].Run(q)
+		m.next = (m.next + 1) % len(m.execs)
+		d -= q
+	}
+}

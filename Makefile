@@ -1,0 +1,34 @@
+# javmm build & verification entry points.
+#
+# `make check` is the full tier-1 gate: formatting, vet, the test suite and
+# the race detector. Everything uses only the standard Go toolchain.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file is not gofmt-clean, and prints the offenders.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

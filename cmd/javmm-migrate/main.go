@@ -2,17 +2,20 @@
 // the paper's added Xen management command (`xl migrate` with
 // application-assistance, §3.3). It boots a VM running the chosen workload,
 // warms it up, migrates it in the chosen mode and prints the migration
-// report, optionally with the per-iteration breakdown.
+// report, optionally with the per-iteration breakdown, a metrics summary and
+// a trace file loadable in Perfetto.
 //
 // Usage:
 //
 //	javmm-migrate -workload derby -mode javmm -warmup 300s -v
 //	javmm-migrate -workload scimark -mode xen -bandwidth 117000000
+//	javmm-migrate -workload derby -mode javmm -trace out.json -metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,81 +24,98 @@ import (
 )
 
 func main() {
-	var (
-		workloadName = flag.String("workload", "derby", "workload to run: "+strings.Join(javmm.WorkloadNames(), ", "))
-		modeName     = flag.String("mode", "javmm", "migration mode: xen or javmm")
-		memMiB       = flag.Uint64("mem", 2048, "VM memory in MiB")
-		vcpus        = flag.Int("vcpus", 4, "virtual CPUs")
-		bandwidth    = flag.Uint64("bandwidth", javmm.GigabitEthernet, "link payload bandwidth in bytes/sec")
-		warmup       = flag.Duration("warmup", 300*time.Second, "virtual warmup before migration")
-		youngMiB     = flag.Uint64("young", 0, "override max young generation in MiB (0 = workload default)")
-		seed         = flag.Int64("seed", 1, "deterministic seed")
-		compress     = flag.Bool("compress", false, "compress unskipped pages (§6 extension)")
-		collector    = flag.String("collector", "parallel", "garbage collector: parallel or g1")
-		verbose      = flag.Bool("v", false, "print per-iteration details")
-	)
+	var o options
+	flag.StringVar(&o.Workload, "workload", "derby", "workload to run: "+strings.Join(javmm.WorkloadNames(), ", "))
+	flag.StringVar(&o.Mode, "mode", "javmm", "migration mode: xen or javmm")
+	flag.Uint64Var(&o.MemMiB, "mem", 2048, "VM memory in MiB")
+	flag.IntVar(&o.VCPUs, "vcpus", 4, "virtual CPUs")
+	flag.Uint64Var(&o.Bandwidth, "bandwidth", javmm.GigabitEthernet, "link payload bandwidth in bytes/sec")
+	flag.DurationVar(&o.Warmup, "warmup", 300*time.Second, "virtual warmup before migration")
+	flag.Uint64Var(&o.YoungMiB, "young", 0, "override max young generation in MiB (0 = workload default)")
+	flag.Int64Var(&o.Seed, "seed", 1, "deterministic seed")
+	flag.BoolVar(&o.Compress, "compress", false, "compress unskipped pages (§6 extension)")
+	flag.StringVar(&o.Collector, "collector", "parallel", "garbage collector: parallel or g1")
+	flag.BoolVar(&o.Verbose, "v", false, "print per-iteration details")
+	flag.StringVar(&o.TracePath, "trace", "", "write a migration trace to this file")
+	flag.StringVar(&o.TraceFormat, "trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
+	flag.BoolVar(&o.Metrics, "metrics", false, "print the metrics summary table after migration")
 	flag.Parse()
-	if err := run(*workloadName, *modeName, *collector, *memMiB, *vcpus, *bandwidth, *warmup, *youngMiB, *seed, *compress, *verbose); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "javmm-migrate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workloadName, modeName, collector string, memMiB uint64, vcpus int, bandwidth uint64,
-	warmup time.Duration, youngMiB uint64, seed int64, compress, verbose bool) error {
+// options collects every CLI knob; run is pure in it so tests drive the full
+// command without a process boundary.
+type options struct {
+	Workload    string
+	Mode        string
+	Collector   string
+	MemMiB      uint64
+	VCPUs       int
+	Bandwidth   uint64
+	Warmup      time.Duration
+	YoungMiB    uint64
+	Seed        int64
+	Compress    bool
+	Verbose     bool
+	TracePath   string
+	TraceFormat string // "chrome" or "jsonl"
+	Metrics     bool
+}
 
-	prof, err := javmm.Workload(workloadName)
+func run(o options, out io.Writer) error {
+	prof, err := javmm.Workload(o.Workload)
 	if err != nil {
 		return err
 	}
-	if youngMiB != 0 {
-		prof.MaxYoungBytes = youngMiB << 20
+	if o.YoungMiB != 0 {
+		prof.MaxYoungBytes = o.YoungMiB << 20
 		if prof.InitialYoungBytes > prof.MaxYoungBytes {
 			prof.InitialYoungBytes = prof.MaxYoungBytes
 		}
 	}
-	var mode javmm.Mode
-	switch modeName {
-	case "xen":
-		mode = javmm.ModeXen
-	case "javmm":
-		mode = javmm.ModeJAVMM
-	default:
-		return fmt.Errorf("unknown mode %q (want xen or javmm)", modeName)
+	mode, err := javmm.ParseMode(o.Mode)
+	if err != nil {
+		return err
+	}
+	if o.TraceFormat != "chrome" && o.TraceFormat != "jsonl" {
+		return fmt.Errorf("unknown trace format %q (want chrome or jsonl)", o.TraceFormat)
 	}
 
 	vm, err := javmm.BootVM(javmm.BootConfig{
-		MemBytes:  memMiB << 20,
-		VCPUs:     vcpus,
+		MemBytes:  o.MemMiB << 20,
+		VCPUs:     o.VCPUs,
 		Profile:   prof,
 		Assisted:  mode == javmm.ModeJAVMM,
-		Seed:      seed,
-		Collector: collector,
+		Seed:      o.Seed,
+		Collector: o.Collector,
 	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("booted %s: %d MiB, %d vCPUs, workload %s (category %d)\n",
-		vm.Dom.Name(), memMiB, vcpus, prof.Name, prof.Category)
-	fmt.Printf("warming up for %v of virtual time...\n", warmup)
-	vm.Driver.Run(warmup)
+	fmt.Fprintf(out, "booted %s: %d MiB, %d vCPUs, workload %s (category %d)\n",
+		vm.Dom.Name(), o.MemMiB, o.VCPUs, prof.Name, prof.Category)
+	fmt.Fprintf(out, "warming up for %v of virtual time...\n", o.Warmup)
+	vm.Driver.Run(o.Warmup)
 	if vm.Driver.Err != nil {
 		return vm.Driver.Err
 	}
-	fmt.Printf("at migration: young gen %d MiB committed, old gen %d MiB used, %d GCs so far\n",
+	fmt.Fprintf(out, "at migration: young gen %d MiB committed, old gen %d MiB used, %d GCs so far\n",
 		vm.Heap.YoungCommitted()>>20, vm.Heap.OldUsed()>>20, len(vm.Heap.GCHistory()))
 
-	engine := javmm.EngineConfig{Compress: compress}
-	if verbose {
-		fmt.Printf("\n%-5s %-10s %-10s %-12s %-12s %-12s\n",
+	engine := javmm.EngineConfig{Compress: o.Compress}
+	if o.Verbose {
+		fmt.Fprintf(out, "\n%-5s %-10s %-10s %-12s %-12s %-12s\n",
 			"iter", "start", "duration", "sent", "skip-dirty", "skip-bitmap")
 		engine.OnIteration = func(it javmm.IterationStats) {
 			mark := " "
 			if it.Last {
 				mark = "*"
 			}
-			fmt.Printf("%-4d%s %-10v %-10v %-12s %-12s %-12s\n",
+			fmt.Fprintf(out, "%-4d%s %-10v %-10v %-12s %-12s %-12s\n",
 				it.Index, mark,
 				it.Start.Round(time.Millisecond),
 				it.Duration.Round(time.Millisecond),
@@ -104,31 +124,85 @@ func run(workloadName, modeName, collector string, memMiB uint64, vcpus int, ban
 				mb(it.PagesSkippedBitmap*4096))
 		}
 	}
-	res, err := javmm.Migrate(vm, javmm.MigrateOptions{
+
+	opts := javmm.MigrateOptions{
 		Mode:      mode,
-		Bandwidth: bandwidth,
+		Bandwidth: o.Bandwidth,
 		Engine:    engine,
-	})
+	}
+	var tracer *javmm.Tracer
+	var metrics *javmm.Metrics
+	if o.TracePath != "" {
+		tracer = javmm.NewTracer(vm.Clock)
+		opts.Tracer = tracer
+	}
+	if o.Metrics {
+		metrics = javmm.NewMetrics(vm.Clock)
+		opts.Metrics = metrics
+	}
+	res, err := javmm.Migrate(vm, opts)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("\nmigration complete (%s):\n", mode)
-	fmt.Printf("  total time          %v\n", res.TotalTime.Round(time.Millisecond))
-	fmt.Printf("  total traffic       %.2f GB (%d pages)\n", float64(res.TotalBytes())/1e9, res.TotalPagesSent)
-	fmt.Printf("  iterations          %d (%d live + stop-and-copy)\n", len(res.Iterations), res.LiveIterations())
-	fmt.Printf("  VM downtime         %v\n", res.VMDowntime.Round(time.Millisecond))
-	fmt.Printf("  workload downtime   %v\n", res.WorkloadDowntime.Round(time.Millisecond))
+	fmt.Fprintf(out, "\nmigration complete (%s):\n", mode)
+	fmt.Fprintf(out, "  total time          %v\n", res.TotalTime.Round(time.Millisecond))
+	fmt.Fprintf(out, "  total traffic       %.2f GB (%d pages)\n", float64(res.TotalBytes())/1e9, res.TotalPagesSent)
+	fmt.Fprintf(out, "  iterations          %d (%d live + stop-and-copy)\n", len(res.Iterations), res.LiveIterations())
+	fmt.Fprintf(out, "  VM downtime         %v\n", res.VMDowntime.Round(time.Millisecond))
+	fmt.Fprintf(out, "  workload downtime   %v\n", res.WorkloadDowntime.Round(time.Millisecond))
 	if mode == javmm.ModeJAVMM {
-		fmt.Printf("  enforced GC         %v\n", res.EnforcedGC.Round(time.Millisecond))
-		fmt.Printf("  final bitmap update %v\n", res.FinalUpdate.Round(time.Microsecond))
+		fmt.Fprintf(out, "  enforced GC         %v\n", res.EnforcedGC.Round(time.Millisecond))
+		fmt.Fprintf(out, "  final bitmap update %v\n", res.FinalUpdate.Round(time.Microsecond))
 	}
-	fmt.Printf("  daemon CPU (model)  %v\n", res.CPUTime.Round(time.Millisecond))
+	fmt.Fprintf(out, "  daemon CPU (model)  %v\n", res.CPUTime.Round(time.Millisecond))
 	if res.VerifyErr != nil {
 		return fmt.Errorf("destination verification FAILED: %w", res.VerifyErr)
 	}
-	fmt.Printf("  verification        OK (destination pages match)\n")
+	fmt.Fprintf(out, "  verification        OK (destination pages match)\n")
+
+	if tracer != nil {
+		if err := writeTrace(o.TracePath, o.TraceFormat, tracer.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  trace               %s (%d events, %s)\n", o.TracePath, tracer.Len(), o.TraceFormat)
+	}
+	if metrics != nil {
+		printMetrics(out, metrics.Snapshot())
+	}
 	return nil
+}
+
+// writeTrace exports the recorded events in the chosen format.
+func writeTrace(path, format string, events []javmm.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "jsonl" {
+		err = javmm.WriteTraceJSONL(f, events)
+	} else {
+		err = javmm.WriteTraceChrome(f, events)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// printMetrics renders the snapshot as a summary table: counters, then
+// gauges, then histograms, each name-sorted.
+func printMetrics(out io.Writer, s javmm.MetricsSnapshot) {
+	fmt.Fprintf(out, "\nmetrics at %v:\n", s.At.Round(time.Millisecond))
+	for _, c := range s.Counters {
+		fmt.Fprintf(out, "  %-32s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(out, "  %-32s %.3g (time-weighted mean %.3g)\n", g.Name, g.Value, g.TimeWeightedMean)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(out, "  %-32s n=%d mean=%.3g min=%.3g max=%.3g\n", h.Name, h.Count, h.Mean, h.Min, h.Max)
+	}
 }
 
 func mb(b uint64) string { return fmt.Sprintf("%.1f MB", float64(b)/1e6) }

@@ -1,44 +1,153 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"javmm"
 )
 
+// base returns the quick-test option set; cases tweak what they care about.
+func base() options {
+	return options{
+		Workload:    "derby",
+		Mode:        "javmm",
+		Collector:   "parallel",
+		MemMiB:      2048,
+		VCPUs:       4,
+		Bandwidth:   javmm.GigabitEthernet,
+		Warmup:      60 * time.Second,
+		Seed:        1,
+		TraceFormat: "chrome",
+	}
+}
+
 func TestRunJavmmMode(t *testing.T) {
-	err := run("derby", "javmm", "parallel", 2048, 4, javmm.GigabitEthernet,
-		60*time.Second, 0, 1, false, true)
-	if err != nil {
+	o := base()
+	o.Verbose = true
+	if err := run(o, new(bytes.Buffer)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunXenModeWithYoungOverride(t *testing.T) {
-	err := run("compiler", "xen", "parallel", 2048, 4, javmm.GigabitEthernet,
-		60*time.Second, 512, 1, false, false)
-	if err != nil {
+	o := base()
+	o.Workload = "compiler"
+	o.Mode = "xen"
+	o.YoungMiB = 512
+	if err := run(o, new(bytes.Buffer)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCompression(t *testing.T) {
-	err := run("crypto", "javmm", "g1", 1024, 2, javmm.GigabitEthernet,
-		30*time.Second, 256, 1, true, false)
-	if err != nil {
+	o := base()
+	o.Workload = "crypto"
+	o.Collector = "g1"
+	o.MemMiB = 1024
+	o.VCPUs = 2
+	o.Warmup = 30 * time.Second
+	o.YoungMiB = 256
+	o.Compress = true
+	if err := run(o, new(bytes.Buffer)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownWorkload(t *testing.T) {
-	if err := run("nosuch", "xen", "parallel", 2048, 4, 1, time.Second, 0, 1, false, false); err == nil {
+	o := base()
+	o.Workload = "nosuch"
+	if err := run(o, new(bytes.Buffer)); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }
 
 func TestRunRejectsUnknownMode(t *testing.T) {
-	if err := run("derby", "warp", "parallel", 2048, 4, 1, time.Second, 0, 1, false, false); err == nil {
+	o := base()
+	o.Mode = "warp"
+	if err := run(o, new(bytes.Buffer)); err == nil {
 		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestRunRejectsUnknownTraceFormat(t *testing.T) {
+	o := base()
+	o.TraceFormat = "xml"
+	if err := run(o, new(bytes.Buffer)); err == nil {
+		t.Fatal("unknown trace format accepted")
+	}
+}
+
+func TestRunWritesChromeTrace(t *testing.T) {
+	o := base()
+	o.Warmup = 30 * time.Second
+	o.TracePath = filepath.Join(t.TempDir(), "out.json")
+	if err := run(o, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid chrome JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i, e := range doc.TraceEvents {
+		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[k]; !ok {
+				t.Fatalf("traceEvent %d missing %q", i, k)
+			}
+		}
+	}
+}
+
+func TestRunWritesJSONLTrace(t *testing.T) {
+	o := base()
+	o.Warmup = 30 * time.Second
+	o.TracePath = filepath.Join(t.TempDir(), "out.jsonl")
+	o.TraceFormat = "jsonl"
+	if err := run(o, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i, ln := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("line %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestRunMetricsSummary(t *testing.T) {
+	o := base()
+	o.Warmup = 30 * time.Second
+	o.Metrics = true
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"metrics at ", "migration.pages_sent", "jvm.gc.minor", "net.bytes_sent"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics summary missing %q:\n%s", want, out)
+		}
 	}
 }

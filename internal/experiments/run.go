@@ -13,6 +13,7 @@ import (
 	"javmm/internal/mem"
 	"javmm/internal/migration"
 	"javmm/internal/netsim"
+	"javmm/internal/obs"
 	"javmm/internal/workload"
 )
 
@@ -60,6 +61,12 @@ type RunOpts struct {
 	// MigrationConfig tweaks beyond the defaults; Mode/Compress/Throttle
 	// fields above win.
 	EngineConfig *migration.Config
+
+	// Tracer and Metrics, when non-nil, observe the run: they are attached
+	// to every instrumented layer of the booted VM and threaded through the
+	// migration engine, so one experiment produces one coherent trace.
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 func (o *RunOpts) fillDefaults() {
@@ -138,6 +145,9 @@ func RunMigration(opts RunOpts) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Tracer != nil || opts.Metrics != nil {
+		vm.AttachObs(opts.Tracer, opts.Metrics)
+	}
 
 	vm.Driver.Run(opts.Warmup)
 	if vm.Driver.Err != nil {
@@ -183,11 +193,19 @@ func RunMigration(opts RunOpts) (*Run, error) {
 	if opts.HintedCompress {
 		cfg.HintedCompression = true
 	}
+	if opts.Tracer != nil {
+		cfg.Tracer = opts.Tracer
+	}
+	if opts.Metrics != nil {
+		cfg.Metrics = opts.Metrics
+	}
+	link := netsim.NewLink(vm.Clock, opts.Bandwidth, 100*time.Microsecond)
+	link.SetMetrics(opts.Metrics)
 
 	src := &migration.Source{
 		Dom:   vm.Dom,
 		LKM:   vm.Guest.LKM,
-		Link:  netsim.NewLink(vm.Clock, opts.Bandwidth, 100*time.Microsecond),
+		Link:  link,
 		Clock: vm.Clock,
 		Exec:  vm.Driver,
 		Dest:  migration.NewDestination(vm.Dom.NumPages()),

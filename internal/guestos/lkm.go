@@ -6,6 +6,7 @@ import (
 
 	"javmm/internal/hypervisor"
 	"javmm/internal/mem"
+	"javmm/internal/obs"
 	"javmm/internal/simclock"
 )
 
@@ -140,6 +141,26 @@ type LKM struct {
 
 	hints         []uint8 // per-page compression hints (§6 extension)
 	lastFallbacks int     // stragglers in the current prepare window
+
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+}
+
+// SetObs attaches a tracer and metrics registry. State transitions are
+// emitted as lkm.state events on the LKM track (named after the state being
+// entered, as in the paper's Figure 4); final updates, fallbacks and the
+// PFN-cache size are recorded as metrics. Either argument may be nil.
+func (l *LKM) SetObs(t *obs.Tracer, m *obs.Metrics) {
+	l.tracer = t
+	l.metrics = m
+}
+
+// setState performs a workflow transition and traces it.
+func (l *LKM) setState(next State) {
+	prev := l.state
+	l.state = next
+	l.tracer.Emit(obs.TrackLKM, obs.KindLKMState, next.String(), nil,
+		obs.Str("from", prev.String()), obs.Str("to", next.String()))
 }
 
 // loadLKM is called by NewGuest: the LKM is loaded when the guest is created,
@@ -235,7 +256,9 @@ func (l *LKM) onAborted() {
 		l.prepareTimer.Stop()
 		l.prepareTimer = nil
 	}
-	l.state = StateSuspensionReady // satisfy onVMResumed's precondition
+	l.tracer.Emit(obs.TrackLKM, obs.KindLKMAbort, "migration-aborted", nil,
+		obs.Str("state", l.state.String()))
+	l.state = StateSuspensionReady // satisfy onVMResumed's precondition (not a real transition, untraced)
 	l.onVMResumed()
 }
 
@@ -244,7 +267,7 @@ func (l *LKM) onMigrationBegin() {
 		l.InvalidMsgs++
 		return
 	}
-	l.state = StateMigrationStarted
+	l.setState(StateMigrationStarted)
 	// Query running applications for skip-over areas; responses arrive as
 	// MsgReportAreas and trigger the first transfer bitmap update.
 	l.guest.Bus.Multicast(MsgQuerySkipAreas{})
@@ -255,7 +278,7 @@ func (l *LKM) onEnteringLastIter() {
 		l.InvalidMsgs++
 		return
 	}
-	l.state = StateEnteringLastIter
+	l.setState(StateEnteringLastIter)
 	l.LastFinalUpdate = 0
 	l.lastFallbacks = 0
 	l.guest.Bus.Multicast(MsgPrepareSuspension{})
@@ -280,7 +303,7 @@ func (l *LKM) onVMResumed() {
 		l.InvalidMsgs++
 		return
 	}
-	l.state = StateResumed
+	l.setState(StateResumed)
 	l.guest.Bus.Multicast(MsgVMResumed{})
 	// Go back to INITIALIZED in preparation for the next migration
 	// (paper Figure 4): forget areas, drop caches, reset the bitmap.
@@ -292,7 +315,7 @@ func (l *LKM) onVMResumed() {
 	}
 	l.transfer.SetAll()
 	l.resetHints()
-	l.state = StateInitialized
+	l.setState(StateInitialized)
 }
 
 // --- application-side messages ------------------------------------------
@@ -368,8 +391,13 @@ func (l *LKM) completePrepare() {
 		l.prepareTimer.Stop()
 		l.prepareTimer = nil
 	}
-	l.state = StateSuspensionReady
+	l.setState(StateSuspensionReady)
 	l.FinalUpdates++
+	if m := l.metrics; m != nil {
+		m.Counter("lkm.final_updates").Inc()
+		m.Counter("lkm.fallback_apps").Add(int64(l.lastFallbacks))
+		m.Histogram("lkm.final_update_ns").Observe(float64(l.LastFinalUpdate))
+	}
 	l.ec.Guest().Notify(EvSuspensionReady{
 		FinalUpdate: l.LastFinalUpdate,
 		Fallbacks:   l.lastFallbacks,
@@ -553,4 +581,5 @@ func (l *LKM) noteCacheSize(st *appState) {
 	if total > l.CacheHighWater {
 		l.CacheHighWater = total
 	}
+	l.metrics.Gauge("lkm.cache_entries").Set(float64(total))
 }

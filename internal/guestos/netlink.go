@@ -7,8 +7,10 @@ package guestos
 
 import (
 	"fmt"
+	"strings"
 
 	"javmm/internal/mem"
+	"javmm/internal/obs"
 )
 
 // AppID identifies an application process to the LKM, like a PID on the
@@ -70,6 +72,8 @@ func (s *Socket) Send(msg any) error {
 		return fmt.Errorf("guestos: netlink send from app %d: no kernel receiver", s.app)
 	}
 	s.bus.toKernel++
+	s.bus.tracer.Emit(obs.TrackNetlink, obs.KindNetlink, msgName(msg), nil,
+		obs.Str("dir", "send"), obs.Int("app", int(s.app)))
 	s.bus.kernel(s.app, msg)
 	return nil
 }
@@ -89,6 +93,22 @@ type Bus struct {
 	nextID   AppID
 	toKernel uint64
 	toApps   uint64
+	tracer   *obs.Tracer
+}
+
+// SetTracer attaches a tracer: every kernel-bound send and every multicast
+// is recorded as a netlink.msg event on the netlink track, named after the
+// message type. A nil tracer detaches.
+func (b *Bus) SetTracer(t *obs.Tracer) { b.tracer = t }
+
+// msgName renders a message's type name without the package prefix
+// ("MsgReportAreas", not "guestos.MsgReportAreas").
+func msgName(msg any) string {
+	name := fmt.Sprintf("%T", msg)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
 }
 
 // NewBus returns an empty multicast group.
@@ -111,6 +131,8 @@ func (b *Bus) Subscribe(handler func(msg any)) *Socket {
 // Multicast delivers msg to every subscribed application, in subscription
 // order (deterministic iteration).
 func (b *Bus) Multicast(msg any) {
+	b.tracer.Emit(obs.TrackNetlink, obs.KindNetlink, msgName(msg), nil,
+		obs.Str("dir", "multicast"), obs.Int("subscribers", len(b.subs)))
 	// Iterate in AppID order for determinism.
 	for id := AppID(1); id < b.nextID; id++ {
 		if h, ok := b.subs[id]; ok {

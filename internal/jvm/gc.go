@@ -6,7 +6,20 @@ import (
 	"time"
 
 	"javmm/internal/mem"
+	"javmm/internal/obs"
 )
+
+// gcSpanName renders the span name for a collection.
+func gcSpanName(kind GCKind, enforced bool) string {
+	switch {
+	case kind == FullGC:
+		return "full GC"
+	case enforced:
+		return "enforced GC"
+	default:
+		return "minor GC"
+	}
+}
 
 // ErrHeapExhausted is returned when a promotion cannot fit in the old
 // generation even at its maximum size — the simulator's OutOfMemoryError.
@@ -63,11 +76,18 @@ func (j *JVM) RequestEnforcedGC() {
 		return
 	}
 	j.enforcePending = true
+	j.tracer.Emit(obs.TrackJVM, obs.KindSafepoint, "enforced-gc-request", nil)
 }
 
 // ReleaseFromSafepoint releases Java threads held after an enforced GC —
 // called when the migrated VM has resumed at the destination.
-func (j *JVM) ReleaseFromSafepoint() { j.held = false }
+func (j *JVM) ReleaseFromSafepoint() {
+	if j.held {
+		j.tracer.Emit(obs.TrackJVM, obs.KindSafepoint, "safepoint-release", nil,
+			obs.Bool("held", false))
+	}
+	j.held = false
+}
 
 // survive applies a survival fraction with multiplicative noise, clamped to
 // [0, 1], and returns the surviving byte count.
@@ -155,6 +175,10 @@ func (j *JVM) BeginMinorGC(enforced bool) time.Duration {
 		newFrom:  newFrom,
 		toLive:   toLive,
 		promoted: promoted,
+		span: j.tracer.Begin(obs.TrackJVM, obs.KindGC, gcSpanName(MinorGC, enforced),
+			obs.Bool("enforced", enforced),
+			obs.Uint64("young_used_before", st.YoungUsedBefore),
+			obs.Dur("planned_pause", d)),
 	}
 	return d
 }
@@ -201,6 +225,7 @@ func (j *JVM) CompleteMinorGC() (GCStats, error) {
 		panic("jvm: CompleteMinorGC without BeginMinorGC")
 	}
 	plan := j.gc
+	defer plan.span.End() // idempotent: closes the span on error returns too
 
 	// Copy any remainder of the live data into the To space (most of it
 	// was already written by GCCopyTick during the pause).
@@ -293,6 +318,21 @@ func (j *JVM) CompleteMinorGC() (GCStats, error) {
 	j.History = append(j.History, st)
 	j.gc = nil
 
+	plan.span.End(
+		obs.Uint64("garbage", st.Garbage),
+		obs.Uint64("promoted", st.Promoted),
+		obs.Dur("pause", st.Duration))
+	if m := j.metrics; m != nil {
+		m.Counter("jvm.gc.minor").Inc()
+		m.Counter("jvm.gc.pause_ns").AddDuration(st.Duration)
+		m.Counter("jvm.gc.garbage_bytes").Add(int64(st.Garbage))
+		m.Counter("jvm.gc.promoted_bytes").Add(int64(st.Promoted))
+		if plan.enforced {
+			m.Counter("jvm.gc.enforced").Inc()
+			m.Counter("jvm.gc.enforced_pause_ns").AddDuration(st.Duration)
+		}
+	}
+
 	if j.OnGCEnd != nil {
 		j.OnGCEnd(st)
 	}
@@ -300,6 +340,8 @@ func (j *JVM) CompleteMinorGC() (GCStats, error) {
 		// Java threads stay at the Safepoint: the Eden and To spaces must
 		// remain empty until VM suspension completes (paper §4.3.2).
 		j.held = true
+		j.tracer.Emit(obs.TrackJVM, obs.KindSafepoint, "safepoint-hold", nil,
+			obs.Bool("held", true))
 		if j.OnEnforcedDone != nil {
 			j.OnEnforcedDone()
 		}
@@ -323,7 +365,10 @@ func (j *JVM) BeginFullGC() time.Duration {
 	}
 	d := j.cfg.FullGCBase + time.Duration(float64(j.oldUsed)*j.cfg.FullNsPB)*time.Nanosecond
 	st.Duration = d
-	j.gc = &pendingGC{kind: FullGC, duration: d, stats: st, oldAfter: st.OldUsedAfter}
+	j.gc = &pendingGC{kind: FullGC, duration: d, stats: st, oldAfter: st.OldUsedAfter,
+		span: j.tracer.Begin(obs.TrackJVM, obs.KindGC, gcSpanName(FullGC, false),
+			obs.Uint64("old_used_before", st.OldUsedBefore),
+			obs.Dur("planned_pause", d))}
 	return d
 }
 
@@ -348,6 +393,12 @@ func (j *JVM) CompleteFullGC() GCStats {
 	j.FullGCs++
 	j.History = append(j.History, st)
 	j.gc = nil
+	plan.span.End(obs.Uint64("garbage", st.Garbage), obs.Dur("pause", st.Duration))
+	if m := j.metrics; m != nil {
+		m.Counter("jvm.gc.full").Inc()
+		m.Counter("jvm.gc.pause_ns").AddDuration(st.Duration)
+		m.Counter("jvm.gc.garbage_bytes").Add(int64(st.Garbage))
+	}
 	if j.OnGCEnd != nil {
 		j.OnGCEnd(st)
 	}

@@ -21,6 +21,7 @@ import (
 
 	"javmm/internal/guestos"
 	"javmm/internal/mem"
+	"javmm/internal/obs"
 	"javmm/internal/simclock"
 )
 
@@ -239,6 +240,18 @@ type JVM struct {
 	MinorGCs       int
 	FullGCs        int
 	History        []GCStats
+
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+}
+
+// SetObs attaches a tracer and metrics registry: collections become spans on
+// the JVM track (minor/enforced/full GC), Safepoint requests/holds/releases
+// become instants, and pause totals accumulate under jvm.gc.* counters.
+// Either argument may be nil.
+func (j *JVM) SetObs(t *obs.Tracer, m *obs.Metrics) {
+	j.tracer = t
+	j.metrics = m
 }
 
 // GCKind distinguishes minor from full collections.
@@ -288,6 +301,8 @@ type pendingGC struct {
 	// concurrently with a collection.
 	elapsed     time.Duration
 	copiedBytes uint64
+
+	span *obs.Span // open GC span, ended at Complete time
 }
 
 // oldGrowChunk is the granularity at which old-generation memory is

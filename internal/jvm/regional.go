@@ -9,6 +9,7 @@ import (
 
 	"javmm/internal/guestos"
 	"javmm/internal/mem"
+	"javmm/internal/obs"
 	"javmm/internal/simclock"
 )
 
@@ -61,6 +62,15 @@ type RegionalHeap struct {
 	MinorGCs       int
 	FullGCs        int
 	History        []GCStats
+
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+}
+
+// SetObs mirrors JVM.SetObs for the regional collector.
+func (h *RegionalHeap) SetObs(t *obs.Tracer, m *obs.Metrics) {
+	h.tracer = t
+	h.metrics = m
 }
 
 type regionClass uint8
@@ -183,6 +193,8 @@ type pendingRegionalGC struct {
 	survivors map[int]uint64
 	promoted  uint64
 	oldAfter  uint64
+
+	span *obs.Span // open GC span, ended at Complete time
 }
 
 // NewRegional boots a regional heap: the region pool is laid out at HeapBase
@@ -331,10 +343,17 @@ func (h *RegionalHeap) RequestEnforcedGC() {
 		return
 	}
 	h.enforcePending = true
+	h.tracer.Emit(obs.TrackJVM, obs.KindSafepoint, "enforced-gc-request", nil)
 }
 
 // ReleaseFromSafepoint releases threads held after an enforced GC.
-func (h *RegionalHeap) ReleaseFromSafepoint() { h.held = false }
+func (h *RegionalHeap) ReleaseFromSafepoint() {
+	if h.held {
+		h.tracer.Emit(obs.TrackJVM, obs.KindSafepoint, "safepoint-release", nil,
+			obs.Bool("held", false))
+	}
+	h.held = false
+}
 
 // HeldAtSafepoint mirrors JVM.HeldAtSafepoint.
 func (h *RegionalHeap) HeldAtSafepoint() bool { return h.held }
@@ -409,7 +428,11 @@ func (h *RegionalHeap) BeginMinorGC(enforced bool) time.Duration {
 		time.Duration(float64(toLive+promoted)*h.cfg.MinorCopyNsPB)*time.Nanosecond +
 		time.Duration(float64(h.YoungCommitted())*h.cfg.MinorScanNsPB)*time.Nanosecond
 	st.Duration = d
-	h.gc = &pendingRegionalGC{kind: MinorGC, enforced: enforced, stats: st, survivors: survivors, promoted: promoted}
+	h.gc = &pendingRegionalGC{kind: MinorGC, enforced: enforced, stats: st, survivors: survivors, promoted: promoted,
+		span: h.tracer.Begin(obs.TrackJVM, obs.KindGC, gcSpanName(MinorGC, enforced),
+			obs.Bool("enforced", enforced),
+			obs.Uint64("young_used_before", st.YoungUsedBefore),
+			obs.Dur("planned_pause", d))}
 	return d
 }
 
@@ -421,6 +444,7 @@ func (h *RegionalHeap) CompleteMinorGC() (GCStats, error) {
 		panic("jvm: CompleteMinorGC without BeginMinorGC")
 	}
 	plan := h.gc
+	defer plan.span.End() // idempotent: closes the span on error returns too
 	oldEden, oldSurv := h.eden, h.surv
 	h.eden, h.surv = nil, nil
 
@@ -483,11 +507,28 @@ func (h *RegionalHeap) CompleteMinorGC() (GCStats, error) {
 	h.lastMinorGCAt = st.At
 	h.gc = nil
 
+	plan.span.End(
+		obs.Uint64("garbage", st.Garbage),
+		obs.Uint64("promoted", st.Promoted),
+		obs.Dur("pause", st.Duration))
+	if m := h.metrics; m != nil {
+		m.Counter("jvm.gc.minor").Inc()
+		m.Counter("jvm.gc.pause_ns").AddDuration(st.Duration)
+		m.Counter("jvm.gc.garbage_bytes").Add(int64(st.Garbage))
+		m.Counter("jvm.gc.promoted_bytes").Add(int64(st.Promoted))
+		if plan.enforced {
+			m.Counter("jvm.gc.enforced").Inc()
+			m.Counter("jvm.gc.enforced_pause_ns").AddDuration(st.Duration)
+		}
+	}
+
 	if h.onGCEnd != nil {
 		h.onGCEnd(st)
 	}
 	if plan.enforced {
 		h.held = true
+		h.tracer.Emit(obs.TrackJVM, obs.KindSafepoint, "safepoint-hold", nil,
+			obs.Bool("held", true))
 		if h.onEnforcedDone != nil {
 			h.onEnforcedDone()
 		}
@@ -551,7 +592,10 @@ func (h *RegionalHeap) BeginFullGC() time.Duration {
 	}
 	d := h.cfg.FullGCBase + time.Duration(float64(used)*h.cfg.FullNsPB)*time.Nanosecond
 	st.Duration = d
-	h.gc = &pendingRegionalGC{kind: FullGC, stats: st, oldAfter: st.OldUsedAfter}
+	h.gc = &pendingRegionalGC{kind: FullGC, stats: st, oldAfter: st.OldUsedAfter,
+		span: h.tracer.Begin(obs.TrackJVM, obs.KindGC, gcSpanName(FullGC, false),
+			obs.Uint64("old_used_before", st.OldUsedBefore),
+			obs.Dur("planned_pause", d))}
 	return d
 }
 
@@ -590,6 +634,12 @@ func (h *RegionalHeap) CompleteFullGC() GCStats {
 	h.FullGCs++
 	h.History = append(h.History, st)
 	h.gc = nil
+	plan.span.End(obs.Uint64("garbage", st.Garbage), obs.Dur("pause", st.Duration))
+	if m := h.metrics; m != nil {
+		m.Counter("jvm.gc.full").Inc()
+		m.Counter("jvm.gc.pause_ns").AddDuration(st.Duration)
+		m.Counter("jvm.gc.garbage_bytes").Add(int64(st.Garbage))
+	}
 	if h.onGCEnd != nil {
 		h.onGCEnd(st)
 	}

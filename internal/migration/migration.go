@@ -28,6 +28,7 @@ import (
 	"javmm/internal/hypervisor"
 	"javmm/internal/mem"
 	"javmm/internal/netsim"
+	"javmm/internal/obs"
 	"javmm/internal/simclock"
 )
 
@@ -51,6 +52,19 @@ func (m Mode) String() string {
 		return "javmm"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode is the inverse of Mode.String: it resolves the mode names the
+// CLIs and experiment configs use ("xen", "javmm").
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "xen":
+		return ModeVanilla, nil
+	case "javmm":
+		return ModeAppAssisted, nil
+	default:
+		return 0, fmt.Errorf("migration: unknown mode %q (want xen or javmm)", s)
 	}
 }
 
@@ -146,8 +160,24 @@ type Config struct {
 
 	// OnIteration, if non-nil, is invoked after each completed iteration
 	// with its statistics — live progress for tools (like `xl migrate`'s
-	// console output).
+	// console output). It is the legacy form of the event bus below: with a
+	// Tracer configured the engine registers OnIteration as a subscription
+	// to the obs.KindIterationStats events it emits, so both surfaces see
+	// identical data.
 	OnIteration func(IterationStats)
+
+	// Tracer, if non-nil, receives the engine's structured trace: a span
+	// per migration run, per iteration and per page-chunk push, the
+	// pre-suspension handshake, the final bitmap update, suspension and
+	// resumption, and an instant event per completed iteration carrying
+	// IterationStats as its Data payload. All timestamps are virtual.
+	Tracer *obs.Tracer
+
+	// Metrics, if non-nil, accumulates the engine's counters
+	// (migration.pages_examined, .pages_sent, .pages_skipped_*,
+	// .bytes_on_wire, ...). The totals reconcile exactly with the Report of
+	// the same run.
+	Metrics *obs.Metrics
 
 	// SkipFreePages enables the OS-assisted baseline of Koto et al.
 	// (paper §1/§2): pages the guest kernel holds on its free list are not
@@ -363,6 +393,21 @@ func (s *Source) Migrate() (*Report, error) {
 	s.ready = false
 	s.aborted = false
 
+	// The legacy OnIteration callback rides the event bus: when a tracer is
+	// configured it becomes a subscription to the per-iteration stats
+	// events, seeing exactly the data every other subscriber sees.
+	if s.Cfg.OnIteration != nil && s.Cfg.Tracer != nil {
+		cancel := s.Cfg.Tracer.Subscribe(func(e obs.Event) {
+			if st, ok := e.Data.(IterationStats); ok {
+				s.Cfg.OnIteration(st)
+			}
+		})
+		defer cancel()
+	}
+	runSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindMigration,
+		"migrate "+s.Cfg.Mode.String(), obs.Str("mode", s.Cfg.Mode.String()))
+	defer runSpan.End()
+
 	start := s.Clock.Now()
 	s.startedAt = start
 	if err := s.Dom.EnableLogDirty(); err != nil {
@@ -388,7 +433,13 @@ func (s *Source) Migrate() (*Report, error) {
 	if f := s.Cfg.ThrottleFactor; f > 0 && f < 1 {
 		if th, ok := s.Exec.(Throttleable); ok {
 			th.SetThrottle(f)
-			defer th.SetThrottle(1.0)
+			s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindThrottle, "throttle", nil,
+				obs.Float("factor", f))
+			defer func() {
+				th.SetThrottle(1.0)
+				s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindThrottle, "throttle", nil,
+					obs.Float("factor", 1.0))
+			}()
 		}
 	}
 
@@ -441,6 +492,8 @@ func (s *Source) Migrate() (*Report, error) {
 	// applications are suspension-ready and the final bitmap update is done.
 	if s.Cfg.Mode == ModeAppAssisted {
 		prepStart := s.Clock.Now()
+		prepSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindPrepare, "prepare-suspension")
+		defer prepSpan.End()
 		ep.Notify(guestos.EvEnteringLastIter{})
 		iter++
 		newRound()
@@ -471,7 +524,11 @@ func (s *Source) Migrate() (*Report, error) {
 		s.report.Fallbacks = s.readyEv.Fallbacks
 		// The final bitmap update runs with applications held; charge its
 		// (sub-millisecond) cost before pausing the VM.
+		fuSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindFinalUpdate, "final-update")
 		s.Clock.Advance(s.report.FinalUpdate)
+		fuSpan.End(obs.Dur("duration", s.report.FinalUpdate))
+		prepSpan.End(obs.Dur("prepare_wait", s.report.PrepareWait),
+			obs.Int("fallbacks", s.report.Fallbacks))
 	}
 
 	// Stop-and-copy.
@@ -482,6 +539,8 @@ func (s *Source) Migrate() (*Report, error) {
 		s.report.FinalTransfer.SetAll()
 	}
 	s.Dom.Pause()
+	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindSuspend, "vm-suspend", nil)
+	pausedSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindVMPaused, "vm-paused")
 	pauseStart := s.Clock.Now()
 	s.Dom.PeekAndClear(toSend)
 	if everDirty != nil {
@@ -496,10 +555,14 @@ func (s *Source) Migrate() (*Report, error) {
 	s.report.LastIterBytes = st.BytesOnWire
 
 	// Resumption: reconnect devices, activate at destination.
+	resSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindResumption, "resumption")
 	s.Clock.Advance(s.Cfg.ResumptionTime)
+	resSpan.End()
 	s.report.Resumption = s.Cfg.ResumptionTime
 	s.report.VMDowntime = s.Clock.Now() - pauseStart
 	s.Dom.Unpause()
+	pausedSpan.End(obs.Dur("downtime", s.report.VMDowntime))
+	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindResume, "vm-resume", nil)
 
 	if s.Cfg.Mode == ModeAppAssisted {
 		ep.Notify(guestos.EvVMResumed{})
@@ -534,10 +597,44 @@ func scaleWire(w uint64, ratio float64) uint64 {
 	return out
 }
 
-// notifyIteration streams a completed iteration to the progress sink.
+// iterationName labels an iteration in traces and progress output.
+func iterationName(index int, last bool) string {
+	if last {
+		return "stop-and-copy"
+	}
+	return fmt.Sprintf("iteration %d", index)
+}
+
+// notifyIteration streams a completed iteration to the event bus (which
+// carries the OnIteration subscription when a tracer is configured) and
+// accumulates the iteration's counters. Every iteration appended to the
+// report passes through here exactly once, so the counters reconcile with
+// the report's sums.
 func (s *Source) notifyIteration(st IterationStats) {
-	if s.Cfg.OnIteration != nil {
+	if t := s.Cfg.Tracer; t != nil {
+		t.Emit(obs.TrackMigration, obs.KindIterationStats, iterationName(st.Index, st.Last), st,
+			obs.Int("index", st.Index),
+			obs.Bool("last", st.Last),
+			obs.Dur("duration", st.Duration),
+			obs.Uint64("pages_considered", st.PagesConsidered),
+			obs.Uint64("pages_sent", st.PagesSent),
+			obs.Uint64("bytes_on_wire", st.BytesOnWire),
+			obs.Uint64("pages_skipped_dirty", st.PagesSkippedDirty),
+			obs.Uint64("pages_skipped_bitmap", st.PagesSkippedBitmap),
+			obs.Uint64("pages_skipped_free", st.PagesSkippedFree),
+			obs.Uint64("pages_dirtied_during", st.PagesDirtiedDuring))
+	} else if s.Cfg.OnIteration != nil {
 		s.Cfg.OnIteration(st)
+	}
+	if m := s.Cfg.Metrics; m != nil {
+		m.Counter("migration.iterations").Inc()
+		m.Counter("migration.pages_examined").Add(int64(st.PagesConsidered))
+		m.Counter("migration.pages_sent").Add(int64(st.PagesSent))
+		m.Counter("migration.bytes_on_wire").Add(int64(st.BytesOnWire))
+		m.Counter("migration.pages_skipped_dirty").Add(int64(st.PagesSkippedDirty))
+		m.Counter("migration.pages_skipped_bitmap").Add(int64(st.PagesSkippedBitmap))
+		m.Counter("migration.pages_skipped_free").Add(int64(st.PagesSkippedFree))
+		m.Counter("migration.pages_dirtied").Add(int64(st.PagesDirtiedDuring))
 	}
 }
 
@@ -577,6 +674,9 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 		Last:            last,
 		PagesConsidered: toSend.Count(),
 	}
+	span := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindIteration,
+		iterationName(index, last),
+		obs.Int("index", index), obs.Uint64("pages_considered", st.PagesConsidered))
 	dirtyBefore := s.Dom.DirtyEvents()
 
 	rawWire := s.Dom.Store().WireSize()
@@ -617,6 +717,8 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 		if len(chunk) == 0 {
 			return
 		}
+		cs := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindChunk, "chunk",
+			obs.Int("pages", len(chunk)), obs.Uint64("wire_bytes", chunkWire))
 		d := s.Link.Send(chunkWire)
 		st.PagesSent += uint64(len(chunk))
 		st.BytesOnWire += chunkWire
@@ -629,6 +731,7 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 		chunk = chunk[:0]
 		chunkWire = 0
 		s.advance(d)
+		cs.End()
 		// Cancellation is honoured at chunk boundaries during live
 		// iterations; stop-and-copy always runs to completion.
 		if !last && s.cancelRequested() {
@@ -671,6 +774,7 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 
 	st.Duration = s.Clock.Now() - st.Start
 	st.PagesDirtiedDuring = s.Dom.DirtyEvents() - dirtyBefore
+	span.End(obs.Uint64("pages_sent", st.PagesSent), obs.Uint64("bytes_on_wire", st.BytesOnWire))
 	return st
 }
 
@@ -684,7 +788,13 @@ type Destination struct {
 
 	tee       *netsim.PageWriter
 	teeErrors int
+	metrics   *obs.Metrics
 }
+
+// SetMetrics attaches a metrics registry to the destination's receive path
+// (dest.pages_received, dest.bytes_received, dest.import_failures,
+// dest.tee_errors). A nil registry detaches.
+func (d *Destination) SetMetrics(m *obs.Metrics) { d.metrics = m }
 
 // NewDestination returns a destination with zeroed memory of n pages,
 // version-backed like the simulated source.
@@ -708,13 +818,17 @@ func (d *Destination) ReceiveCheckpointPage(p mem.PFN, payload []byte) {
 func (d *Destination) receive(p mem.PFN, payload []byte) {
 	if err := d.Store.Import(p, payload); err != nil {
 		d.ImportFailures++
+		d.metrics.Counter("dest.import_failures").Inc()
 		return
 	}
 	d.PagesReceived++
 	d.BytesReceived += uint64(len(payload))
+	d.metrics.Counter("dest.pages_received").Inc()
+	d.metrics.Counter("dest.bytes_received").Add(int64(len(payload)))
 	if d.tee != nil {
 		if err := d.tee.WritePage(p, payload); err != nil {
 			d.teeErrors++
+			d.metrics.Counter("dest.tee_errors").Inc()
 		}
 	}
 }

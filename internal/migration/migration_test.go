@@ -621,6 +621,45 @@ func TestModeStrings(t *testing.T) {
 	}
 }
 
+func TestModeStringRoundTrip(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		want string
+		// parses reports whether ParseMode maps the string back; the
+		// default-branch rendering of unknown modes must not parse.
+		parses bool
+	}{
+		{ModeVanilla, "xen", true},
+		{ModeAppAssisted, "javmm", true},
+		{Mode(2), "Mode(2)", false},
+		{Mode(-1), "Mode(-1)", false},
+		{Mode(99), "Mode(99)", false},
+	}
+	for _, c := range cases {
+		if got := c.mode.String(); got != c.want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(c.mode), got, c.want)
+		}
+		back, err := ParseMode(c.mode.String())
+		if c.parses {
+			if err != nil {
+				t.Errorf("ParseMode(%q) failed: %v", c.mode.String(), err)
+			} else if back != c.mode {
+				t.Errorf("ParseMode(%q) = %v, want %v", c.mode.String(), back, c.mode)
+			}
+		} else if err == nil {
+			t.Errorf("ParseMode(%q) accepted an unknown mode", c.mode.String())
+		}
+	}
+}
+
+func TestParseModeRejectsJunk(t *testing.T) {
+	for _, s := range []string{"", "kvm", "Xen", "JAVMM", " javmm"} {
+		if _, err := ParseMode(s); err == nil {
+			t.Errorf("ParseMode(%q) did not fail", s)
+		}
+	}
+}
+
 func TestDownTimeIncludesStopAndCopyTransfer(t *testing.T) {
 	r := newRig(4096, 5*1000*1000)
 	hot := mem.VARange{Start: 0x1000000, End: 0x1000000 + 1024*mem.PageSize}

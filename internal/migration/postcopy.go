@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"javmm/internal/mem"
+	"javmm/internal/obs"
 )
 
 // Post-copy live migration, the related-work baseline of paper §2 (Hines &
@@ -57,15 +58,22 @@ func (s *Source) MigratePostCopy() (*Report, error) {
 	pc := &PostCopyStats{}
 	s.report.PostCopy = pc
 	start := s.Clock.Now()
+	runSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindMigration, "migrate post-copy",
+		obs.Str("mode", "post-copy"))
+	defer runSpan.End()
 
 	// Switchover: pause, move CPU/device state, resume at the destination.
 	s.Dom.Pause()
+	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindSuspend, "vm-suspend", nil)
+	pausedSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindVMPaused, "vm-paused")
 	pauseStart := s.Clock.Now()
 	s.Clock.Advance(s.Link.Send(cpuStateBytes))
 	s.Clock.Advance(s.Cfg.ResumptionTime)
 	s.report.Resumption = s.Cfg.ResumptionTime
 	s.report.VMDowntime = s.Clock.Now() - pauseStart
 	s.Dom.Unpause()
+	pausedSpan.End(obs.Dur("downtime", s.report.VMDowntime))
+	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindResume, "vm-resume", nil)
 
 	resident := mem.NewBitmap(n)
 	var stallDebt time.Duration
@@ -132,7 +140,12 @@ func (s *Source) MigratePostCopy() (*Report, error) {
 	st.Duration = s.Clock.Now() - st.Start
 	st.PagesConsidered = n
 	s.report.Iterations = append(s.report.Iterations, st)
+	s.notifyIteration(st)
 	s.report.LastIterBytes = st.BytesOnWire
+	if m := s.Cfg.Metrics; m != nil {
+		m.Counter("migration.postcopy_faults").Add(int64(pc.Faults))
+		m.Counter("migration.postcopy_prefetch_pages").Add(int64(pc.PrefetchPages))
+	}
 
 	s.report.FinalTransfer = mem.NewBitmap(n)
 	s.report.FinalTransfer.SetAll()

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"javmm/internal/obs"
 	"javmm/internal/simclock"
 )
 
@@ -43,7 +44,15 @@ type Link struct {
 	bytesSent uint64
 	sends     uint64
 	busy      time.Duration
+
+	metrics *obs.Metrics
 }
+
+// SetMetrics attaches a metrics registry: Send accounts net.bytes_sent,
+// net.sends and net.busy_ns counters, plus a net.bandwidth_bps histogram
+// weighted by transfer duration (so its weighted mean is the effective
+// utilized bandwidth). A nil registry detaches.
+func (l *Link) SetMetrics(m *obs.Metrics) { l.metrics = m }
 
 // NewLink returns a link with the given payload bandwidth (bytes/sec) and
 // one-way latency.
@@ -95,6 +104,12 @@ func (l *Link) Send(n uint64) time.Duration {
 	l.bytesSent += n
 	l.sends++
 	l.busy += d
+	if m := l.metrics; m != nil {
+		m.Counter("net.bytes_sent").Add(int64(n))
+		m.Counter("net.sends").Inc()
+		m.Counter("net.busy_ns").AddDuration(d)
+		m.Histogram("net.bandwidth_bps").ObserveWeighted(float64(l.Bandwidth()), d)
+	}
 	return d
 }
 

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Exporters for recorded traces. Both are fully deterministic: events are
+// written in emission order, attribute keys in the order the producer gave
+// them, and all numbers with fixed formatting — so two runs of the same
+// seeded simulation export byte-identical files.
+
+// WriteJSONL writes one JSON object per event: the flat log form, greppable
+// and easy to load into analysis scripts.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		bw.WriteString(`{"seq":`)
+		bw.WriteString(strconv.Itoa(e.Seq))
+		bw.WriteString(`,"at_ns":`)
+		bw.WriteString(strconv.FormatInt(int64(e.At), 10))
+		bw.WriteString(`,"track":`)
+		writeJSONString(bw, e.Track)
+		bw.WriteString(`,"kind":`)
+		writeJSONString(bw, string(e.Kind))
+		bw.WriteString(`,"name":`)
+		writeJSONString(bw, e.Name)
+		bw.WriteString(`,"phase":`)
+		writeJSONString(bw, string(e.Phase))
+		if len(e.Attrs) > 0 {
+			bw.WriteString(`,"attrs":`)
+			writeAttrs(bw, e.Attrs)
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace writes the events as Chrome trace_event JSON (the
+// "JSON Array Format" with a traceEvents wrapper), loadable in Perfetto or
+// chrome://tracing. Virtual nanoseconds map to trace microseconds; each
+// obs track becomes one thread of pid 1, named via thread_name metadata.
+// Span begin/end pairs become ph "B"/"E"; instants become ph "i" with
+// thread scope.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[`)
+
+	// Assign tids by first appearance so the mapping is deterministic, and
+	// name each thread after its track.
+	tids := make(map[string]int)
+	var order []string
+	for _, e := range events {
+		if _, ok := tids[e.Track]; !ok {
+			tids[e.Track] = len(tids) + 1
+			order = append(order, e.Track)
+		}
+	}
+	first := true
+	for _, track := range order {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString(`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(tids[track]))
+		bw.WriteString(`,"args":{"name":`)
+		writeJSONString(bw, track)
+		bw.WriteString(`}}`)
+	}
+
+	for _, e := range events {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString(`{"name":`)
+		writeJSONString(bw, e.Name)
+		bw.WriteString(`,"cat":`)
+		writeJSONString(bw, string(e.Kind))
+		bw.WriteString(`,"ph":"`)
+		switch e.Phase {
+		case PhaseBegin:
+			bw.WriteByte('B')
+		case PhaseEnd:
+			bw.WriteByte('E')
+		default:
+			bw.WriteByte('i')
+		}
+		bw.WriteString(`","ts":`)
+		writeMicros(bw, e.At)
+		bw.WriteString(`,"pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(tids[e.Track]))
+		if e.Phase == PhaseInstant {
+			bw.WriteString(`,"s":"t"`)
+		}
+		if len(e.Attrs) > 0 {
+			bw.WriteString(`,"args":`)
+			writeAttrs(bw, e.Attrs)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// writeMicros renders a virtual duration as trace microseconds, keeping
+// sub-microsecond precision as decimals ("1234.567").
+func writeMicros(w *bufio.Writer, d time.Duration) {
+	us := int64(d) / 1000
+	ns := int64(d) % 1000
+	w.WriteString(strconv.FormatInt(us, 10))
+	if ns != 0 {
+		fmt.Fprintf(w, ".%03d", ns)
+	}
+}
+
+func writeAttrs(w *bufio.Writer, attrs []Attr) {
+	w.WriteByte('{')
+	for i, a := range attrs {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		writeJSONString(w, a.Key)
+		w.WriteByte(':')
+		writeJSONValue(w, a.Val)
+	}
+	w.WriteByte('}')
+}
+
+func writeJSONValue(w *bufio.Writer, v any) {
+	switch x := v.(type) {
+	case nil:
+		w.WriteString("null")
+	case bool:
+		w.WriteString(strconv.FormatBool(x))
+	case string:
+		writeJSONString(w, x)
+	case int:
+		w.WriteString(strconv.FormatInt(int64(x), 10))
+	case int64:
+		w.WriteString(strconv.FormatInt(x, 10))
+	case uint64:
+		w.WriteString(strconv.FormatUint(x, 10))
+	case time.Duration:
+		w.WriteString(strconv.FormatInt(int64(x), 10))
+	case float64:
+		w.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	default:
+		writeJSONString(w, fmt.Sprintf("%v", x))
+	}
+}
+
+// writeJSONString writes s as a JSON string literal. The escaping covers
+// everything the simulator emits (ASCII names and type strings) plus the
+// general cases, without depending on encoding/json.
+func writeJSONString(w *bufio.Writer, s string) {
+	w.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			w.WriteString(`\"`)
+		case '\\':
+			w.WriteString(`\\`)
+		case '\n':
+			w.WriteString(`\n`)
+		case '\r':
+			w.WriteString(`\r`)
+		case '\t':
+			w.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(w, `\u%04x`, r)
+			} else {
+				w.WriteRune(r)
+			}
+		}
+	}
+	w.WriteByte('"')
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"javmm/internal/simclock"
+)
+
+// buildTrace records a small representative trace: nested spans on one
+// track, an instant with attributes of every supported value type, and a
+// second track.
+func buildTrace() *Tracer {
+	c := simclock.New()
+	tr := New(c)
+	run := tr.Begin(TrackMigration, KindMigration, "migrate javmm", Str("mode", "javmm"))
+	c.Advance(1500 * time.Nanosecond)
+	it := tr.Begin(TrackMigration, KindIteration, "iteration 1", Int("index", 1))
+	c.Advance(time.Millisecond)
+	tr.Emit(TrackJVM, KindGC, "minor GC", nil,
+		Bool("enforced", false), Uint64("garbage", 12345), Float("frac", 0.25),
+		Dur("pause", 70*time.Millisecond), Str("quote", `a"b`))
+	it.End(Uint64("pages_sent", 100))
+	run.End()
+	return tr
+}
+
+func TestWriteJSONLOneObjectPerLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, buildTrace().Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	for i, ln := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, ln)
+		}
+		for _, k := range []string{"seq", "at_ns", "track", "kind", "name", "phase"} {
+			if _, ok := obj[k]; !ok {
+				t.Fatalf("line %d missing %q: %s", i, k, ln)
+			}
+		}
+	}
+	// The instant event carries its attrs, string escaping intact.
+	var gc map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &gc); err != nil {
+		t.Fatal(err)
+	}
+	attrs := gc["attrs"].(map[string]any)
+	if attrs["quote"] != `a"b` {
+		t.Fatalf("escaped string round-trip: %v", attrs["quote"])
+	}
+	if attrs["pause"] != float64(70*time.Millisecond) {
+		t.Fatalf("duration attr = %v", attrs["pause"])
+	}
+}
+
+func TestWriteChromeTraceRequiredFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, buildTrace().Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	// 2 thread_name metadata + 5 events.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("got %d traceEvents, want 7", len(doc.TraceEvents))
+	}
+	for i, e := range doc.TraceEvents {
+		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[k]; !ok {
+				t.Fatalf("traceEvent %d missing required field %q: %v", i, k, e)
+			}
+		}
+	}
+	// Begin/end pairing on the migration thread.
+	var phases []string
+	for _, e := range doc.TraceEvents {
+		if e["ph"] != "M" && e["tid"] == float64(1) {
+			phases = append(phases, e["ph"].(string))
+		}
+	}
+	if strings.Join(phases, "") != "BBEE" {
+		t.Fatalf("migration-track phases = %v, want nested B B E E", phases)
+	}
+}
+
+func TestChromeTimestampIsMicroseconds(t *testing.T) {
+	c := simclock.New()
+	tr := New(c)
+	c.Advance(1500 * time.Nanosecond) // 1.5 µs
+	tr.Emit(TrackMigration, KindSuspend, "x", nil)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ts":1.500`) {
+		t.Fatalf("1.5 µs not rendered as trace microseconds: %s", buf.String())
+	}
+}
+
+func TestExportsAreDeterministic(t *testing.T) {
+	a, b := new(bytes.Buffer), new(bytes.Buffer)
+	if err := WriteChromeTrace(a, buildTrace().Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(b, buildTrace().Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("chrome export differs between identical runs")
+	}
+	a.Reset()
+	b.Reset()
+	if err := WriteJSONL(a, buildTrace().Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(b, buildTrace().Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("jsonl export differs between identical runs")
+	}
+}
+
+func TestJSONStringEscaping(t *testing.T) {
+	c := simclock.New()
+	tr := New(c)
+	tr.Emit(TrackMigration, Kind("k"), "line\nbreak\ttab\\slash\"quote\x01ctl", nil)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(bytes.TrimRight(buf.Bytes(), "\n"), &obj); err != nil {
+		t.Fatalf("escaped output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if obj["name"] != "line\nbreak\ttab\\slash\"quote\x01ctl" {
+		t.Fatalf("round-trip mismatch: %q", obj["name"])
+	}
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"javmm/internal/simclock"
+)
+
+// Metrics is a registry of named instruments driven by the virtual clock.
+// Like Tracer, a nil *Metrics is a valid no-op sink, and the registry is
+// single-threaded. Instruments are created on first use and live for the
+// registry's lifetime.
+type Metrics struct {
+	clock    *simclock.Clock
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry against clock.
+func NewMetrics(clock *simclock.Clock) *Metrics {
+	if clock == nil {
+		panic("obs: NewMetrics requires a clock")
+	}
+	return &Metrics{
+		clock:    clock,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed. A nil registry
+// returns a nil counter, whose methods are no-ops.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{clock: m.clock}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically accumulating integer.
+type Counter struct{ v int64 }
+
+// Add accumulates n (negative n panics: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic("obs: Counter.Add with negative value")
+	}
+	c.v += n
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// AddDuration accumulates a duration as nanoseconds.
+func (c *Counter) AddDuration(d time.Duration) { c.Add(int64(d)) }
+
+// Value returns the accumulated total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins value that additionally integrates itself over
+// virtual time, yielding a time-weighted mean: a gauge set to 1.0 for 9 s
+// and 0.0 for 1 s has mean 0.9 regardless of how many Set calls occurred.
+type Gauge struct {
+	clock    *simclock.Clock
+	last     float64
+	set      bool
+	firstAt  time.Duration
+	lastAt   time.Duration
+	integral float64 // ∫ value dt, in value·seconds
+}
+
+// Set records a new value at the current virtual time.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	now := g.clock.Now()
+	if !g.set {
+		g.set = true
+		g.firstAt = now
+	} else {
+		g.integral += g.last * (now - g.lastAt).Seconds()
+	}
+	g.last = v
+	g.lastAt = now
+}
+
+// Value returns the most recently set value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.last
+}
+
+// TimeWeightedMean returns the gauge's time-weighted average from its first
+// Set to the current virtual time. A gauge set once and never updated has
+// mean equal to that value.
+func (g *Gauge) TimeWeightedMean() float64 {
+	if g == nil || !g.set {
+		return 0
+	}
+	now := g.clock.Now()
+	span := (now - g.firstAt).Seconds()
+	if span <= 0 {
+		return g.last
+	}
+	return (g.integral + g.last*(now-g.lastAt).Seconds()) / span
+}
+
+// Histogram summarizes observations. Observe records unit-weight samples;
+// ObserveWeighted records a sample weighted by the virtual duration it was
+// in effect, so WeightedMean is a time-weighted average (the link uses it
+// for utilization-style series).
+type Histogram struct {
+	count    uint64
+	sum      float64
+	min, max float64
+
+	wsum float64 // Σ v·w_seconds
+	wtot float64 // Σ w_seconds
+}
+
+// Observe records one sample with unit weight.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// ObserveWeighted records a sample weighted by the virtual time w.
+func (h *Histogram) ObserveWeighted(v float64, w time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	h.wsum += v * w.Seconds()
+	h.wtot += w.Seconds()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the unweighted mean of observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// WeightedMean returns the time-weighted mean (0 when no weighted
+// observations were recorded).
+func (h *Histogram) WeightedMean() float64 {
+	if h == nil || h.wtot == 0 {
+		return 0
+	}
+	return h.wsum / h.wtot
+}
+
+// CounterSample is one counter in a snapshot.
+type CounterSample struct {
+	Name  string
+	Value int64
+}
+
+// GaugeSample is one gauge in a snapshot.
+type GaugeSample struct {
+	Name             string
+	Value            float64
+	TimeWeightedMean float64
+}
+
+// HistogramSample is one histogram in a snapshot.
+type HistogramSample struct {
+	Name         string
+	Count        uint64
+	Sum          float64
+	Min, Max     float64
+	Mean         float64
+	WeightedMean float64
+}
+
+// MetricsSnapshot is a point-in-time copy of every instrument, sorted by
+// name within each section — the deterministic form the CLI's --metrics
+// table and the tests consume.
+type MetricsSnapshot struct {
+	At         time.Duration
+	Counters   []CounterSample
+	Gauges     []GaugeSample
+	Histograms []HistogramSample
+}
+
+// Snapshot captures the registry at the current virtual time.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	s := MetricsSnapshot{At: m.clock.Now()}
+	for name, c := range m.counters {
+		s.Counters = append(s.Counters, CounterSample{Name: name, Value: c.Value()})
+	}
+	for name, g := range m.gauges {
+		s.Gauges = append(s.Gauges, GaugeSample{
+			Name: name, Value: g.Value(), TimeWeightedMean: g.TimeWeightedMean(),
+		})
+	}
+	for name, h := range m.hists {
+		s.Histograms = append(s.Histograms, HistogramSample{
+			Name: name, Count: h.Count(), Sum: h.Sum(),
+			Min: h.min, Max: h.max, Mean: h.Mean(), WeightedMean: h.WeightedMean(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns the named counter's value from the snapshot, and whether
+// it was present.
+func (s MetricsSnapshot) Counter(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}

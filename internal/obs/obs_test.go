@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"javmm/internal/simclock"
+)
+
+func TestEmitRecordsVirtualTimeAndOrder(t *testing.T) {
+	c := simclock.New()
+	tr := New(c)
+
+	tr.Emit(TrackMigration, KindSuspend, "suspend", nil)
+	c.Advance(5 * time.Millisecond)
+	tr.Emit(TrackMigration, KindResume, "resume", nil, Int("n", 3))
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].At != 0 || evs[1].At != 5*time.Millisecond {
+		t.Fatalf("timestamps %v, %v", evs[0].At, evs[1].At)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("seq %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[1].Attrs[0].Key != "n" || evs[1].Attrs[0].Val != int64(3) {
+		t.Fatalf("attr = %+v", evs[1].Attrs[0])
+	}
+}
+
+func TestSpanBeginEnd(t *testing.T) {
+	c := simclock.New()
+	tr := New(c)
+
+	sp := tr.Begin(TrackJVM, KindGC, "minor GC", Bool("enforced", false))
+	c.Advance(70 * time.Millisecond)
+	sp.End(Uint64("garbage", 42))
+	sp.End() // idempotent
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2 (End must be idempotent)", len(evs))
+	}
+	if evs[0].Phase != PhaseBegin || evs[1].Phase != PhaseEnd {
+		t.Fatalf("phases %v, %v", evs[0].Phase, evs[1].Phase)
+	}
+	if evs[1].At-evs[0].At != 70*time.Millisecond {
+		t.Fatalf("span duration %v", evs[1].At-evs[0].At)
+	}
+	if evs[0].Name != evs[1].Name || evs[0].Track != evs[1].Track {
+		t.Fatal("begin/end name or track mismatch")
+	}
+}
+
+func TestSubscribeAndCancel(t *testing.T) {
+	c := simclock.New()
+	tr := New(c)
+
+	var got []Event
+	cancel := tr.Subscribe(func(e Event) { got = append(got, e) })
+	tr.Emit(TrackLKM, KindLKMState, "MIGRATION_STARTED", nil)
+	cancel()
+	cancel() // double-cancel is harmless
+	tr.Emit(TrackLKM, KindLKMState, "RESUMED", nil)
+
+	if len(got) != 1 || got[0].Name != "MIGRATION_STARTED" {
+		t.Fatalf("subscriber saw %v", got)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("recorded %d events, want 2", tr.Len())
+	}
+}
+
+func TestSubscriberReceivesTypedPayload(t *testing.T) {
+	type payload struct{ N int }
+	c := simclock.New()
+	tr := New(c)
+
+	var seen payload
+	tr.Subscribe(func(e Event) {
+		if p, ok := e.Data.(payload); ok {
+			seen = p
+		}
+	})
+	tr.Emit(TrackMigration, KindIterationStats, "iteration 1", payload{N: 7})
+	if seen.N != 7 {
+		t.Fatalf("payload not delivered: %+v", seen)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(TrackMigration, KindSuspend, "x", nil)
+	sp := tr.Begin(TrackMigration, KindIteration, "y")
+	sp.End()
+	tr.Subscribe(func(Event) {})()
+	if tr.Events() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer must record nothing")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := simclock.New()
+	m := NewMetrics(c)
+	ctr := m.Counter("pages")
+	ctr.Add(10)
+	ctr.Inc()
+	ctr.AddDuration(5 * time.Nanosecond)
+	if got := m.Counter("pages").Value(); got != 16 {
+		t.Fatalf("counter = %d, want 16", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add must panic")
+		}
+	}()
+	ctr.Add(-1)
+}
+
+func TestGaugeTimeWeightedMean(t *testing.T) {
+	c := simclock.New()
+	m := NewMetrics(c)
+	g := m.Gauge("util")
+
+	g.Set(1.0)
+	c.Advance(9 * time.Second)
+	g.Set(0.0)
+	c.Advance(1 * time.Second)
+
+	if got := g.Value(); got != 0 {
+		t.Fatalf("last value = %v", got)
+	}
+	if got := g.TimeWeightedMean(); got < 0.899 || got > 0.901 {
+		t.Fatalf("time-weighted mean = %v, want 0.9", got)
+	}
+}
+
+func TestGaugeSetOnceMeanIsValue(t *testing.T) {
+	c := simclock.New()
+	m := NewMetrics(c)
+	g := m.Gauge("x")
+	g.Set(3.5)
+	if got := g.TimeWeightedMean(); got != 3.5 {
+		t.Fatalf("mean = %v, want 3.5 (zero elapsed)", got)
+	}
+	c.Advance(time.Second)
+	if got := g.TimeWeightedMean(); got != 3.5 {
+		t.Fatalf("mean = %v, want 3.5", got)
+	}
+}
+
+func TestHistogramWeighted(t *testing.T) {
+	c := simclock.New()
+	m := NewMetrics(c)
+	h := m.Histogram("bw")
+	h.ObserveWeighted(100, 3*time.Second)
+	h.ObserveWeighted(200, 1*time.Second)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 150 {
+		t.Fatalf("mean = %v, want 150", got)
+	}
+	if got := h.WeightedMean(); got != 125 {
+		t.Fatalf("weighted mean = %v, want 125 (=(100*3+200*1)/4)", got)
+	}
+	if h.min != 100 || h.max != 200 {
+		t.Fatalf("min/max = %v/%v", h.min, h.max)
+	}
+}
+
+func TestNilMetricsIsSafe(t *testing.T) {
+	var m *Metrics
+	m.Counter("a").Add(1)
+	m.Gauge("b").Set(2)
+	m.Histogram("c").Observe(3)
+	if m.Counter("a").Value() != 0 || m.Gauge("b").TimeWeightedMean() != 0 || m.Histogram("c").Mean() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	snap := m.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("nil snapshot must be empty")
+	}
+}
+
+func TestSnapshotSortedAndLookup(t *testing.T) {
+	c := simclock.New()
+	m := NewMetrics(c)
+	m.Counter("zebra").Add(1)
+	m.Counter("alpha").Add(2)
+	m.Gauge("mid").Set(5)
+	c.Advance(time.Second)
+
+	s := m.Snapshot()
+	if s.At != time.Second {
+		t.Fatalf("snapshot At = %v", s.At)
+	}
+	if s.Counters[0].Name != "alpha" || s.Counters[1].Name != "zebra" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if v, ok := s.Counter("zebra"); !ok || v != 1 {
+		t.Fatalf("lookup zebra = %d,%v", v, ok)
+	}
+	if _, ok := s.Counter("missing"); ok {
+		t.Fatal("missing counter reported present")
+	}
+}

@@ -63,6 +63,63 @@ func TestTCritFallback(t *testing.T) {
 	}
 }
 
+func TestTCritEdgeCases(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{-5, 0},     // nonsensical df clamps to 0
+		{-1, 0},     // nonsensical df clamps to 0
+		{0, 0},      // zero-sample / one-sample CI has no width
+		{1, 6.314},  // smallest tabulated df
+		{2, 2.920},  // the paper's three-run repeats
+		{10, 1.812}, // largest tabulated df
+		{11, 1.645}, // first df past the table: normal approximation
+		{1000, 1.645},
+	}
+	for _, c := range cases {
+		if got := tCrit(c.df); got != c.want {
+			t.Errorf("tCrit(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// The critical value must be non-increasing in df (the t distribution
+	// tightens toward the normal).
+	prev := tCrit(1)
+	for df := 2; df <= 15; df++ {
+		cur := tCrit(df)
+		if cur > prev {
+			t.Fatalf("tCrit not monotone at df=%d: %v > %v", df, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestCI90EdgeCases(t *testing.T) {
+	// Empty input: both mean and half-width are zero.
+	if mean, half := CI90(nil); mean != 0 || half != 0 {
+		t.Fatalf("CI90(nil) = %v ± %v", mean, half)
+	}
+	// Single sample: the mean is the sample, the interval has no width
+	// (df would be 0).
+	if mean, half := CI90([]float64{42}); mean != 42 || half != 0 {
+		t.Fatalf("CI90(single) = %v ± %v", mean, half)
+	}
+	// Constant samples: zero stddev, zero half-width, any df.
+	if mean, half := CI90([]float64{7, 7, 7, 7}); mean != 7 || half != 0 {
+		t.Fatalf("CI90(constant) = %v ± %v", mean, half)
+	}
+	// Two samples exercise the df=1 row: half = 6.314 * sd / sqrt(2).
+	sd := StdDev([]float64{9, 11})
+	if _, half := CI90([]float64{9, 11}); math.Abs(half-6.314*sd/math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("CI90 df=1 half = %v", half)
+	}
+	// Twelve samples exercise the normal fallback: half = 1.645 * sd / sqrt(12).
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if _, half := CI90(xs); math.Abs(half-1.645*StdDev(xs)/math.Sqrt(12)) > 1e-9 {
+		t.Fatalf("CI90 fallback half = %v", half)
+	}
+}
+
 func TestMeanDuration(t *testing.T) {
 	if MeanDuration(nil) != 0 {
 		t.Fatal("MeanDuration(nil) != 0")

@@ -10,6 +10,7 @@ import (
 	"javmm/internal/javmm"
 	"javmm/internal/jvm"
 	"javmm/internal/mem"
+	"javmm/internal/obs"
 	"javmm/internal/simclock"
 )
 
@@ -88,6 +89,17 @@ type Driver struct {
 	// Fatal workload errors (heap exhaustion) surface here; the driver
 	// stops executing once set.
 	Err error
+
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+}
+
+// SetObs attaches a tracer and metrics registry: each per-second analyzer
+// sample becomes a workload.sample instant on the workload track and updates
+// the workload.ops_per_sec gauge. Either argument may be nil.
+func (d *Driver) SetObs(t *obs.Tracer, m *obs.Metrics) {
+	d.tracer = t
+	d.metrics = m
 }
 
 // step is the driver's execution quantum.
@@ -296,7 +308,11 @@ func (d *Driver) takeSamples() {
 	for d.Clock.Now() >= d.nextSampleAt {
 		// Second is the 0-based index of the interval the sample covers.
 		sec := int((d.nextSampleAt-d.startAt)/time.Second) - 1
-		d.samples = append(d.samples, Sample{Second: sec, Ops: d.TotalOps - d.sampleOpsBase})
+		s := Sample{Second: sec, Ops: d.TotalOps - d.sampleOpsBase}
+		d.samples = append(d.samples, s)
+		d.tracer.Emit(obs.TrackWorkload, obs.KindSample, "sample", s,
+			obs.Int("second", s.Second), obs.Float("ops", s.Ops))
+		d.metrics.Gauge("workload.ops_per_sec").Set(s.Ops)
 		d.sampleOpsBase = d.TotalOps
 		d.nextSampleAt += time.Second
 	}
@@ -348,6 +364,24 @@ type VM struct {
 	Regional *jvm.RegionalHeap
 	Agent    *javmm.Agent // nil unless assisted
 	Driver   *Driver
+}
+
+// AttachObs threads a tracer and metrics registry through every instrumented
+// guest-side layer of the VM: the LKM workflow (state transitions, final
+// updates), the netlink bus, the collector (GC spans, Safepoint events) and
+// the workload driver (per-second throughput samples). Callers migrating the
+// VM should also pass the same pair via migration.Config so the engine's
+// iteration spans land in the same trace. Nil arguments detach.
+func (vm *VM) AttachObs(t *obs.Tracer, m *obs.Metrics) {
+	vm.Guest.LKM.SetObs(t, m)
+	vm.Guest.Bus.SetTracer(t)
+	if vm.JVM != nil {
+		vm.JVM.SetObs(t, m)
+	}
+	if vm.Regional != nil {
+		vm.Regional.SetObs(t, m)
+	}
+	vm.Driver.SetObs(t, m)
 }
 
 // BootConfig parameterizes VM assembly.

@@ -31,6 +31,7 @@ package javmm
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"javmm/internal/cacheapp"
@@ -40,6 +41,7 @@ import (
 	"javmm/internal/mem"
 	"javmm/internal/migration"
 	"javmm/internal/netsim"
+	"javmm/internal/obs"
 	"javmm/internal/replication"
 	"javmm/internal/simclock"
 	"javmm/internal/workload"
@@ -81,6 +83,19 @@ type (
 	Clock = simclock.Clock
 	// GuestExecutor runs guest activity for spans of virtual time.
 	GuestExecutor = migration.GuestExecutor
+	// Tracer records structured events against the virtual clock; attach
+	// one via MigrateOptions.Tracer and export with WriteJSONL or
+	// WriteChromeTrace.
+	Tracer = obs.Tracer
+	// Event is one recorded trace event (virtual timestamp, track, kind,
+	// name, phase, attributes).
+	Event = obs.Event
+	// Metrics is a registry of counters, gauges and time-weighted
+	// histograms keyed to the virtual clock.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time, name-sorted view of a Metrics
+	// registry.
+	MetricsSnapshot = obs.MetricsSnapshot
 )
 
 // Migration modes.
@@ -108,6 +123,23 @@ const (
 	// TenGigabitEthernet models the §6 upgraded environment.
 	TenGigabitEthernet = netsim.TenGigabitEffective
 )
+
+// NewTracer returns a tracer recording against the given virtual clock.
+func NewTracer(c *Clock) *Tracer { return obs.New(c) }
+
+// NewMetrics returns a metrics registry keyed to the given virtual clock.
+func NewMetrics(c *Clock) *Metrics { return obs.NewMetrics(c) }
+
+// WriteTraceJSONL exports recorded events as one JSON object per line.
+func WriteTraceJSONL(w io.Writer, events []Event) error { return obs.WriteJSONL(w, events) }
+
+// WriteTraceChrome exports recorded events as Chrome trace_event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteTraceChrome(w io.Writer, events []Event) error { return obs.WriteChromeTrace(w, events) }
+
+// ParseMode parses a migration mode name: "xen" (vanilla pre-copy) or
+// "javmm" (application-assisted).
+func ParseMode(s string) (Mode, error) { return migration.ParseMode(s) }
 
 // Workloads returns the nine SPECjvm2008-like workload profiles (Table 1).
 func Workloads() []Profile { return workload.Catalog() }
@@ -141,6 +173,14 @@ type MigrateOptions struct {
 	// Executor overrides the guest executor run during migration; nil uses
 	// the VM's workload driver. Use Multiplex to run several applications.
 	Executor GuestExecutor
+	// Tracer, when non-nil, records the migration as structured events on
+	// the virtual clock: engine iterations and stop-and-copy, LKM state
+	// transitions, GC spans, netlink messages, throughput samples. It is
+	// attached to every instrumented layer of the VM for the run.
+	Tracer *Tracer
+	// Metrics, when non-nil, accumulates counters/gauges/histograms from
+	// the same emit points (migration.*, jvm.gc.*, lkm.*, net.*).
+	Metrics *Metrics
 }
 
 // Result combines the engine report with guest-side observations.
@@ -171,16 +211,26 @@ func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
 	}
 	cfg := opts.Engine
 	cfg.Mode = opts.Mode
+	if opts.Tracer != nil {
+		cfg.Tracer = opts.Tracer
+	}
+	if opts.Metrics != nil {
+		cfg.Metrics = opts.Metrics
+	}
+	vm.AttachObs(cfg.Tracer, cfg.Metrics)
 
 	exec := opts.Executor
 	if exec == nil {
 		exec = vm.Driver
 	}
+	link := netsim.NewLink(vm.Clock, opts.Bandwidth, opts.Latency)
+	link.SetMetrics(cfg.Metrics)
 	dest := migration.NewDestination(vm.Dom.NumPages())
+	dest.SetMetrics(cfg.Metrics)
 	src := &migration.Source{
 		Dom:   vm.Dom,
 		LKM:   vm.Guest.LKM,
-		Link:  netsim.NewLink(vm.Clock, opts.Bandwidth, opts.Latency),
+		Link:  link,
 		Clock: vm.Clock,
 		Exec:  exec,
 		Dest:  dest,
@@ -228,18 +278,30 @@ func MigratePostCopy(vm *VM, opts MigrateOptions) (*Result, *PostCopyStats, erro
 	if opts.Latency == 0 {
 		opts.Latency = 100 * time.Microsecond
 	}
+	cfg := opts.Engine
+	if opts.Tracer != nil {
+		cfg.Tracer = opts.Tracer
+	}
+	if opts.Metrics != nil {
+		cfg.Metrics = opts.Metrics
+	}
+	vm.AttachObs(cfg.Tracer, cfg.Metrics)
+
 	exec := opts.Executor
 	if exec == nil {
 		exec = vm.Driver
 	}
+	link := netsim.NewLink(vm.Clock, opts.Bandwidth, opts.Latency)
+	link.SetMetrics(cfg.Metrics)
 	dest := migration.NewDestination(vm.Dom.NumPages())
+	dest.SetMetrics(cfg.Metrics)
 	src := &migration.Source{
 		Dom:   vm.Dom,
-		Link:  netsim.NewLink(vm.Clock, opts.Bandwidth, opts.Latency),
+		Link:  link,
 		Clock: vm.Clock,
 		Exec:  exec,
 		Dest:  dest,
-		Cfg:   opts.Engine,
+		Cfg:   cfg,
 	}
 	report, err := src.MigratePostCopy()
 	if err != nil {
@@ -322,12 +384,23 @@ func MigrateCustom(g *Guest, exec GuestExecutor, opts MigrateOptions, required f
 	}
 	cfg := opts.Engine
 	cfg.Mode = opts.Mode
+	if opts.Tracer != nil {
+		cfg.Tracer = opts.Tracer
+	}
+	if opts.Metrics != nil {
+		cfg.Metrics = opts.Metrics
+	}
+	g.LKM.SetObs(cfg.Tracer, cfg.Metrics)
+	g.Bus.SetTracer(cfg.Tracer)
 
+	link := netsim.NewLink(g.Dom.Clock(), opts.Bandwidth, opts.Latency)
+	link.SetMetrics(cfg.Metrics)
 	dest := migration.NewDestination(g.Dom.NumPages())
+	dest.SetMetrics(cfg.Metrics)
 	src := &migration.Source{
 		Dom:   g.Dom,
 		LKM:   g.LKM,
-		Link:  netsim.NewLink(g.Dom.Clock(), opts.Bandwidth, opts.Latency),
+		Link:  link,
 		Clock: g.Dom.Clock(),
 		Exec:  exec,
 		Dest:  dest,

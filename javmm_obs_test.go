@@ -1,0 +1,197 @@
+package javmm_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"javmm"
+)
+
+// traceRun boots a fresh derby VM, warms it briefly and migrates it in the
+// given mode with a tracer and metrics registry attached.
+func traceRun(t *testing.T, mode javmm.Mode, seed int64) (*javmm.Result, *javmm.Tracer, *javmm.Metrics) {
+	t.Helper()
+	prof, err := javmm.Workload("derby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := javmm.BootVM(javmm.BootConfig{
+		Profile:  prof,
+		Assisted: mode == javmm.ModeJAVMM,
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Driver.Run(60 * time.Second)
+	if vm.Driver.Err != nil {
+		t.Fatal(vm.Driver.Err)
+	}
+	tracer := javmm.NewTracer(vm.Clock)
+	metrics := javmm.NewMetrics(vm.Clock)
+	res, err := javmm.Migrate(vm, javmm.MigrateOptions{
+		Mode:    mode,
+		Tracer:  tracer,
+		Metrics: metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	return res, tracer, metrics
+}
+
+// eventNames collects the names of events matching track/kind/phase.
+func eventNames(events []javmm.Event, track, kind, phase string) []string {
+	var names []string
+	for _, e := range events {
+		if e.Track == track && string(e.Kind) == kind && string(e.Phase) == phase {
+			names = append(names, e.Name)
+		}
+	}
+	return names
+}
+
+// TestTraceLKMStateSequence is the golden LKM trace: an assisted migration
+// walks the five-state workflow of the paper's Figure 4 in exactly this
+// order, and the trace records every transition.
+func TestTraceLKMStateSequence(t *testing.T) {
+	_, tracer, _ := traceRun(t, javmm.ModeJAVMM, 7)
+	got := eventNames(tracer.Events(), "lkm", "lkm.state", "instant")
+	want := []string{
+		"MIGRATION_STARTED",
+		"ENTERING_LAST_ITER",
+		"SUSPENSION_READY",
+		"RESUMED",
+		"INITIALIZED",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("LKM transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LKM transition %d = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestTraceEnforcedGCOnlyAssisted asserts the enforced-GC span appears in
+// assisted traces and never in vanilla ones (which also have no LKM
+// transitions: the framework is bypassed entirely).
+func TestTraceEnforcedGCOnlyAssisted(t *testing.T) {
+	_, assisted, _ := traceRun(t, javmm.ModeJAVMM, 7)
+	if n := len(eventNames(assisted.Events(), "jvm", "jvm.gc", "begin")); n == 0 {
+		t.Fatal("assisted trace has no GC spans at all")
+	}
+	enforced := 0
+	for _, name := range eventNames(assisted.Events(), "jvm", "jvm.gc", "begin") {
+		if name == "enforced GC" {
+			enforced++
+		}
+	}
+	if enforced != 1 {
+		t.Fatalf("assisted trace has %d enforced-GC spans, want exactly 1", enforced)
+	}
+
+	_, vanilla, _ := traceRun(t, javmm.ModeXen, 7)
+	for _, name := range eventNames(vanilla.Events(), "jvm", "jvm.gc", "begin") {
+		if name == "enforced GC" {
+			t.Fatal("vanilla trace contains an enforced-GC span")
+		}
+	}
+	if n := len(eventNames(vanilla.Events(), "lkm", "lkm.state", "instant")); n != 0 {
+		t.Fatalf("vanilla trace has %d LKM transitions, want 0", n)
+	}
+}
+
+// TestTraceIterationSpans asserts every report iteration has a span in the
+// trace — pre-copy rounds named "iteration N" plus the final "stop-and-copy"
+// — and that every opened span was closed.
+func TestTraceIterationSpans(t *testing.T) {
+	res, tracer, _ := traceRun(t, javmm.ModeJAVMM, 7)
+	begins := eventNames(tracer.Events(), "migration", "migration.iteration", "begin")
+	ends := eventNames(tracer.Events(), "migration", "migration.iteration", "end")
+	if len(begins) != len(res.Iterations) {
+		t.Fatalf("trace has %d iteration spans, report has %d iterations", len(begins), len(res.Iterations))
+	}
+	if len(ends) != len(begins) {
+		t.Fatalf("%d iteration begins but %d ends", len(begins), len(ends))
+	}
+	if last := begins[len(begins)-1]; last != "stop-and-copy" {
+		t.Fatalf("last iteration span = %q, want stop-and-copy", last)
+	}
+	// The whole run is bracketed by a migration.run span.
+	if n := len(eventNames(tracer.Events(), "migration", "migration.run", "begin")); n != 1 {
+		t.Fatalf("trace has %d migration.run spans, want 1", n)
+	}
+}
+
+// TestTraceChromeDeterminism runs the same seeded migration twice from two
+// fresh boots and requires byte-identical Chrome trace exports — the
+// reproducibility property DESIGN.md promises for the whole simulator.
+func TestTraceChromeDeterminism(t *testing.T) {
+	_, first, _ := traceRun(t, javmm.ModeJAVMM, 42)
+	_, second, _ := traceRun(t, javmm.ModeJAVMM, 42)
+
+	var a, b bytes.Buffer
+	if err := javmm.WriteTraceChrome(&a, first.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := javmm.WriteTraceChrome(&b, second.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty chrome export")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("chrome exports of identical seeded runs differ")
+	}
+}
+
+// TestMetricsReconcileWithReport asserts the counters accumulated during a
+// migration agree exactly with the report's per-iteration sums — the two
+// surfaces observe the same run through the same emit points.
+func TestMetricsReconcileWithReport(t *testing.T) {
+	res, _, metrics := traceRun(t, javmm.ModeJAVMM, 7)
+	snap := metrics.Snapshot()
+
+	var examined, sent, wire, skipDirty, skipBitmap uint64
+	for _, it := range res.Iterations {
+		examined += it.PagesConsidered
+		sent += it.PagesSent
+		wire += it.BytesOnWire
+		skipDirty += it.PagesSkippedDirty
+		skipBitmap += it.PagesSkippedBitmap
+	}
+
+	check := func(name string, want int64) {
+		t.Helper()
+		got, ok := snap.Counter(name)
+		if !ok {
+			t.Fatalf("counter %s missing", name)
+		}
+		if got != want {
+			t.Fatalf("%s = %d, report says %d", name, got, want)
+		}
+	}
+	check("migration.iterations", int64(len(res.Iterations)))
+	check("migration.pages_examined", int64(examined))
+	check("migration.pages_sent", int64(sent))
+	check("migration.bytes_on_wire", int64(wire))
+	check("migration.pages_skipped_dirty", int64(skipDirty))
+	check("migration.pages_skipped_bitmap", int64(skipBitmap))
+	if sent != res.TotalPagesSent {
+		t.Fatalf("iteration sum %d != Report.TotalPagesSent %d", sent, res.TotalPagesSent)
+	}
+	if wire != res.TotalBytes() {
+		t.Fatalf("iteration sum %d != Report.TotalBytes %d", wire, res.TotalBytes())
+	}
+	check("jvm.gc.enforced", 1)
+	check("jvm.gc.enforced_pause_ns", int64(res.EnforcedGC))
+	if v, ok := snap.Counter("dest.pages_received"); !ok || uint64(v) != res.TotalPagesSent {
+		t.Fatalf("dest.pages_received = %d (present=%v), want %d", v, ok, res.TotalPagesSent)
+	}
+}

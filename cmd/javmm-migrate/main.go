@@ -26,7 +26,7 @@ import (
 func main() {
 	var o options
 	flag.StringVar(&o.Workload, "workload", "derby", "workload to run: "+strings.Join(javmm.WorkloadNames(), ", "))
-	flag.StringVar(&o.Mode, "mode", "javmm", "migration mode: xen or javmm")
+	flag.StringVar(&o.Mode, "mode", "javmm", "migration mode: xen, javmm, post-copy or hybrid")
 	flag.Uint64Var(&o.MemMiB, "mem", 2048, "VM memory in MiB")
 	flag.IntVar(&o.VCPUs, "vcpus", 4, "virtual CPUs")
 	flag.Uint64Var(&o.Bandwidth, "bandwidth", javmm.GigabitEthernet, "link payload bandwidth in bytes/sec")
@@ -155,11 +155,23 @@ func run(o options, out io.Writer) error {
 		fmt.Fprintf(out, "  enforced GC         %v\n", res.EnforcedGC.Round(time.Millisecond))
 		fmt.Fprintf(out, "  final bitmap update %v\n", res.FinalUpdate.Round(time.Microsecond))
 	}
+	if pc := res.PostCopy; pc != nil {
+		fmt.Fprintf(out, "  demand faults       %d (stalled the guest %v)\n", pc.Faults, pc.FaultStall.Round(time.Millisecond))
+		fmt.Fprintf(out, "  prefetched pages    %d\n", pc.PrefetchPages)
+		if mode == javmm.ModeHybrid {
+			fmt.Fprintf(out, "  warm-phase resident %.1f MB at switchover\n", float64(pc.WarmPages*4096)/1e6)
+		}
+		fmt.Fprintf(out, "  fully resident at   %v\n", pc.ResidentAt.Round(time.Millisecond))
+	}
 	fmt.Fprintf(out, "  daemon CPU (model)  %v\n", res.CPUTime.Round(time.Millisecond))
 	if res.VerifyErr != nil {
 		return fmt.Errorf("destination verification FAILED: %w", res.VerifyErr)
 	}
-	fmt.Fprintf(out, "  verification        OK (destination pages match)\n")
+	if res.PostCopy != nil {
+		fmt.Fprintf(out, "  verification        n/a (post-copy phase: residency checked by the engine)\n")
+	} else {
+		fmt.Fprintf(out, "  verification        OK (destination pages match)\n")
+	}
 
 	if tracer != nil {
 		if err := writeTrace(o.TracePath, o.TraceFormat, tracer.Events()); err != nil {

@@ -59,6 +59,50 @@ func TestRunCompression(t *testing.T) {
 	}
 }
 
+func TestRunPostCopyMode(t *testing.T) {
+	o := base()
+	o.Mode = "post-copy"
+	o.Warmup = 30 * time.Second
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"migration complete (post-copy)",
+		"demand faults",
+		"fully resident at",
+		"verification        n/a",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("post-copy output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "destination pages match") {
+		t.Fatal("post-copy run claimed store-equality verification")
+	}
+}
+
+func TestRunHybridMode(t *testing.T) {
+	o := base()
+	o.Mode = "hybrid"
+	o.Warmup = 30 * time.Second
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"migration complete (hybrid)",
+		"warm-phase resident",
+		"fully resident at",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("hybrid output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunRejectsUnknownWorkload(t *testing.T) {
 	o := base()
 	o.Workload = "nosuch"

@@ -300,56 +300,25 @@ func AblationScale(o Options) (*Table, error) {
 
 // RunPostCopy boots a VM and migrates it post-copy style (related work, §2).
 // Post-copy has no pre-copy verification counterpart: the correctness
-// invariant is that every page became resident, which MigratePostCopy
-// guarantees by construction before returning.
+// invariant is that every page became resident, which the engine guarantees
+// by construction before returning. It is a thin wrapper over RunMigration
+// with Mode forced to ModePostCopy — the staged engine dispatches on Mode.
 func RunPostCopy(opts RunOpts) (*Run, *migration.PostCopyStats, error) {
-	opts.fillDefaults()
-	vm, err := workload.Boot(workload.BootConfig{
-		MemBytes: opts.MemBytes,
-		Profile:  opts.Profile,
-		Seed:     opts.Seed,
-	})
+	opts.Mode = migration.ModePostCopy
+	r, err := RunMigration(opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	vm.Driver.Run(opts.Warmup)
-	if vm.Driver.Err != nil {
-		return nil, nil, fmt.Errorf("experiments: warmup failed: %w", vm.Driver.Err)
-	}
-	run := &Run{
-		Opts:                      opts,
-		YoungCommittedAtMigration: vm.Heap.YoungCommitted(),
-		OldUsedAtMigration:        vm.Heap.OldUsed(),
-		MigrationStartSecond:      int(vm.Clock.Now() / time.Second),
-	}
-	src := &migration.Source{
-		Dom:   vm.Dom,
-		Link:  netsim.NewLink(vm.Clock, opts.Bandwidth, 100*time.Microsecond),
-		Clock: vm.Clock,
-		Exec:  vm.Driver,
-		Dest:  migration.NewDestination(vm.Dom.NumPages()),
-		Cfg:   migration.Config{},
-	}
-	report, err := src.MigratePostCopy()
-	if err != nil {
-		return nil, nil, err
-	}
-	if vm.Driver.Err != nil {
-		return nil, nil, fmt.Errorf("experiments: workload failed during post-copy: %w", vm.Driver.Err)
-	}
-	run.Report = report
-	run.WorkloadDowntime = report.VMDowntime
-	if opts.Cooldown > 0 {
-		vm.Driver.Run(opts.Cooldown)
-	}
-	run.Samples = vm.Driver.Samples()
-	return run, report.PostCopy, nil
+	return r, r.Report.PostCopy, nil
 }
 
-// AblationPostCopy renders X8: the post-copy baseline (§2) against pre-copy
-// and JAVMM on derby. Post-copy wins downtime by construction but degrades
-// the resumed VM while its working set is non-resident; JAVMM gets close to
-// post-copy's downtime without the degradation tail.
+// AblationPostCopy renders X8: the post-copy and hybrid baselines (§2)
+// against pre-copy and JAVMM on derby. Post-copy wins downtime by
+// construction but degrades the resumed VM while its working set is
+// non-resident; hybrid's warm phase shortens that tail at the cost of some
+// pre-copy traffic; JAVMM gets close to post-copy's downtime without any
+// degradation tail. One RunMigration loop covers all four engines — the
+// staged pipeline dispatches on Mode.
 func AblationPostCopy(o Options) (*Table, error) {
 	o.fillDefaults()
 	prof, err := workload.Lookup("derby")
@@ -365,7 +334,11 @@ func AblationPostCopy(o Options) (*Table, error) {
 		return fmt.Sprintf("%.1f", opsInWindow(r.Samples, r.MigrationStartSecond, r.MigrationStartSecond+60))
 	}
 
-	for _, mode := range []migration.Mode{migration.ModeVanilla, migration.ModeAppAssisted} {
+	modes := []migration.Mode{
+		migration.ModeVanilla, migration.ModeAppAssisted,
+		migration.ModePostCopy, migration.ModeHybrid,
+	}
+	for _, mode := range modes {
 		opts := o.runOpts(prof, mode, o.Seeds[0])
 		if opts.Cooldown < 70*time.Second {
 			opts.Cooldown = 70 * time.Second
@@ -377,31 +350,32 @@ func AblationPostCopy(o Options) (*Table, error) {
 		if r.VerifyErr != nil {
 			return nil, fmt.Errorf("experiments: post-copy ablation %s verification: %w", mode, r.VerifyErr)
 		}
+		// Degradation is the guest-visible slowdown beyond the blackout:
+		// for pre-copy engines the paused-thread tail (enforced GC + final
+		// update), for post-copy phases the cumulative demand-fault stall.
+		degradation := r.WorkloadDowntime - r.Report.VMDowntime
+		if pc := r.Report.PostCopy; pc != nil {
+			degradation = pc.FaultStall
+		}
 		t.AddRow(mode.String(),
 			fmtDur(r.Report.TotalTime),
 			fmtBytes(r.Report.TotalBytes()),
 			fmtDur(r.Report.VMDowntime),
-			fmtDur(r.WorkloadDowntime-r.Report.VMDowntime),
+			fmtDur(degradation),
 			windowOps(r))
+		if pc := r.Report.PostCopy; pc != nil {
+			switch mode {
+			case migration.ModePostCopy:
+				t.Notes = append(t.Notes, fmt.Sprintf(
+					"post-copy: %d demand faults stalled the guest for %s; memory fully resident after %s (§2)",
+					pc.Faults, fmtDur(pc.FaultStall), fmtDur(pc.ResidentAt)))
+			case migration.ModeHybrid:
+				t.Notes = append(t.Notes, fmt.Sprintf(
+					"hybrid: warm phase left %s resident at switchover; %d demand faults stalled the guest for %s; fully resident after %s",
+					fmtBytes(pc.WarmPages*mem.PageSize), pc.Faults, fmtDur(pc.FaultStall), fmtDur(pc.ResidentAt)))
+			}
+		}
 	}
-
-	opts := o.runOpts(prof, migration.ModeVanilla, o.Seeds[0])
-	if opts.Cooldown < 70*time.Second {
-		opts.Cooldown = 70 * time.Second
-	}
-	r, pc, err := RunPostCopy(opts)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("post-copy",
-		fmtDur(r.Report.TotalTime),
-		fmtBytes(r.Report.TotalBytes()),
-		fmtDur(r.Report.VMDowntime),
-		fmtDur(pc.FaultStall),
-		windowOps(r))
-	t.Notes = append(t.Notes, fmt.Sprintf(
-		"post-copy: %d demand faults stalled the guest for %s; memory fully resident after %s (§2)",
-		pc.Faults, fmtDur(pc.FaultStall), fmtDur(pc.ResidentAt)))
 	return t, nil
 }
 

@@ -497,10 +497,10 @@ func TestAblationPostCopyShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 3 {
+	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
-	if tab.Rows[2][0] != "post-copy" {
+	if tab.Rows[2][0] != "post-copy" || tab.Rows[3][0] != "hybrid" {
 		t.Fatalf("row order: %v", tab.Rows)
 	}
 	// Post-copy must record degradation; pre-copy none.
@@ -509,6 +509,11 @@ func TestAblationPostCopyShapes(t *testing.T) {
 	}
 	if tab.Rows[2][4] == "0 µs" {
 		t.Fatal("post-copy recorded no degradation")
+	}
+	// The hybrid warm phase must shrink the degradation tail relative to
+	// pure post-copy — both notes carry the raw fault counts.
+	if len(tab.Notes) < 2 {
+		t.Fatalf("notes = %v", tab.Notes)
 	}
 }
 

@@ -224,9 +224,14 @@ func RunMigration(opts RunOpts) (*Run, error) {
 	}
 	run.Report = report
 
-	run.VerifyErr = migration.VerifyMigration(
-		vm.Dom.Store(), src.Dest.Store, report.FinalTransfer,
-		func(p mem.PFN) bool { return vm.Guest.Frames.Allocated(p) })
+	// Runs with a post-copy phase have no store-equality counterpart: the
+	// guest keeps running (and dirtying) after switchover, and the engine's
+	// demand-fetch path guarantees residency by construction.
+	if report.PostCopy == nil {
+		run.VerifyErr = migration.VerifyMigration(
+			vm.Dom.Store(), src.Dest.Store, report.FinalTransfer,
+			func(p mem.PFN) bool { return vm.Guest.Frames.Allocated(p) })
+	}
 
 	// Pull the enforced-GC duration from the collector's history.
 	hist := vm.Heap.GCHistory()

@@ -188,6 +188,62 @@ func loadLKM(g *Guest, cfg LKMConfig) *LKM {
 // migration daemon binds its handler here and notifies the LKM through it.
 func (l *LKM) DaemonEndpoint() *hypervisor.Endpoint { return l.ec.Daemon() }
 
+// DaemonProtocol adapts the LKM's five-state workflow (Figure 4) to the
+// migration engine's SuspensionProtocol stage: the daemon-side half of the
+// event-channel handshake, packaged so the engine needs no knowledge of the
+// LKM's event types. One value serves one migration; Protocol() returns a
+// fresh adapter each time.
+type DaemonProtocol struct {
+	lkm   *LKM
+	ep    *hypervisor.Endpoint
+	ready bool
+	ev    EvSuspensionReady
+}
+
+// Protocol returns the LKM's suspension protocol for one migration. The
+// returned value structurally satisfies migration.SuspensionProtocol.
+func (l *LKM) Protocol() *DaemonProtocol {
+	return &DaemonProtocol{lkm: l, ep: l.DaemonEndpoint()}
+}
+
+// Begin binds the daemon-side readiness handler, shares the transfer bitmap
+// and notifies the LKM that migration has started.
+func (p *DaemonProtocol) Begin() *mem.Bitmap {
+	p.ready = false
+	p.ev = EvSuspensionReady{}
+	p.ep.Bind(func(msg any) {
+		if ev, ok := msg.(EvSuspensionReady); ok {
+			p.ready = true
+			p.ev = ev
+		}
+	})
+	transfer := p.lkm.TransferBitmap()
+	p.ep.Notify(EvMigrationBegin{})
+	return transfer
+}
+
+// EnterLastIter tells the LKM pre-copy has converged: applications should
+// prepare for suspension (enforced GC, final skip-area reports).
+func (p *DaemonProtocol) EnterLastIter() { p.ep.Notify(EvEnteringLastIter{}) }
+
+// Ready reports whether the LKM has signalled suspension-readiness (the
+// final bitmap update is done).
+func (p *DaemonProtocol) Ready() bool { return p.ready }
+
+// Outcome returns the final bitmap update's duration and the number of
+// applications that timed out during prepare. Valid once Ready is true.
+func (p *DaemonProtocol) Outcome() (time.Duration, int) {
+	return p.ev.FinalUpdate, p.ev.Fallbacks
+}
+
+// Resumed tells the LKM the VM is active at the destination: release the
+// held applications and reset for the next migration.
+func (p *DaemonProtocol) Resumed() { p.ep.Notify(EvVMResumed{}) }
+
+// Aborted tells the LKM the migration was cancelled: release applications
+// exactly as on resumption and reset.
+func (p *DaemonProtocol) Aborted() { p.ep.Notify(EvMigrationAborted{}) }
+
 // State returns the current workflow state.
 func (l *LKM) State() State { return l.state }
 

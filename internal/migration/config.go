@@ -1,0 +1,284 @@
+package migration
+
+import (
+	"time"
+
+	"javmm/internal/mem"
+	"javmm/internal/obs"
+)
+
+// GuestExecutor runs guest activity for a span of virtual time. The
+// implementation must advance the source clock by exactly d, performing the
+// guest's memory writes, GCs and op completions along the way. This is the
+// interleaving that races the guest's dirtying rate against the migration
+// link (Figure 1).
+type GuestExecutor interface {
+	Run(d time.Duration)
+}
+
+// Throttleable is optionally implemented by executors that support Clark-
+// style write throttling (paper §2: slow down dirtying by stalling write-
+// heavy processes). Factor 1.0 is full speed.
+type Throttleable interface {
+	SetThrottle(factor float64)
+}
+
+// Config tunes the engine. The zero value plus FillDefaults matches the
+// paper's testbed: Xen defaults over gigabit Ethernet.
+type Config struct {
+	Mode Mode
+
+	// MaxIterations forces stop-and-copy after this many live iterations
+	// (Xen default 30, the cap the paper's Figure 8(a) run hits).
+	MaxIterations int
+	// DirtyPageThreshold enters stop-and-copy once the pending dirty set
+	// (intersected with the transfer bitmap) is at most this many pages
+	// (Xen uses 50).
+	DirtyPageThreshold uint64
+	// MaxTrafficFactor aborts pre-copy once total traffic exceeds this
+	// multiple of VM memory. Xen's xc_domain_save default is 3; zero
+	// selects that default and a negative value disables the cap.
+	MaxTrafficFactor float64
+	// ChunkPages is the transfer granularity at which the engine
+	// interleaves guest execution with page pushes. Default 1024 pages
+	// (4 MiB ≈ 34 ms on gigabit).
+	ChunkPages uint64
+	// ResumptionTime models reconnecting devices and activating the VM at
+	// the destination; the paper measures ~170 ms (§5.3).
+	ResumptionTime time.Duration
+
+	// PageExamineCost and PageCopyCost model the daemon's CPU time per
+	// page considered and per page actually sent; used for the §5.3 CPU
+	// comparison (X1).
+	PageExamineCost time.Duration
+	PageCopyCost    time.Duration
+
+	// Compress enables the §6 extension: pages that are not skipped are
+	// compressed before transmission. CompressionRatio is the modelled
+	// wire-size factor in (0,1]; CompressCostPerPage is daemon CPU per
+	// compressed page.
+	Compress            bool
+	CompressionRatio    float64
+	CompressCostPerPage time.Duration
+
+	// DeltaCompression enables the XBZRLE-style baseline of Svärd et al.
+	// (paper §2): the daemon keeps a cache of previously-sent pages and
+	// transmits only the delta when a page is resent. Attacks exactly the
+	// repeated-resend problem JAVMM removes at the source — ablation X13
+	// compares them. DeltaRatio is the modelled wire factor for a resend
+	// (default 0.15); DeltaCostPerPage is the daemon CPU per delta encode.
+	// Report.DeltaCacheBytes carries the daemon-side cache cost (one full
+	// page copy per VM page).
+	DeltaCompression bool
+	DeltaRatio       float64
+	DeltaCostPerPage time.Duration
+
+	// HintedCompression refines Compress with the per-page hints the LKM
+	// collects from applications (§6: "multiple bits per VM memory page to
+	// indicate the suitable compression methods"). Requires Source.HintFor.
+	// Hinted-strong pages compress harder, hinted-none pages go raw with
+	// zero CPU.
+	HintedCompression bool
+
+	// ThrottleFactor, if in (0,1), applies Clark-style write throttling to
+	// the guest while migration cannot keep up with dirtying (baseline of
+	// paper §2).
+	ThrottleFactor float64
+
+	// IdleQuantum paces the engine's waiting loop while the LKM prepares
+	// applications for suspension.
+	IdleQuantum time.Duration
+
+	// SuspensionBackstop bounds the engine-side wait for the guest to
+	// become suspension-ready after the prepare notification. The LKM's own
+	// PrepareTimeout normally resolves stragglers first; this is the hard
+	// backstop against a misconfigured (disabled) timeout. Default one
+	// minute.
+	SuspensionBackstop time.Duration
+
+	// HybridWarmIterations is the number of pre-copy warm rounds a
+	// ModeHybrid migration runs before the post-copy switchover (default 3:
+	// one full pass plus two dirty rounds).
+	HybridWarmIterations int
+
+	// ConservativeLastIter makes the stop-and-copy iteration consider
+	// every page dirtied at any point during migration, not just the
+	// final round. Required when the LKM runs its full-rewalk final
+	// update (guestos.LKMConfig.FinalUpdateRewalk), which learns about
+	// shrunk skip-over areas only at the end (paper §3.3.4, the deferred
+	// alternative design).
+	ConservativeLastIter bool
+
+	// OnIteration, if non-nil, is invoked after each completed iteration
+	// with its statistics — live progress for tools (like `xl migrate`'s
+	// console output). It is the legacy form of the event bus below: with a
+	// Tracer configured the engine registers OnIteration as a subscription
+	// to the obs.KindIterationStats events it emits, so both surfaces see
+	// identical data.
+	OnIteration func(IterationStats)
+
+	// Tracer, if non-nil, receives the engine's structured trace: a span
+	// per migration run, per iteration and per page-chunk push, the
+	// pre-suspension handshake, the final bitmap update, suspension and
+	// resumption, and an instant event per completed iteration carrying
+	// IterationStats as its Data payload. All timestamps are virtual.
+	Tracer *obs.Tracer
+
+	// Metrics, if non-nil, accumulates the engine's counters
+	// (migration.pages_examined, .pages_sent, .pages_skipped_*,
+	// .bytes_on_wire, ...). The totals reconcile exactly with the Report of
+	// the same run.
+	Metrics *obs.Metrics
+
+	// SkipFreePages enables the OS-assisted baseline of Koto et al.
+	// (paper §1/§2): pages the guest kernel holds on its free list are not
+	// transferred. Requires Source.GuestFree. The paper's assessment —
+	// "skipping free pages may only benefit the migration of
+	// lightly-loaded VMs" — is what ablation X12 measures.
+	SkipFreePages bool
+
+	// CancelAfter aborts the migration once it has run for this much
+	// virtual time without reaching stop-and-copy. Pre-copy is naturally
+	// abortable: the source VM has kept running throughout, so an abort
+	// just tears down dirty tracking and tells the guest the migration is
+	// over. Zero disables the deadline.
+	CancelAfter time.Duration
+	// ShouldCancel, if non-nil, is polled at chunk boundaries; returning
+	// true aborts like CancelAfter.
+	ShouldCancel func() bool
+}
+
+// FillDefaults populates unset fields with the paper's testbed defaults.
+func (c *Config) FillDefaults() {
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 30
+	}
+	if c.DirtyPageThreshold == 0 {
+		c.DirtyPageThreshold = 50
+	}
+	if c.MaxTrafficFactor == 0 {
+		c.MaxTrafficFactor = 3.0
+	}
+	if c.ChunkPages == 0 {
+		c.ChunkPages = 1024
+	}
+	if c.ResumptionTime == 0 {
+		c.ResumptionTime = 170 * time.Millisecond
+	}
+	if c.PageExamineCost == 0 {
+		c.PageExamineCost = 200 * time.Nanosecond
+	}
+	if c.PageCopyCost == 0 {
+		c.PageCopyCost = 2 * time.Microsecond
+	}
+	if c.Compress && c.CompressionRatio == 0 {
+		c.CompressionRatio = 0.45
+	}
+	if c.Compress && c.CompressCostPerPage == 0 {
+		c.CompressCostPerPage = 8 * time.Microsecond
+	}
+	if c.DeltaCompression && c.DeltaRatio == 0 {
+		c.DeltaRatio = 0.15
+	}
+	if c.DeltaCompression && c.DeltaCostPerPage == 0 {
+		c.DeltaCostPerPage = 5 * time.Microsecond
+	}
+	if c.IdleQuantum == 0 {
+		c.IdleQuantum = time.Millisecond
+	}
+	if c.SuspensionBackstop == 0 {
+		c.SuspensionBackstop = time.Minute
+	}
+	if c.HybridWarmIterations == 0 {
+		c.HybridWarmIterations = 3
+	}
+}
+
+// IterationStats describes one migration iteration — the boxes of Figure 8
+// and the stacked bars of Figure 9.
+type IterationStats struct {
+	Index    int
+	Start    time.Duration // virtual time at iteration start
+	Duration time.Duration
+	Last     bool // the stop-and-copy iteration
+
+	PagesConsidered    uint64 // size of the round's to-send set
+	PagesSent          uint64
+	BytesOnWire        uint64
+	PagesSkippedDirty  uint64 // re-dirtied mid-round, deferred to next round
+	PagesSkippedBitmap uint64 // transfer bit cleared (e.g. young gen)
+	PagesSkippedFree   uint64 // on the guest's free list (SkipFreePages)
+	PagesDirtiedDuring uint64 // new dirtying while this iteration ran
+}
+
+// TransferRate returns the iteration's payload rate in bytes/sec.
+func (s IterationStats) TransferRate() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.BytesOnWire) / s.Duration.Seconds()
+}
+
+// DirtyRate returns the guest dirtying rate during the iteration in
+// pages/sec.
+func (s IterationStats) DirtyRate() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.PagesDirtiedDuring) / s.Duration.Seconds()
+}
+
+// Report is the outcome of one migration.
+type Report struct {
+	Mode       Mode
+	Iterations []IterationStats
+
+	TotalTime   time.Duration // migrate start to VM active at destination
+	VMDowntime  time.Duration // VM paused (stop-and-copy + resumption)
+	PrepareWait time.Duration // LKM prepare handshake (safepoint + GC wait)
+	FinalUpdate time.Duration // final transfer bitmap update (downtime part)
+	Resumption  time.Duration
+
+	TotalPagesSent uint64
+	LastIterBytes  uint64
+
+	// DeltaResends counts pages sent as deltas and DeltaCacheBytes the
+	// daemon-side page cache cost (DeltaCompression runs only).
+	DeltaResends    uint64
+	DeltaCacheBytes uint64
+	CPUTime         time.Duration // daemon CPU model (X1)
+	Fallbacks       int           // apps that timed out during prepare
+
+	// FinalTransfer is the transfer bitmap snapshot at VM pause: set bits
+	// are the pages the destination must have faithfully. Vanilla
+	// migrations have every bit set.
+	FinalTransfer *mem.Bitmap
+
+	// PostCopy is set for runs with a post-copy phase (ModePostCopy,
+	// ModeHybrid). Post-copy semantics differ: the domain's memory IS the
+	// destination memory after switchover, so Dest.Store is a transport
+	// record and the correctness invariant is "every page became
+	// resident", not store equality.
+	PostCopy *PostCopyStats
+}
+
+// TotalBytes returns the migration's total payload traffic.
+func (r *Report) TotalBytes() uint64 {
+	var t uint64
+	for _, it := range r.Iterations {
+		t += it.BytesOnWire
+	}
+	return t
+}
+
+// LiveIterations returns the number of pre-copy iterations (excluding
+// stop-and-copy).
+func (r *Report) LiveIterations() int {
+	n := 0
+	for _, it := range r.Iterations {
+		if !it.Last {
+			n++
+		}
+	}
+	return n
+}

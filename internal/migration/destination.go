@@ -1,0 +1,97 @@
+package migration
+
+import (
+	"fmt"
+
+	"javmm/internal/mem"
+	"javmm/internal/netsim"
+	"javmm/internal/obs"
+)
+
+// Destination is the receiving host's view of the migration: its own copy of
+// the VM's memory. It is the default PageSink of every engine.
+type Destination struct {
+	Store          mem.PageStore
+	PagesReceived  uint64
+	BytesReceived  uint64
+	ImportFailures int
+
+	tee       *netsim.PageWriter
+	teeErrors int
+	metrics   *obs.Metrics
+}
+
+// SetMetrics attaches a metrics registry to the destination's receive path
+// (dest.pages_received, dest.bytes_received, dest.import_failures,
+// dest.tee_errors). A nil registry detaches.
+func (d *Destination) SetMetrics(m *obs.Metrics) { d.metrics = m }
+
+// NewDestination returns a destination with zeroed memory of n pages,
+// version-backed like the simulated source.
+func NewDestination(n uint64) *Destination {
+	return &Destination{Store: mem.NewVersionStore(n)}
+}
+
+// NewDestinationWithStore uses a caller-provided store (e.g. a byte-backed
+// store in the TCP integration tests).
+func NewDestinationWithStore(store mem.PageStore) *Destination {
+	return &Destination{Store: store}
+}
+
+// ReceiveCheckpointPage imports a page pushed outside a migration — the
+// replication package's checkpoint stream uses the same destination
+// machinery (and Tee mirroring) as migration.
+func (d *Destination) ReceiveCheckpointPage(p mem.PFN, payload []byte) {
+	d.ReceivePage(p, payload)
+}
+
+// ReceivePage implements PageSink: import the page, account it, and mirror
+// it onto the tee when one is attached.
+func (d *Destination) ReceivePage(p mem.PFN, payload []byte) {
+	if err := d.Store.Import(p, payload); err != nil {
+		d.ImportFailures++
+		d.metrics.Counter("dest.import_failures").Inc()
+		return
+	}
+	d.PagesReceived++
+	d.BytesReceived += uint64(len(payload))
+	d.metrics.Counter("dest.pages_received").Inc()
+	d.metrics.Counter("dest.bytes_received").Add(int64(len(payload)))
+	if d.tee != nil {
+		if err := d.tee.WritePage(p, payload); err != nil {
+			d.teeErrors++
+			d.metrics.Counter("dest.tee_errors").Inc()
+		}
+	}
+}
+
+// VerifyMigration checks the migration correctness invariant (DESIGN.md §6):
+// every page the destination may legally observe must carry the source's
+// final content. required(p) reports whether page p's content matters after
+// resume (typically: the frame is still allocated in the guest); pages with
+// a cleared final transfer bit were declared skippable by their application
+// and are exempt.
+func VerifyMigration(src, dst mem.PageStore, finalTransfer *mem.Bitmap, required func(mem.PFN) bool) error {
+	if src.NumPages() != dst.NumPages() {
+		return fmt.Errorf("migration: page count mismatch: src %d dst %d", src.NumPages(), dst.NumPages())
+	}
+	var bad []mem.PFN
+	for p := mem.PFN(0); uint64(p) < src.NumPages(); p++ {
+		if !finalTransfer.Test(p) {
+			continue // skipped by application consent
+		}
+		if required != nil && !required(p) {
+			continue // e.g. freed frame: content irrelevant until rewritten
+		}
+		if src.Version(p) != dst.Version(p) {
+			bad = append(bad, p)
+			if len(bad) >= 8 {
+				break
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("migration: %d+ pages diverge at destination (first: %v)", len(bad), bad)
+	}
+	return nil
+}

@@ -1,8 +1,9 @@
-// Package migration implements the pre-copy live-migration engine: Xen's
-// iterative dirty-page transfer loop, extended with the transfer-bitmap
-// consultation that makes it application-assisted (paper §3.3.3).
+// Package migration implements the live-migration engines: Xen's iterative
+// pre-copy dirty-page transfer loop, extended with the transfer-bitmap
+// consultation that makes it application-assisted (paper §3.3.3), the
+// post-copy baseline of paper §2, and a hybrid of the two.
 //
-// The engine reproduces xc_domain_save's structure:
+// The pre-copy engine reproduces xc_domain_save's structure:
 //
 //   - Iteration 1 sends every page of the VM.
 //   - Each following iteration sends the pages dirtied during the previous
@@ -17,6 +18,10 @@
 // In application-assisted mode the engine additionally skips any page whose
 // transfer bit is cleared, coordinates the pre-suspension handshake with the
 // in-guest LKM, and charges the final bitmap update to downtime.
+//
+// The engine itself is a thin orchestrator over the pluggable stages of
+// stages.go (SkipPolicy, WireCodec, StopPolicy, SuspensionProtocol,
+// PageSink); every Mode is a composition of stage implementations.
 package migration
 
 import (
@@ -32,304 +37,10 @@ import (
 	"javmm/internal/simclock"
 )
 
-// Mode selects the migration algorithm.
-type Mode int
-
-const (
-	// ModeVanilla is unmodified Xen pre-copy: application-agnostic.
-	ModeVanilla Mode = iota
-	// ModeAppAssisted consults the LKM's transfer bitmap and runs the
-	// collaborative workflow of paper §3.3.5.
-	ModeAppAssisted
-)
-
-// String names the mode as in the paper's evaluation.
-func (m Mode) String() string {
-	switch m {
-	case ModeVanilla:
-		return "xen"
-	case ModeAppAssisted:
-		return "javmm"
-	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
-	}
-}
-
-// ParseMode is the inverse of Mode.String: it resolves the mode names the
-// CLIs and experiment configs use ("xen", "javmm").
-func ParseMode(s string) (Mode, error) {
-	switch s {
-	case "xen":
-		return ModeVanilla, nil
-	case "javmm":
-		return ModeAppAssisted, nil
-	default:
-		return 0, fmt.Errorf("migration: unknown mode %q (want xen or javmm)", s)
-	}
-}
-
-// GuestExecutor runs guest activity for a span of virtual time. The
-// implementation must advance the source clock by exactly d, performing the
-// guest's memory writes, GCs and op completions along the way. This is the
-// interleaving that races the guest's dirtying rate against the migration
-// link (Figure 1).
-type GuestExecutor interface {
-	Run(d time.Duration)
-}
-
-// Throttleable is optionally implemented by executors that support Clark-
-// style write throttling (paper §2: slow down dirtying by stalling write-
-// heavy processes). Factor 1.0 is full speed.
-type Throttleable interface {
-	SetThrottle(factor float64)
-}
-
-// Config tunes the engine. The zero value plus FillDefaults matches the
-// paper's testbed: Xen defaults over gigabit Ethernet.
-type Config struct {
-	Mode Mode
-
-	// MaxIterations forces stop-and-copy after this many live iterations
-	// (Xen default 30, the cap the paper's Figure 8(a) run hits).
-	MaxIterations int
-	// DirtyPageThreshold enters stop-and-copy once the pending dirty set
-	// (intersected with the transfer bitmap) is at most this many pages
-	// (Xen uses 50).
-	DirtyPageThreshold uint64
-	// MaxTrafficFactor aborts pre-copy once total traffic exceeds this
-	// multiple of VM memory. Xen's xc_domain_save default is 3; zero
-	// selects that default and a negative value disables the cap.
-	MaxTrafficFactor float64
-	// ChunkPages is the transfer granularity at which the engine
-	// interleaves guest execution with page pushes. Default 1024 pages
-	// (4 MiB ≈ 34 ms on gigabit).
-	ChunkPages uint64
-	// ResumptionTime models reconnecting devices and activating the VM at
-	// the destination; the paper measures ~170 ms (§5.3).
-	ResumptionTime time.Duration
-
-	// PageExamineCost and PageCopyCost model the daemon's CPU time per
-	// page considered and per page actually sent; used for the §5.3 CPU
-	// comparison (X1).
-	PageExamineCost time.Duration
-	PageCopyCost    time.Duration
-
-	// Compress enables the §6 extension: pages that are not skipped are
-	// compressed before transmission. CompressionRatio is the modelled
-	// wire-size factor in (0,1]; CompressCostPerPage is daemon CPU per
-	// compressed page.
-	Compress            bool
-	CompressionRatio    float64
-	CompressCostPerPage time.Duration
-
-	// DeltaCompression enables the XBZRLE-style baseline of Svärd et al.
-	// (paper §2): the daemon keeps a cache of previously-sent pages and
-	// transmits only the delta when a page is resent. Attacks exactly the
-	// repeated-resend problem JAVMM removes at the source — ablation X13
-	// compares them. DeltaRatio is the modelled wire factor for a resend
-	// (default 0.15); DeltaCostPerPage is the daemon CPU per delta encode.
-	// Report.DeltaCacheBytes carries the daemon-side cache cost (one full
-	// page copy per VM page).
-	DeltaCompression bool
-	DeltaRatio       float64
-	DeltaCostPerPage time.Duration
-
-	// HintedCompression refines Compress with the per-page hints the LKM
-	// collects from applications (§6: "multiple bits per VM memory page to
-	// indicate the suitable compression methods"). Requires Source.HintFor.
-	// Hinted-strong pages compress harder, hinted-none pages go raw with
-	// zero CPU.
-	HintedCompression bool
-
-	// ThrottleFactor, if in (0,1), applies Clark-style write throttling to
-	// the guest while migration cannot keep up with dirtying (baseline of
-	// paper §2).
-	ThrottleFactor float64
-
-	// IdleQuantum paces the engine's waiting loop while the LKM prepares
-	// applications for suspension.
-	IdleQuantum time.Duration
-
-	// ConservativeLastIter makes the stop-and-copy iteration consider
-	// every page dirtied at any point during migration, not just the
-	// final round. Required when the LKM runs its full-rewalk final
-	// update (guestos.LKMConfig.FinalUpdateRewalk), which learns about
-	// shrunk skip-over areas only at the end (paper §3.3.4, the deferred
-	// alternative design).
-	ConservativeLastIter bool
-
-	// OnIteration, if non-nil, is invoked after each completed iteration
-	// with its statistics — live progress for tools (like `xl migrate`'s
-	// console output). It is the legacy form of the event bus below: with a
-	// Tracer configured the engine registers OnIteration as a subscription
-	// to the obs.KindIterationStats events it emits, so both surfaces see
-	// identical data.
-	OnIteration func(IterationStats)
-
-	// Tracer, if non-nil, receives the engine's structured trace: a span
-	// per migration run, per iteration and per page-chunk push, the
-	// pre-suspension handshake, the final bitmap update, suspension and
-	// resumption, and an instant event per completed iteration carrying
-	// IterationStats as its Data payload. All timestamps are virtual.
-	Tracer *obs.Tracer
-
-	// Metrics, if non-nil, accumulates the engine's counters
-	// (migration.pages_examined, .pages_sent, .pages_skipped_*,
-	// .bytes_on_wire, ...). The totals reconcile exactly with the Report of
-	// the same run.
-	Metrics *obs.Metrics
-
-	// SkipFreePages enables the OS-assisted baseline of Koto et al.
-	// (paper §1/§2): pages the guest kernel holds on its free list are not
-	// transferred. Requires Source.GuestFree. The paper's assessment —
-	// "skipping free pages may only benefit the migration of
-	// lightly-loaded VMs" — is what ablation X12 measures.
-	SkipFreePages bool
-
-	// CancelAfter aborts the migration once it has run for this much
-	// virtual time without reaching stop-and-copy. Pre-copy is naturally
-	// abortable: the source VM has kept running throughout, so an abort
-	// just tears down dirty tracking and tells the guest the migration is
-	// over. Zero disables the deadline.
-	CancelAfter time.Duration
-	// ShouldCancel, if non-nil, is polled at chunk boundaries; returning
-	// true aborts like CancelAfter.
-	ShouldCancel func() bool
-}
-
-// FillDefaults populates unset fields with the paper's testbed defaults.
-func (c *Config) FillDefaults() {
-	if c.MaxIterations == 0 {
-		c.MaxIterations = 30
-	}
-	if c.DirtyPageThreshold == 0 {
-		c.DirtyPageThreshold = 50
-	}
-	if c.MaxTrafficFactor == 0 {
-		c.MaxTrafficFactor = 3.0
-	}
-	if c.ChunkPages == 0 {
-		c.ChunkPages = 1024
-	}
-	if c.ResumptionTime == 0 {
-		c.ResumptionTime = 170 * time.Millisecond
-	}
-	if c.PageExamineCost == 0 {
-		c.PageExamineCost = 200 * time.Nanosecond
-	}
-	if c.PageCopyCost == 0 {
-		c.PageCopyCost = 2 * time.Microsecond
-	}
-	if c.Compress && c.CompressionRatio == 0 {
-		c.CompressionRatio = 0.45
-	}
-	if c.Compress && c.CompressCostPerPage == 0 {
-		c.CompressCostPerPage = 8 * time.Microsecond
-	}
-	if c.DeltaCompression && c.DeltaRatio == 0 {
-		c.DeltaRatio = 0.15
-	}
-	if c.DeltaCompression && c.DeltaCostPerPage == 0 {
-		c.DeltaCostPerPage = 5 * time.Microsecond
-	}
-	if c.IdleQuantum == 0 {
-		c.IdleQuantum = time.Millisecond
-	}
-}
-
-// IterationStats describes one migration iteration — the boxes of Figure 8
-// and the stacked bars of Figure 9.
-type IterationStats struct {
-	Index    int
-	Start    time.Duration // virtual time at iteration start
-	Duration time.Duration
-	Last     bool // the stop-and-copy iteration
-
-	PagesConsidered    uint64 // size of the round's to-send set
-	PagesSent          uint64
-	BytesOnWire        uint64
-	PagesSkippedDirty  uint64 // re-dirtied mid-round, deferred to next round
-	PagesSkippedBitmap uint64 // transfer bit cleared (e.g. young gen)
-	PagesSkippedFree   uint64 // on the guest's free list (SkipFreePages)
-	PagesDirtiedDuring uint64 // new dirtying while this iteration ran
-}
-
-// TransferRate returns the iteration's payload rate in bytes/sec.
-func (s IterationStats) TransferRate() float64 {
-	if s.Duration <= 0 {
-		return 0
-	}
-	return float64(s.BytesOnWire) / s.Duration.Seconds()
-}
-
-// DirtyRate returns the guest dirtying rate during the iteration in
-// pages/sec.
-func (s IterationStats) DirtyRate() float64 {
-	if s.Duration <= 0 {
-		return 0
-	}
-	return float64(s.PagesDirtiedDuring) / s.Duration.Seconds()
-}
-
-// Report is the outcome of one migration.
-type Report struct {
-	Mode       Mode
-	Iterations []IterationStats
-
-	TotalTime   time.Duration // migrate start to VM active at destination
-	VMDowntime  time.Duration // VM paused (stop-and-copy + resumption)
-	PrepareWait time.Duration // LKM prepare handshake (safepoint + GC wait)
-	FinalUpdate time.Duration // final transfer bitmap update (downtime part)
-	Resumption  time.Duration
-
-	TotalPagesSent uint64
-	LastIterBytes  uint64
-
-	// DeltaResends counts pages sent as deltas and DeltaCacheBytes the
-	// daemon-side page cache cost (DeltaCompression runs only).
-	DeltaResends    uint64
-	DeltaCacheBytes uint64
-	CPUTime         time.Duration // daemon CPU model (X1)
-	Fallbacks       int           // apps that timed out during prepare
-
-	// FinalTransfer is the transfer bitmap snapshot at VM pause: set bits
-	// are the pages the destination must have faithfully. Vanilla
-	// migrations have every bit set.
-	FinalTransfer *mem.Bitmap
-
-	// PostCopy is set for post-copy runs (MigratePostCopy). Post-copy
-	// semantics differ: the domain's memory IS the destination memory
-	// after switchover, so Dest.Store is a transport record and the
-	// correctness invariant is "every page became resident", not store
-	// equality.
-	PostCopy *PostCopyStats
-}
-
-// TotalBytes returns the migration's total payload traffic.
-func (r *Report) TotalBytes() uint64 {
-	var t uint64
-	for _, it := range r.Iterations {
-		t += it.BytesOnWire
-	}
-	return t
-}
-
-// LiveIterations returns the number of pre-copy iterations (excluding
-// stop-and-copy).
-func (r *Report) LiveIterations() int {
-	n := 0
-	for _, it := range r.Iterations {
-		if !it.Last {
-			n++
-		}
-	}
-	return n
-}
-
 // Source drives a migration from the source host.
 type Source struct {
 	Dom   *hypervisor.Domain
-	LKM   *guestos.LKM // required in ModeAppAssisted
+	LKM   *guestos.LKM // required in ModeAppAssisted (unless Protocol is set)
 	Link  *netsim.Link
 	Clock *simclock.Clock
 	Exec  GuestExecutor // may be nil for an idle guest
@@ -343,54 +54,103 @@ type Source struct {
 	// when Cfg.HintedCompression is set (typically the LKM's HintFor).
 	HintFor func(p mem.PFN) uint8
 
+	// Stage overrides. Each nil field selects the default implementation
+	// derived from Cfg (see stages.go): custom engines and future assisted
+	// applications plug in here without touching the orchestrator.
+	Skip     SkipPolicy
+	Codec    WireCodec
+	Stop     StopPolicy
+	Protocol SuspensionProtocol // ModeAppAssisted only; default LKM.Protocol()
+	Sink     PageSink           // default: Dest
+
 	// mutable state during one migration
-	transfer  *mem.Bitmap
-	ready     bool
-	readyEv   guestos.EvSuspensionReady
 	report    *Report
 	sentBytes uint64
 	startedAt time.Duration
 	aborted   bool
-	sentOnce  *mem.Bitmap // pages already sent (delta-compression cache)
+
+	// stages bound for the current run
+	skip  SkipPolicy
+	codec WireCodec
+	stop  StopPolicy
+	proto SuspensionProtocol
+	sink  PageSink
+	// residentTrack, when non-nil, records every page the sink receives —
+	// the hybrid engine's warm phase uses it to seed post-copy residency.
+	residentTrack *mem.Bitmap
 }
 
-// Errors returned by Migrate.
+// Errors returned by the migration engines.
 var (
-	ErrNoLKM   = errors.New("migration: app-assisted mode requires an LKM")
-	ErrNoDest  = errors.New("migration: destination required")
-	ErrNoLink  = errors.New("migration: link required")
-	ErrNoClock = errors.New("migration: clock required")
+	ErrNoSource = errors.New("migration: source domain required")
+	ErrNoLKM    = errors.New("migration: app-assisted mode requires an LKM")
+	ErrNoDest   = errors.New("migration: destination required")
+	ErrNoLink   = errors.New("migration: link required")
+	ErrNoClock  = errors.New("migration: clock required")
 	// ErrCancelled reports a migration aborted by CancelAfter or
 	// ShouldCancel. Migrate returns it together with the partial report;
 	// the VM keeps running at the source.
 	ErrCancelled = errors.New("migration: cancelled")
+	// ErrSuspensionTimeout reports that the guest never became
+	// suspension-ready within Config.SuspensionBackstop after the prepare
+	// notification.
+	ErrSuspensionTimeout = errors.New("migration: guest never became suspension-ready")
 )
 
-// Migrate runs the full migration and returns its report. The source domain
-// is left unpaused ("resumed at the destination"): in this simulator the
-// domain object represents the VM wherever it runs, while Dest holds the
-// destination host's copy of its memory for verification.
+// Migrate runs the migration selected by Cfg.Mode and returns its report.
+// The source domain is left unpaused ("resumed at the destination"): in this
+// simulator the domain object represents the VM wherever it runs, while Dest
+// holds the destination host's copy of its memory for verification.
 func (s *Source) Migrate() (*Report, error) {
+	switch s.Cfg.Mode {
+	case ModePostCopy:
+		return s.MigratePostCopy()
+	case ModeHybrid:
+		return s.MigrateHybrid()
+	}
+	return s.migratePreCopy()
+}
+
+// validate checks the pieces every engine needs.
+func (s *Source) validate() error {
 	switch {
 	case s.Dom == nil:
-		return nil, errors.New("migration: source domain required")
-	case s.Dest == nil:
-		return nil, ErrNoDest
+		return ErrNoSource
+	case s.Dest == nil && s.Sink == nil:
+		return ErrNoDest
 	case s.Link == nil:
-		return nil, ErrNoLink
+		return ErrNoLink
 	case s.Clock == nil:
-		return nil, ErrNoClock
-	case s.Cfg.Mode == ModeAppAssisted && s.LKM == nil:
+		return ErrNoClock
+	}
+	return nil
+}
+
+// checkDestSize rejects a destination whose memory does not match the
+// source's.
+func (s *Source) checkDestSize() error {
+	if s.Dest != nil && s.Dest.Store.NumPages() != s.Dom.NumPages() {
+		return fmt.Errorf("migration: destination has %d pages, source %d",
+			s.Dest.Store.NumPages(), s.Dom.NumPages())
+	}
+	return nil
+}
+
+// migratePreCopy is the iterative pre-copy orchestrator (ModeVanilla and
+// ModeAppAssisted).
+func (s *Source) migratePreCopy() (*Report, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if s.Cfg.Mode == ModeAppAssisted && s.LKM == nil && s.Protocol == nil {
 		return nil, ErrNoLKM
 	}
-	if s.Dest.Store.NumPages() != s.Dom.NumPages() {
-		return nil, fmt.Errorf("migration: destination has %d pages, source %d",
-			s.Dest.Store.NumPages(), s.Dom.NumPages())
+	if err := s.checkDestSize(); err != nil {
+		return nil, err
 	}
 	s.Cfg.FillDefaults()
 	s.report = &Report{Mode: s.Cfg.Mode}
 	s.sentBytes = 0
-	s.ready = false
 	s.aborted = false
 
 	// The legacy OnIteration callback rides the event bus: when a tracer is
@@ -415,20 +175,18 @@ func (s *Source) Migrate() (*Report, error) {
 	}
 	defer s.Dom.DisableLogDirty()
 
-	var ep *hypervisor.Endpoint
+	// The suspension protocol is the app-assisted workflow's handle on the
+	// guest; vanilla runs have none.
+	s.proto = nil
+	var transfer *mem.Bitmap
 	if s.Cfg.Mode == ModeAppAssisted {
-		ep = s.LKM.DaemonEndpoint()
-		ep.Bind(func(msg any) {
-			if ev, ok := msg.(guestos.EvSuspensionReady); ok {
-				s.ready = true
-				s.readyEv = ev
-			}
-		})
-		s.transfer = s.LKM.TransferBitmap()
-		ep.Notify(guestos.EvMigrationBegin{})
-	} else {
-		s.transfer = nil
+		s.proto = s.Protocol
+		if s.proto == nil {
+			s.proto = s.LKM.Protocol()
+		}
+		transfer = s.proto.Begin()
 	}
+	s.bindStages(transfer)
 
 	if f := s.Cfg.ThrottleFactor; f > 0 && f < 1 {
 		if th, ok := s.Exec.(Throttleable); ok {
@@ -447,12 +205,6 @@ func (s *Source) Migrate() (*Report, error) {
 	toSend := mem.NewBitmap(n)
 	toSend.SetAll() // iteration 1: all pages
 
-	s.sentOnce = nil
-	if s.Cfg.DeltaCompression {
-		s.sentOnce = mem.NewBitmap(n)
-		s.report.DeltaCacheBytes = n * mem.PageSize // one cached copy per page
-	}
-
 	var everDirty *mem.Bitmap
 	if s.Cfg.ConservativeLastIter {
 		everDirty = mem.NewBitmap(n)
@@ -465,8 +217,8 @@ func (s *Source) Migrate() (*Report, error) {
 	}
 
 	abort := func() (*Report, error) {
-		if ep != nil {
-			ep.Notify(guestos.EvMigrationAborted{})
+		if s.proto != nil {
+			s.proto.Aborted()
 		}
 		s.report.TotalTime = s.Clock.Now() - start
 		return s.report, ErrCancelled
@@ -480,21 +232,22 @@ func (s *Source) Migrate() (*Report, error) {
 		if s.aborted {
 			return abort()
 		}
-		if s.stopConditionMet(iter, st) {
+		if s.stop.Stop(iter, st, s.sentBytes, s.Dom.MemoryBytes()) {
 			break
 		}
 		iter++
 		newRound()
 	}
 
-	// Pre-suspension handshake (app-assisted): notify the LKM, run one more
-	// live round, then wait — without starting new dirty rounds — until the
-	// applications are suspension-ready and the final bitmap update is done.
-	if s.Cfg.Mode == ModeAppAssisted {
+	// Pre-suspension handshake (app-assisted): notify the guest, run one
+	// more live round, then wait — without starting new dirty rounds — until
+	// the applications are suspension-ready and the final bitmap update is
+	// done.
+	if s.proto != nil {
 		prepStart := s.Clock.Now()
 		prepSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindPrepare, "prepare-suspension")
 		defer prepSpan.End()
-		ep.Notify(guestos.EvEnteringLastIter{})
+		s.proto.EnterLastIter()
 		iter++
 		newRound()
 		st := s.runIteration(iter, toSend, false)
@@ -503,13 +256,13 @@ func (s *Source) Migrate() (*Report, error) {
 		}
 		// The LKM's PrepareTimeout bounds this wait; the engine adds a hard
 		// backstop against a misconfigured (disabled) timeout.
-		waitDeadline := s.Clock.Now() + time.Minute
-		for !s.ready {
+		waitDeadline := s.Clock.Now() + s.Cfg.SuspensionBackstop
+		for !s.proto.Ready() {
 			if s.cancelRequested() {
 				return abort()
 			}
 			if s.Clock.Now() >= waitDeadline {
-				return nil, errors.New("migration: guest never became suspension-ready")
+				return nil, ErrSuspensionTimeout
 			}
 			s.advance(s.Cfg.IdleQuantum)
 		}
@@ -520,8 +273,7 @@ func (s *Source) Migrate() (*Report, error) {
 		s.report.Iterations = append(s.report.Iterations, st)
 		s.notifyIteration(st)
 		s.report.PrepareWait = s.Clock.Now() - prepStart
-		s.report.FinalUpdate = s.readyEv.FinalUpdate
-		s.report.Fallbacks = s.readyEv.Fallbacks
+		s.report.FinalUpdate, s.report.Fallbacks = s.proto.Outcome()
 		// The final bitmap update runs with applications held; charge its
 		// (sub-millisecond) cost before pausing the VM.
 		fuSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindFinalUpdate, "final-update")
@@ -532,12 +284,7 @@ func (s *Source) Migrate() (*Report, error) {
 	}
 
 	// Stop-and-copy.
-	if s.transfer != nil {
-		s.report.FinalTransfer = s.transfer.Clone()
-	} else {
-		s.report.FinalTransfer = mem.NewBitmap(n)
-		s.report.FinalTransfer.SetAll()
-	}
+	s.report.FinalTransfer = s.skip.FinalTransfer(n)
 	s.Dom.Pause()
 	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindSuspend, "vm-suspend", nil)
 	pausedSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindVMPaused, "vm-paused")
@@ -564,37 +311,12 @@ func (s *Source) Migrate() (*Report, error) {
 	pausedSpan.End(obs.Dur("downtime", s.report.VMDowntime))
 	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindResume, "vm-resume", nil)
 
-	if s.Cfg.Mode == ModeAppAssisted {
-		ep.Notify(guestos.EvVMResumed{})
+	if s.proto != nil {
+		s.proto.Resumed()
 	}
 
 	s.report.TotalTime = s.Clock.Now() - start
 	return s.report, nil
-}
-
-// stopConditionMet decides, after a live iteration, whether to proceed to
-// stop-and-copy, using xc_domain_save's rules: few pages sent this round,
-// the iteration cap, or the traffic cap. (Xen keys on pages sent in the
-// round just finished, which is robust against momentary quiescence — a
-// guest paused inside a GC looks converged on an instantaneous dirty count
-// but not on round volume.)
-func (s *Source) stopConditionMet(iter int, st IterationStats) bool {
-	if iter >= s.Cfg.MaxIterations {
-		return true
-	}
-	if s.Cfg.MaxTrafficFactor > 0 &&
-		float64(s.sentBytes) >= s.Cfg.MaxTrafficFactor*float64(s.Dom.MemoryBytes()) {
-		return true
-	}
-	return st.PagesSent <= s.Cfg.DirtyPageThreshold
-}
-
-func scaleWire(w uint64, ratio float64) uint64 {
-	out := uint64(float64(w) * ratio)
-	if out == 0 {
-		out = 1
-	}
-	return out
 }
 
 // iterationName labels an iteration in traces and progress output.
@@ -646,12 +368,6 @@ func (s *Source) cancelRequested() bool {
 	return s.Cfg.ShouldCancel != nil && s.Cfg.ShouldCancel()
 }
 
-// transferAllowed consults the transfer bitmap (paper §3.3.3): a cleared bit
-// means skip, even if dirty.
-func (s *Source) transferAllowed(p mem.PFN) bool {
-	return s.transfer == nil || s.transfer.Test(p)
-}
-
 // advance moves virtual time forward by d, running the guest if it is not
 // paused.
 func (s *Source) advance(d time.Duration) {
@@ -666,7 +382,8 @@ func (s *Source) advance(d time.Duration) {
 }
 
 // runIteration scans the to-send set once, pushing transferable pages to the
-// destination in chunks and interleaving guest execution.
+// sink in chunks and interleaving guest execution. The skip policy and wire
+// codec bound for this run decide what moves and at what cost.
 func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) IterationStats {
 	st := IterationStats{
 		Index:           index,
@@ -680,31 +397,6 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 	dirtyBefore := s.Dom.DirtyEvents()
 
 	rawWire := s.Dom.Store().WireSize()
-	// pageWire returns a page's wire size and compression CPU cost under
-	// the active policy.
-	pageWire := func(p mem.PFN) (uint64, time.Duration) {
-		if s.sentOnce != nil {
-			if s.sentOnce.Test(p) {
-				s.report.DeltaResends++
-				return scaleWire(rawWire, s.Cfg.DeltaRatio), s.Cfg.DeltaCostPerPage
-			}
-			s.sentOnce.Set(p)
-		}
-		if s.Cfg.HintedCompression && s.HintFor != nil {
-			switch s.HintFor(p) {
-			case guestos.HintFast:
-				return scaleWire(rawWire, 0.6), 3 * time.Microsecond
-			case guestos.HintStrong:
-				return scaleWire(rawWire, 0.35), 12 * time.Microsecond
-			case guestos.HintNone:
-				return rawWire, 0
-			}
-		}
-		if s.Cfg.Compress {
-			return scaleWire(rawWire, s.Cfg.CompressionRatio), s.Cfg.CompressCostPerPage
-		}
-		return rawWire, 0
-	}
 
 	type pagePayload struct {
 		pfn     mem.PFN
@@ -726,7 +418,10 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 		s.report.TotalPagesSent += uint64(len(chunk))
 		s.report.CPUTime += time.Duration(len(chunk)) * s.Cfg.PageCopyCost
 		for _, pp := range chunk {
-			s.Dest.receive(pp.pfn, pp.payload)
+			s.sink.ReceivePage(pp.pfn, pp.payload)
+			if s.residentTrack != nil {
+				s.residentTrack.Set(pp.pfn)
+			}
 		}
 		chunk = chunk[:0]
 		chunkWire = 0
@@ -744,14 +439,11 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 			return false
 		}
 		s.report.CPUTime += s.Cfg.PageExamineCost
-		if !s.transferAllowed(p) {
+		switch s.skip.Skip(p) {
+		case SkipBitmap:
 			st.PagesSkippedBitmap++
 			return true
-		}
-		if s.Cfg.SkipFreePages && s.GuestFree != nil && s.GuestFree(p) {
-			// Free-list pages carry no meaningful content; if the guest
-			// reallocates one it is zeroed (written) and caught by a later
-			// round.
+		case SkipFree:
 			st.PagesSkippedFree++
 			return true
 		}
@@ -761,9 +453,9 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 			st.PagesSkippedDirty++
 			return true
 		}
-		w, compressCPU := pageWire(p)
+		w, encodeCPU := s.codec.Encode(p, rawWire)
 		chunkWire += w
-		s.report.CPUTime += compressCPU
+		s.report.CPUTime += encodeCPU
 		chunk = append(chunk, pagePayload{pfn: p, payload: s.Dom.Store().Export(p)})
 		if uint64(len(chunk)) >= s.Cfg.ChunkPages {
 			flush()
@@ -776,90 +468,4 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 	st.PagesDirtiedDuring = s.Dom.DirtyEvents() - dirtyBefore
 	span.End(obs.Uint64("pages_sent", st.PagesSent), obs.Uint64("bytes_on_wire", st.BytesOnWire))
 	return st
-}
-
-// Destination is the receiving host's view of the migration: its own copy of
-// the VM's memory.
-type Destination struct {
-	Store          mem.PageStore
-	PagesReceived  uint64
-	BytesReceived  uint64
-	ImportFailures int
-
-	tee       *netsim.PageWriter
-	teeErrors int
-	metrics   *obs.Metrics
-}
-
-// SetMetrics attaches a metrics registry to the destination's receive path
-// (dest.pages_received, dest.bytes_received, dest.import_failures,
-// dest.tee_errors). A nil registry detaches.
-func (d *Destination) SetMetrics(m *obs.Metrics) { d.metrics = m }
-
-// NewDestination returns a destination with zeroed memory of n pages,
-// version-backed like the simulated source.
-func NewDestination(n uint64) *Destination {
-	return &Destination{Store: mem.NewVersionStore(n)}
-}
-
-// NewDestinationWithStore uses a caller-provided store (e.g. a byte-backed
-// store in the TCP integration tests).
-func NewDestinationWithStore(store mem.PageStore) *Destination {
-	return &Destination{Store: store}
-}
-
-// ReceiveCheckpointPage imports a page pushed outside a migration — the
-// replication package's checkpoint stream uses the same destination
-// machinery (and Tee mirroring) as migration.
-func (d *Destination) ReceiveCheckpointPage(p mem.PFN, payload []byte) {
-	d.receive(p, payload)
-}
-
-func (d *Destination) receive(p mem.PFN, payload []byte) {
-	if err := d.Store.Import(p, payload); err != nil {
-		d.ImportFailures++
-		d.metrics.Counter("dest.import_failures").Inc()
-		return
-	}
-	d.PagesReceived++
-	d.BytesReceived += uint64(len(payload))
-	d.metrics.Counter("dest.pages_received").Inc()
-	d.metrics.Counter("dest.bytes_received").Add(int64(len(payload)))
-	if d.tee != nil {
-		if err := d.tee.WritePage(p, payload); err != nil {
-			d.teeErrors++
-			d.metrics.Counter("dest.tee_errors").Inc()
-		}
-	}
-}
-
-// VerifyMigration checks the migration correctness invariant (DESIGN.md §6):
-// every page the destination may legally observe must carry the source's
-// final content. required(p) reports whether page p's content matters after
-// resume (typically: the frame is still allocated in the guest); pages with
-// a cleared final transfer bit were declared skippable by their application
-// and are exempt.
-func VerifyMigration(src, dst mem.PageStore, finalTransfer *mem.Bitmap, required func(mem.PFN) bool) error {
-	if src.NumPages() != dst.NumPages() {
-		return fmt.Errorf("migration: page count mismatch: src %d dst %d", src.NumPages(), dst.NumPages())
-	}
-	var bad []mem.PFN
-	for p := mem.PFN(0); uint64(p) < src.NumPages(); p++ {
-		if !finalTransfer.Test(p) {
-			continue // skipped by application consent
-		}
-		if required != nil && !required(p) {
-			continue // e.g. freed frame: content irrelevant until rewritten
-		}
-		if src.Version(p) != dst.Version(p) {
-			bad = append(bad, p)
-			if len(bad) >= 8 {
-				break
-			}
-		}
-	}
-	if len(bad) > 0 {
-		return fmt.Errorf("migration: %d+ pages diverge at destination (first: %v)", len(bad), bad)
-	}
-	return nil
 }

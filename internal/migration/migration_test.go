@@ -631,7 +631,9 @@ func TestModeStringRoundTrip(t *testing.T) {
 	}{
 		{ModeVanilla, "xen", true},
 		{ModeAppAssisted, "javmm", true},
-		{Mode(2), "Mode(2)", false},
+		{ModePostCopy, "post-copy", true},
+		{ModeHybrid, "hybrid", true},
+		{Mode(4), "Mode(4)", false},
 		{Mode(-1), "Mode(-1)", false},
 		{Mode(99), "Mode(99)", false},
 	}

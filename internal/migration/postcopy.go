@@ -7,20 +7,25 @@ import (
 	"javmm/internal/obs"
 )
 
-// Post-copy live migration, the related-work baseline of paper §2 (Hines &
-// Gopalan; Hirofuchi et al.): skip the pre-copy stage entirely, move the VM
-// immediately, and bring its memory over afterwards — pages the guest
-// touches before they arrive are demand-fetched from the source, while a
-// background pre-paging stream pushes the rest.
+// The lazy (post-switchover) engine: move the VM first, bring its memory
+// over afterwards. Pages the guest touches before they arrive are
+// demand-fetched from the source, while a background pre-paging stream
+// pushes the rest.
 //
-// Downtime is minimal by construction (only the CPU/device state moves
-// synchronously), but the resumed VM runs degraded until its working set is
-// resident: every fault costs a network round trip plus a page transfer.
-// The paper's framing — post-copy "skips over all memory pages ... incurring
-// performance penalties" — is exactly what the X8 ablation measures against
-// JAVMM.
+// ModePostCopy is the related-work baseline of paper §2 (Hines & Gopalan;
+// Hirofuchi et al.): no pre-copy at all. Downtime is minimal by construction
+// (only the CPU/device state moves synchronously), but the resumed VM runs
+// degraded until its working set is resident: every fault costs a network
+// round trip plus a page transfer. The paper's framing — post-copy "skips
+// over all memory pages ... incurring performance penalties" — is exactly
+// what the X8 ablation measures against JAVMM.
+//
+// ModeHybrid composes the stages of both engines: a bounded pre-copy warm
+// phase (runIteration with a warmStop policy) seeds residency, then the same
+// switchover and demand-fetch machinery finishes the job on the pages that
+// were never sent or were re-dirtied after their last send.
 
-// PostCopyStats extends a Report for post-copy runs.
+// PostCopyStats extends a Report for runs with a post-copy phase.
 type PostCopyStats struct {
 	// Faults is the number of demand fetches (guest touched a
 	// not-yet-resident page).
@@ -32,6 +37,9 @@ type PostCopyStats struct {
 	// ResidentAt is the virtual time (from migration start) at which every
 	// page had arrived at the destination.
 	ResidentAt time.Duration
+	// WarmPages is the number of pages still resident from the hybrid warm
+	// phase at switchover (zero for pure post-copy).
+	WarmPages uint64
 }
 
 // cpuStateBytes models the vCPU/device state moved during the post-copy
@@ -42,31 +50,104 @@ const cpuStateBytes = 2 << 20
 // (with Report.PostCopy set). The transfer bitmap is not consulted: this is
 // the application-agnostic baseline.
 func (s *Source) MigratePostCopy() (*Report, error) {
-	switch {
-	case s.Dom == nil:
-		return nil, ErrNoDest
-	case s.Dest == nil:
-		return nil, ErrNoDest
-	case s.Link == nil:
-		return nil, ErrNoLink
-	case s.Clock == nil:
-		return nil, ErrNoClock
+	s.Cfg.Mode = ModePostCopy
+	return s.migrateLazy(false)
+}
+
+// MigrateHybrid runs Cfg.HybridWarmIterations pre-copy rounds, then
+// switches over post-copy style: only pages never sent — or re-dirtied
+// since their last send — are demand-fetched or pre-paged. It trades a
+// little pre-copy traffic for a much shorter degradation tail than pure
+// post-copy.
+func (s *Source) MigrateHybrid() (*Report, error) {
+	s.Cfg.Mode = ModeHybrid
+	return s.migrateLazy(true)
+}
+
+// migrateLazy is the shared engine behind ModePostCopy (warm == false) and
+// ModeHybrid (warm == true).
+func (s *Source) migrateLazy(warm bool) (*Report, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if err := s.checkDestSize(); err != nil {
+		return nil, err
 	}
 	s.Cfg.FillDefaults()
 	n := s.Dom.NumPages()
 	s.report = &Report{Mode: s.Cfg.Mode}
+	s.sentBytes = 0
+	s.aborted = false
+	s.proto = nil
 	pc := &PostCopyStats{}
 	s.report.PostCopy = pc
+
+	if s.Cfg.OnIteration != nil && s.Cfg.Tracer != nil {
+		cancel := s.Cfg.Tracer.Subscribe(func(e obs.Event) {
+			if st, ok := e.Data.(IterationStats); ok {
+				s.Cfg.OnIteration(st)
+			}
+		})
+		defer cancel()
+	}
 	start := s.Clock.Now()
-	runSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindMigration, "migrate post-copy",
-		obs.Str("mode", "post-copy"))
+	s.startedAt = start
+	runSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindMigration,
+		"migrate "+s.Cfg.Mode.String(), obs.Str("mode", s.Cfg.Mode.String()))
 	defer runSpan.End()
+
+	// resident tracks which pages the destination already holds at their
+	// final content. The warm phase seeds it; the demand-fetch phase
+	// completes it.
+	resident := mem.NewBitmap(n)
+	iter := 0
+
+	if warm {
+		s.bindStages(nil)
+		if err := s.Dom.EnableLogDirty(); err != nil {
+			return nil, err
+		}
+		defer s.Dom.DisableLogDirty()
+		s.residentTrack = resident
+		defer func() { s.residentTrack = nil }()
+
+		toSend := mem.NewBitmap(n)
+		toSend.SetAll()
+		stop := warmStop{warmIters: s.Cfg.HybridWarmIterations, next: s.stop}
+		for {
+			iter++
+			st := s.runIteration(iter, toSend, false)
+			s.report.Iterations = append(s.report.Iterations, st)
+			s.notifyIteration(st)
+			if s.aborted {
+				s.report.TotalTime = s.Clock.Now() - start
+				return s.report, ErrCancelled
+			}
+			if stop.Stop(iter, st, s.sentBytes, s.Dom.MemoryBytes()) {
+				break
+			}
+			s.Dom.PeekAndClear(toSend)
+		}
+	} else {
+		s.sink = s.Sink
+		if s.sink == nil {
+			s.sink = s.Dest
+		}
+	}
 
 	// Switchover: pause, move CPU/device state, resume at the destination.
 	s.Dom.Pause()
 	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindSuspend, "vm-suspend", nil)
 	pausedSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindVMPaused, "vm-paused")
 	pauseStart := s.Clock.Now()
+	if warm {
+		// Pages dirtied since their last send are stale at the destination:
+		// drop them from the resident set so the lazy phase refetches them.
+		dirty := mem.NewBitmap(n)
+		s.Dom.PeekAndClear(dirty)
+		resident.AndNot(dirty)
+		pc.WarmPages = resident.Count()
+	}
 	s.Clock.Advance(s.Link.Send(cpuStateBytes))
 	s.Clock.Advance(s.Cfg.ResumptionTime)
 	s.report.Resumption = s.Cfg.ResumptionTime
@@ -75,13 +156,13 @@ func (s *Source) MigratePostCopy() (*Report, error) {
 	pausedSpan.End(obs.Dur("downtime", s.report.VMDowntime))
 	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindResume, "vm-resume", nil)
 
-	resident := mem.NewBitmap(n)
+	missing := n - resident.Count()
 	var stallDebt time.Duration
 	wire := s.Dom.Store().WireSize()
 
 	fetch := func(p mem.PFN) time.Duration {
 		d := s.Link.RoundTrip() + s.Link.Send(wire)
-		s.Dest.receive(p, s.Dom.Store().Export(p))
+		s.sink.ReceivePage(p, s.Dom.Store().Export(p))
 		resident.Set(p)
 		return d
 	}
@@ -99,7 +180,7 @@ func (s *Source) MigratePostCopy() (*Report, error) {
 
 	// Background pre-paging: push non-resident pages in ascending order,
 	// interleaving guest execution (which triggers demand faults).
-	st := IterationStats{Index: 1, Start: s.Clock.Now(), Last: true}
+	st := IterationStats{Index: iter + 1, Start: s.Clock.Now(), Last: true}
 	cursor := mem.PFN(0)
 	chunk := s.Cfg.ChunkPages
 	for resident.Count() < n {
@@ -107,7 +188,7 @@ func (s *Source) MigratePostCopy() (*Report, error) {
 		for pushed < chunk && cursor < mem.PFN(n) {
 			if !resident.Test(cursor) {
 				d := s.Link.Send(wire)
-				s.Dest.receive(cursor, s.Dom.Store().Export(cursor))
+				s.sink.ReceivePage(cursor, s.Dom.Store().Export(cursor))
 				resident.Set(cursor)
 				pc.PrefetchPages++
 				pushed++
@@ -138,7 +219,7 @@ func (s *Source) MigratePostCopy() (*Report, error) {
 	st.PagesSent += pc.Faults
 	s.report.TotalPagesSent += pc.Faults
 	st.Duration = s.Clock.Now() - st.Start
-	st.PagesConsidered = n
+	st.PagesConsidered = missing
 	s.report.Iterations = append(s.report.Iterations, st)
 	s.notifyIteration(st)
 	s.report.LastIterBytes = st.BytesOnWire

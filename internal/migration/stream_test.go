@@ -244,3 +244,75 @@ func TestCancelDuringPrepareWaitReleasesApps(t *testing.T) {
 		t.Fatalf("LKM state = %v", r.guest.LKM.State())
 	}
 }
+
+// failingWriter accepts the first n bytes, then rejects everything.
+type failingWriter struct {
+	n    int
+	took int
+}
+
+var errSinkFull = errors.New("sink full")
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.took+len(p) > f.n {
+		return 0, errSinkFull
+	}
+	f.took += len(p)
+	return len(p), nil
+}
+
+// A tee whose underlying writer fails must not fail the migration: the
+// destination keeps importing pages and only the error counter moves.
+func TestTeeErrorsCountWriterFailures(t *testing.T) {
+	const pages = 2048
+	clock := simclock.New()
+	dom := hypervisor.NewDomain("vm", clock, mem.NewByteStore(pages), 2)
+	guestos.NewGuest(dom, guestos.LKMConfig{Clock: clock})
+
+	// Full 4 KiB payloads overflow the page writer's buffer on every frame,
+	// so the failure surfaces inside WritePage after ~32 KiB.
+	fw := &failingWriter{n: 32 << 10}
+	pw := netsim.NewPageWriter(fw)
+	dest := NewDestinationWithStore(mem.NewByteStore(pages))
+	dest.Tee(pw)
+
+	src := &Source{
+		Dom:   dom,
+		Link:  netsim.NewLink(clock, 50*1000*1000, 0),
+		Clock: clock,
+		Dest:  dest,
+		Cfg:   Config{Mode: ModeVanilla},
+	}
+	rep, err := src.Migrate()
+	if err != nil {
+		t.Fatalf("migration failed on tee errors: %v", err)
+	}
+	if dest.TeeErrors() == 0 {
+		t.Fatal("failing tee writer recorded no errors")
+	}
+	if dest.PagesReceived != rep.TotalPagesSent {
+		t.Fatalf("destination imported %d of %d pages despite tee failure",
+			dest.PagesReceived, rep.TotalPagesSent)
+	}
+	if err := VerifyMigration(dom.Store(), dest.Store, rep.FinalTransfer, nil); err != nil {
+		t.Fatalf("destination diverged: %v", err)
+	}
+}
+
+// The same failure on a version-backed store, whose tiny payloads sit in
+// the writer's buffer: the sticky bufio error must still reach the error
+// counter once the buffer drains.
+func TestTeeErrorsWithBufferedPayloads(t *testing.T) {
+	r := newRig(4096, 50*1000*1000)
+	pw := netsim.NewPageWriter(&failingWriter{n: 4 << 10})
+	r.dest.Tee(pw)
+
+	rep, err := r.source(Config{Mode: ModeVanilla}, nil).Migrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Flush() == nil && r.dest.TeeErrors() == 0 {
+		t.Fatal("no tee error surfaced from the failed underlying writer")
+	}
+	r.verify(t, rep)
+}

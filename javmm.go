@@ -104,6 +104,12 @@ const (
 	ModeXen = migration.ModeVanilla
 	// ModeJAVMM is application-assisted migration with JVM assistance.
 	ModeJAVMM = migration.ModeAppAssisted
+	// ModePostCopy is the related-work post-copy baseline: switch over
+	// first, then demand-fetch and pre-page memory.
+	ModePostCopy = migration.ModePostCopy
+	// ModeHybrid composes both engines: a bounded pre-copy warm phase
+	// followed by a post-copy switchover for the remainder.
+	ModeHybrid = migration.ModeHybrid
 )
 
 // Collector names for BootConfig.Collector.
@@ -137,8 +143,9 @@ func WriteTraceJSONL(w io.Writer, events []Event) error { return obs.WriteJSONL(
 // loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 func WriteTraceChrome(w io.Writer, events []Event) error { return obs.WriteChromeTrace(w, events) }
 
-// ParseMode parses a migration mode name: "xen" (vanilla pre-copy) or
-// "javmm" (application-assisted).
+// ParseMode parses a migration mode name: "xen" (vanilla pre-copy),
+// "javmm" (application-assisted), "post-copy" or "hybrid". Every parsed
+// mode is accepted by Migrate and round-trips through Mode.String.
 func ParseMode(s string) (Mode, error) { return migration.ParseMode(s) }
 
 // Workloads returns the nine SPECjvm2008-like workload profiles (Table 1).
@@ -157,8 +164,10 @@ func BootVM(cfg BootConfig) (*VM, error) { return workload.Boot(cfg) }
 
 // MigrateOptions parameterizes Migrate.
 type MigrateOptions struct {
-	// Mode selects vanilla pre-copy (ModeXen) or application-assisted
-	// migration (ModeJAVMM, requires a VM booted with Assisted).
+	// Mode selects the migration engine: vanilla pre-copy (ModeXen),
+	// application-assisted (ModeJAVMM, requires a VM booted with
+	// Assisted), post-copy (ModePostCopy) or hybrid pre+post-copy
+	// (ModeHybrid).
 	Mode Mode
 	// Bandwidth is the link's payload bandwidth in bytes/sec
 	// (default GigabitEthernet).
@@ -255,7 +264,12 @@ func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
 	if opts.Mode == ModeJAVMM {
 		res.WorkloadDowntime += res.EnforcedGC + report.FinalUpdate
 	}
-	if !opts.SkipVerify {
+	// Store-equality verification only applies to runs that finish at VM
+	// pause; after a post-copy switchover the guest keeps dirtying pages
+	// while the remainder streams over, so the invariant is residency
+	// (every page fetched at its final version), checked by the engine's
+	// demand-fetch path itself.
+	if !opts.SkipVerify && report.PostCopy == nil {
 		res.VerifyErr = migration.VerifyMigration(
 			vm.Dom.Store(), dest.Store, report.FinalTransfer,
 			func(p mem.PFN) bool { return vm.Guest.Frames.Allocated(p) })
@@ -268,54 +282,17 @@ type PostCopyStats = migration.PostCopyStats
 
 // MigratePostCopy migrates the VM post-copy style (related work, §2 of the
 // paper): minimal downtime by construction, but the resumed VM stalls on
-// demand faults until its working set arrives. Verification does not apply —
-// after switchover the VM's memory IS the destination memory; the returned
-// Result carries the fault statistics instead.
+// demand faults until its working set arrives. Store-equality verification
+// does not apply — after switchover the VM's memory IS the destination
+// memory; the returned Result carries the fault statistics instead. It is a
+// convenience wrapper over Migrate with Mode set to ModePostCopy.
 func MigratePostCopy(vm *VM, opts MigrateOptions) (*Result, *PostCopyStats, error) {
-	if opts.Bandwidth == 0 {
-		opts.Bandwidth = GigabitEthernet
-	}
-	if opts.Latency == 0 {
-		opts.Latency = 100 * time.Microsecond
-	}
-	cfg := opts.Engine
-	if opts.Tracer != nil {
-		cfg.Tracer = opts.Tracer
-	}
-	if opts.Metrics != nil {
-		cfg.Metrics = opts.Metrics
-	}
-	vm.AttachObs(cfg.Tracer, cfg.Metrics)
-
-	exec := opts.Executor
-	if exec == nil {
-		exec = vm.Driver
-	}
-	link := netsim.NewLink(vm.Clock, opts.Bandwidth, opts.Latency)
-	link.SetMetrics(cfg.Metrics)
-	dest := migration.NewDestination(vm.Dom.NumPages())
-	dest.SetMetrics(cfg.Metrics)
-	src := &migration.Source{
-		Dom:   vm.Dom,
-		Link:  link,
-		Clock: vm.Clock,
-		Exec:  exec,
-		Dest:  dest,
-		Cfg:   cfg,
-	}
-	report, err := src.MigratePostCopy()
+	opts.Mode = ModePostCopy
+	res, err := Migrate(vm, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	if vm.Driver.Err != nil {
-		return nil, nil, fmt.Errorf("javmm: workload failed during migration: %w", vm.Driver.Err)
-	}
-	res := &Result{
-		Report:           report,
-		Destination:      dest,
-		WorkloadDowntime: report.VMDowntime,
-	}
-	return res, report.PostCopy, nil
+	return res, res.Report.PostCopy, nil
 }
 
 // ReplicationReport summarizes a continuous-checkpointing run.
@@ -411,7 +388,7 @@ func MigrateCustom(g *Guest, exec GuestExecutor, opts MigrateOptions, required f
 		return nil, err
 	}
 	res := &Result{Report: report, Destination: dest, WorkloadDowntime: report.VMDowntime}
-	if !opts.SkipVerify {
+	if !opts.SkipVerify && report.PostCopy == nil {
 		res.VerifyErr = migration.VerifyMigration(
 			g.Dom.Store(), dest.Store, report.FinalTransfer,
 			func(p mem.PFN) bool {

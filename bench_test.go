@@ -87,12 +87,15 @@ func compareBench(b *testing.B, names []string, overrides experiments.MaxYoungOv
 func BenchmarkFigure10_MigrationPerformance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cs := compareBench(b, []string{"derby", "crypto", "scimark"}, nil)
-		timeT, trafficT, downT, cpuT := experiments.Figure10(cs)
+		timeT, trafficT, downT, attribT, cpuT := experiments.Figure10(cs)
 		_ = experiments.Table2(cs)
 		for _, tab := range []*experiments.Table{timeT, trafficT, downT, cpuT} {
 			if len(tab.Rows) != 3 {
 				b.Fatalf("table %q rows = %d", tab.Title, len(tab.Rows))
 			}
+		}
+		if len(attribT.Rows) != 6 {
+			b.Fatalf("attribution table rows = %d, want 6", len(attribT.Rows))
 		}
 		// Headline metric: derby migration-time reduction (paper: 82 %).
 		derby := cs[0]

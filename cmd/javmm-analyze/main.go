@@ -1,0 +1,549 @@
+// Command javmm-analyze turns a migration's observability exports into
+// deterministic attribution tables: where every byte on the wire came from
+// (the per-page provenance ledger) and where every tick of downtime went
+// (the attribution breakdown). It reconciles byte-for-byte with the
+// migration report, so the tables are an audit, not an estimate.
+//
+// Three sources, one of which must be chosen:
+//
+//	javmm-analyze -run -workload derby -mode javmm     # run and analyze
+//	javmm-analyze -trace out.jsonl                     # analyze a JSONL trace
+//	javmm-analyze -metrics metrics.json                # analyze a snapshot
+//	javmm-analyze -metrics metrics.json -prom          # Prometheus exposition
+//
+// Output is byte-identical across same-seed runs; -format csv emits each
+// table as RFC-4180 CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"javmm"
+	"javmm/internal/experiments"
+)
+
+func main() {
+	var o options
+	flag.BoolVar(&o.Run, "run", false, "boot a VM, migrate it and analyze the run")
+	flag.StringVar(&o.TracePath, "trace", "", "analyze an existing JSONL trace file")
+	flag.StringVar(&o.MetricsPath, "metrics", "", "analyze an existing metrics snapshot (JSON)")
+	flag.BoolVar(&o.Prom, "prom", false, "render the metrics snapshot in Prometheus text format")
+	flag.StringVar(&o.Format, "format", "table", "output format: table or csv")
+	flag.IntVar(&o.TopN, "top", 10, "number of hottest pages to list")
+
+	// Run-mode knobs, mirroring javmm-migrate.
+	flag.StringVar(&o.Workload, "workload", "derby", "workload to run: "+strings.Join(javmm.WorkloadNames(), ", "))
+	flag.StringVar(&o.Mode, "mode", "javmm", "migration mode: xen, javmm, post-copy or hybrid")
+	flag.Uint64Var(&o.MemMiB, "mem", 2048, "VM memory in MiB")
+	flag.IntVar(&o.VCPUs, "vcpus", 4, "virtual CPUs")
+	flag.Uint64Var(&o.Bandwidth, "bandwidth", javmm.GigabitEthernet, "link payload bandwidth in bytes/sec")
+	flag.DurationVar(&o.Warmup, "warmup", 300*time.Second, "virtual warmup before migration")
+	flag.Int64Var(&o.Seed, "seed", 1, "deterministic seed")
+	flag.StringVar(&o.Collector, "collector", "parallel", "garbage collector: parallel or g1")
+	flag.BoolVar(&o.Compress, "compress", false, "compress unskipped pages (§6 extension)")
+	flag.StringVar(&o.TraceOut, "trace-out", "", "also write the run's trace as JSONL to this file")
+	flag.StringVar(&o.MetricsOut, "metrics-out", "", "also write the run's metrics snapshot (JSON) to this file")
+	flag.Parse()
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "javmm-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+// options collects every CLI knob; run is pure in it so tests drive the full
+// command without a process boundary.
+type options struct {
+	Run         bool
+	TracePath   string
+	MetricsPath string
+	Prom        bool
+	Format      string
+	TopN        int
+
+	Workload   string
+	Mode       string
+	MemMiB     uint64
+	VCPUs      int
+	Bandwidth  uint64
+	Warmup     time.Duration
+	Seed       int64
+	Collector  string
+	Compress   bool
+	TraceOut   string
+	MetricsOut string
+}
+
+func run(o options, out io.Writer) error {
+	if o.Format != "table" && o.Format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", o.Format)
+	}
+	sources := 0
+	for _, set := range []bool{o.Run, o.TracePath != "", o.MetricsPath != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("choose exactly one of -run, -trace or -metrics")
+	}
+	switch {
+	case o.Run:
+		return analyzeRun(o, out)
+	case o.TracePath != "":
+		return analyzeTrace(o, out)
+	default:
+		return analyzeMetrics(o, out)
+	}
+}
+
+// emit renders one table in the chosen format.
+func emit(o options, out io.Writer, t *experiments.Table) {
+	if o.Format == "csv" {
+		fmt.Fprintf(out, "# %s\n%s\n", t.Title, t.CSV())
+		return
+	}
+	fmt.Fprintln(out, t.Render())
+}
+
+// analyzeRun boots a VM, migrates it with a ledger and metrics attached, and
+// prints the reconciled attribution of the finished run.
+func analyzeRun(o options, out io.Writer) error {
+	prof, err := javmm.Workload(o.Workload)
+	if err != nil {
+		return err
+	}
+	mode, err := javmm.ParseMode(o.Mode)
+	if err != nil {
+		return err
+	}
+	vm, err := javmm.BootVM(javmm.BootConfig{
+		MemBytes:  o.MemMiB << 20,
+		VCPUs:     o.VCPUs,
+		Profile:   prof,
+		Assisted:  mode == javmm.ModeJAVMM,
+		Seed:      o.Seed,
+		Collector: o.Collector,
+	})
+	if err != nil {
+		return err
+	}
+	vm.Driver.Run(o.Warmup)
+	if vm.Driver.Err != nil {
+		return vm.Driver.Err
+	}
+
+	led := javmm.NewLedger()
+	metrics := javmm.NewMetrics(vm.Clock)
+	opts := javmm.MigrateOptions{
+		Mode:      mode,
+		Bandwidth: o.Bandwidth,
+		Ledger:    led,
+		Metrics:   metrics,
+		Engine:    javmm.EngineConfig{Compress: o.Compress},
+	}
+	var tracer *javmm.Tracer
+	if o.TraceOut != "" {
+		tracer = javmm.NewTracer(vm.Clock)
+		opts.Tracer = tracer
+	}
+	res, err := javmm.Migrate(vm, opts)
+	if err != nil {
+		return err
+	}
+	a, err := javmm.Attribute(res, led)
+	if err != nil {
+		return err
+	}
+	snap := metrics.Snapshot()
+
+	fmt.Fprintf(out, "run: workload=%s mode=%s mem=%dMiB seed=%d total-time=%v traffic=%s\n\n",
+		prof.Name, mode, o.MemMiB, o.Seed, res.TotalTime, fmtBytes(a.TotalBytes))
+	emit(o, out, attributionTable(a))
+	emit(o, out, iterationTable(a))
+	sum := led.Summary()
+	emit(o, out, ledgerTable(sum))
+	emit(o, out, trafficTable(sum))
+	emit(o, out, skipTable(sum))
+	emit(o, out, topPagesTable(led.TopPages(o.TopN), o.TopN))
+	if t := faultStallTable(snap); t != nil {
+		emit(o, out, t)
+	}
+
+	if o.TraceOut != "" {
+		if err := writeFile(o.TraceOut, func(w io.Writer) error {
+			return javmm.WriteTraceJSONL(w, tracer.Events())
+		}); err != nil {
+			return err
+		}
+	}
+	if o.MetricsOut != "" {
+		if err := writeFile(o.MetricsOut, func(w io.Writer) error {
+			return javmm.WriteMetricsJSON(w, snap)
+		}); err != nil {
+			return err
+		}
+	}
+	if o.Prom {
+		return javmm.WritePrometheus(out, snap)
+	}
+	return nil
+}
+
+// analyzeTrace summarizes a JSONL trace: event counts by kind and the
+// begin/end span roll-up per track.
+func analyzeTrace(o options, out io.Writer) error {
+	f, err := os.Open(o.TracePath)
+	if err != nil {
+		return err
+	}
+	events, err := javmm.ReadTraceJSONL(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace: %s (%d events)\n\n", o.TracePath, len(events))
+	emit(o, out, kindTable(events))
+	emit(o, out, spanTable(events))
+	return nil
+}
+
+// analyzeMetrics prints a metrics snapshot as tables, or as Prometheus text
+// exposition with -prom.
+func analyzeMetrics(o options, out io.Writer) error {
+	f, err := os.Open(o.MetricsPath)
+	if err != nil {
+		return err
+	}
+	snap, err := javmm.ReadMetricsJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if o.Prom {
+		return javmm.WritePrometheus(out, snap)
+	}
+	fmt.Fprintf(out, "metrics: %s (snapshot at %v)\n\n", o.MetricsPath, snap.At)
+	emit(o, out, counterTable(snap))
+	emit(o, out, gaugeTable(snap))
+	emit(o, out, histogramTable(snap))
+	return nil
+}
+
+// attributionTable is the downtime audit: each component, its exact length
+// and its share of the workload-visible downtime. The components sum to the
+// reported downtime tick-for-tick (Attribute refuses to return otherwise).
+func attributionTable(a *javmm.Attribution) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Downtime attribution (components sum to workload downtime exactly)",
+		Header: []string{"component", "time", "ns", "share"},
+	}
+	total := a.WorkloadDowntime
+	for _, c := range a.Components() {
+		t.AddRow(c.Name, fmtDur(c.Dur), fmt.Sprintf("%d", c.Dur.Nanoseconds()), fmtShare(float64(c.Dur), float64(total)))
+	}
+	t.AddRow("workload downtime", fmtDur(total), fmt.Sprintf("%d", total.Nanoseconds()), "100.0%")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("VM paused (stop-and-copy + resumption): %s", fmtDur(a.VMDowntime)))
+	if a.Faults > 0 || a.FaultStall > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("post-switchover degradation: %d demand faults stalled the guest %s (not downtime)",
+				a.Faults, fmtDur(a.FaultStall)))
+	}
+	return t
+}
+
+// iterationTable is the per-round series behind the attribution: traffic,
+// dirtying and rates for every pre-copy round and the stop-and-copy.
+func iterationTable(a *javmm.Attribution) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Iteration series (per-round traffic and dirtying)",
+		Header: []string{"iter", "start", "duration", "sent", "pages", "dirtied", "dirty pg/s", "xfer MB/s"},
+	}
+	for _, it := range a.Iterations {
+		idx := fmt.Sprintf("%d", it.Index)
+		if it.Last {
+			idx += "*"
+		}
+		t.AddRow(idx,
+			fmtDur(it.Start),
+			fmtDur(it.Duration),
+			fmtBytes(it.BytesOnWire),
+			fmt.Sprintf("%d", it.PagesSent),
+			fmt.Sprintf("%d", it.PagesDirtied),
+			fmt.Sprintf("%.0f", it.DirtyRate),
+			fmt.Sprintf("%.1f", it.TransferRate/1e6))
+	}
+	t.Notes = append(t.Notes, "* = final (stop-and-copy or lazy) round")
+	return t
+}
+
+// ledgerTable is the provenance roll-up: what moved, what moved twice, what
+// the skip policy saved.
+func ledgerTable(s javmm.LedgerSummary) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Ledger summary (per-page provenance)",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("pages tracked", fmt.Sprintf("%d", s.NumPages))
+	t.AddRow("total sends", fmt.Sprintf("%d", s.TotalSends))
+	t.AddRow("total bytes", fmtBytes(s.TotalBytes))
+	t.AddRow("wasted bytes (re-sends)", fmtBytes(s.WastedBytes))
+	t.AddRow("saved bytes (skips)", fmtBytes(s.SavedBytes))
+	t.AddRow("pages never sent", fmt.Sprintf("%d", s.PagesNeverSent))
+	t.AddRow("pages sent once", fmt.Sprintf("%d", s.PagesSentOnce))
+	t.AddRow("pages re-sent", fmt.Sprintf("%d", s.PagesResent))
+	t.AddRow("max sends of one page", fmt.Sprintf("%d", s.MaxSends))
+	return t
+}
+
+// trafficTable splits the wire traffic by send reason; the bytes column
+// sums to the report's total traffic exactly.
+func trafficTable(s javmm.LedgerSummary) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Traffic by send reason (sums to report total exactly)",
+		Header: []string{"reason", "sends", "bytes", "share"},
+	}
+	for _, r := range javmm.SendReasons() {
+		rt := s.SendsByReason[r]
+		t.AddRow(r.String(), fmt.Sprintf("%d", rt.Count), fmtBytes(rt.Bytes),
+			fmtShare(float64(rt.Bytes), float64(s.TotalBytes)))
+	}
+	t.AddRow("total", fmt.Sprintf("%d", s.TotalSends), fmtBytes(s.TotalBytes), "100.0%")
+	return t
+}
+
+// skipTable splits the pages the engine left behind by cause.
+func skipTable(s javmm.LedgerSummary) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Skips by reason (bitmap and free skips are traffic saved)",
+		Header: []string{"reason", "events", "raw bytes", "saved"},
+	}
+	for _, r := range javmm.SkipReasons() {
+		rt := s.SkipsByReason[r]
+		saved := "no"
+		if r.Saved() {
+			saved = "yes"
+		}
+		t.AddRow(r.String(), fmt.Sprintf("%d", rt.Count), fmtBytes(rt.Bytes), saved)
+	}
+	return t
+}
+
+// topPagesTable lists the hottest pages: the ones the pre-copy rounds kept
+// re-sending.
+func topPagesTable(pages []javmm.PageStat, n int) *experiments.Table {
+	t := &experiments.Table{
+		Title:  fmt.Sprintf("Top %d hottest pages (most sends first)", n),
+		Header: []string{"pfn", "sends", "bytes", "last iter", "skips"},
+	}
+	for _, p := range pages {
+		t.AddRow(fmt.Sprintf("0x%x", uint64(p.PFN)),
+			fmt.Sprintf("%d", p.Sends),
+			fmtBytes(p.Bytes),
+			fmt.Sprintf("%d", p.LastIter),
+			fmt.Sprintf("%d", p.Skips))
+	}
+	return t
+}
+
+// faultStallTable summarizes post-switchover demand-fault stalls with exact
+// quantiles, or nil when the run recorded no faults.
+func faultStallTable(s javmm.MetricsSnapshot) *experiments.Table {
+	h, ok := s.Histogram("migration.fault_stall_ns")
+	if !ok || h.Count == 0 {
+		return nil
+	}
+	t := &experiments.Table{
+		Title:  "Demand-fault stalls (per-fault guest stall)",
+		Header: []string{"faults", "mean", "p50", "p95", "p99", "max"},
+	}
+	t.AddRow(fmt.Sprintf("%d", h.Count),
+		fmtDur(time.Duration(h.Mean)),
+		fmtDur(time.Duration(h.P50)),
+		fmtDur(time.Duration(h.P95)),
+		fmtDur(time.Duration(h.P99)),
+		fmtDur(time.Duration(h.Max)))
+	return t
+}
+
+// kindTable counts trace events by kind.
+func kindTable(events []javmm.Event) *experiments.Table {
+	counts := map[string]int{}
+	for _, ev := range events {
+		counts[string(ev.Kind)]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	t := &experiments.Table{
+		Title:  "Events by kind",
+		Header: []string{"kind", "events"},
+	}
+	for _, k := range kinds {
+		t.AddRow(k, fmt.Sprintf("%d", counts[k]))
+	}
+	return t
+}
+
+// spanAgg accumulates the paired begin/end spans of one (track, name).
+type spanAgg struct {
+	track, name string
+	count       int
+	total       time.Duration
+	min, max    time.Duration
+}
+
+// spanTable pairs begin/end events per track (the tracer enforces LIFO
+// nesting, so a stack reconstructs the pairing exactly) and rolls the spans
+// up by track and name.
+func spanTable(events []javmm.Event) *experiments.Table {
+	type open struct {
+		name string
+		at   time.Duration
+	}
+	stacks := map[string][]open{}
+	aggs := map[string]*spanAgg{}
+	for _, ev := range events {
+		switch ev.Phase {
+		case "begin":
+			stacks[ev.Track] = append(stacks[ev.Track], open{ev.Name, ev.At})
+		case "end":
+			st := stacks[ev.Track]
+			if len(st) == 0 {
+				continue
+			}
+			top := st[len(st)-1]
+			stacks[ev.Track] = st[:len(st)-1]
+			d := ev.At - top.at
+			key := ev.Track + "\x00" + top.name
+			a := aggs[key]
+			if a == nil {
+				a = &spanAgg{track: ev.Track, name: top.name, min: d, max: d}
+				aggs[key] = a
+			}
+			a.count++
+			a.total += d
+			if d < a.min {
+				a.min = d
+			}
+			if d > a.max {
+				a.max = d
+			}
+		}
+	}
+	keys := make([]string, 0, len(aggs))
+	for k := range aggs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := &experiments.Table{
+		Title:  "Spans by track and name",
+		Header: []string{"track", "span", "count", "total", "mean", "min", "max"},
+	}
+	for _, k := range keys {
+		a := aggs[k]
+		t.AddRow(a.track, a.name,
+			fmt.Sprintf("%d", a.count),
+			fmtDur(a.total),
+			fmtDur(a.total/time.Duration(a.count)),
+			fmtDur(a.min),
+			fmtDur(a.max))
+	}
+	return t
+}
+
+// counterTable, gaugeTable and histogramTable render a metrics snapshot.
+func counterTable(s javmm.MetricsSnapshot) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Counters",
+		Header: []string{"name", "value"},
+	}
+	for _, c := range s.Counters {
+		t.AddRow(c.Name, fmt.Sprintf("%d", c.Value))
+	}
+	return t
+}
+
+func gaugeTable(s javmm.MetricsSnapshot) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Gauges",
+		Header: []string{"name", "value", "time-weighted mean"},
+	}
+	for _, g := range s.Gauges {
+		t.AddRow(g.Name, fmt.Sprintf("%g", g.Value), fmt.Sprintf("%g", g.TimeWeightedMean))
+	}
+	return t
+}
+
+func histogramTable(s javmm.MetricsSnapshot) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Histograms (exact quantiles over retained samples)",
+		Header: []string{"name", "n", "mean", "p50", "p95", "p99", "min", "max"},
+	}
+	for _, h := range s.Histograms {
+		t.AddRow(h.Name,
+			fmt.Sprintf("%d", h.Count),
+			fmt.Sprintf("%g", h.Mean),
+			fmt.Sprintf("%g", h.P50),
+			fmt.Sprintf("%g", h.P95),
+			fmt.Sprintf("%g", h.P99),
+			fmt.Sprintf("%g", h.Min),
+			fmt.Sprintf("%g", h.Max))
+	}
+	return t
+}
+
+// writeFile creates path and streams fn into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// fmtShare renders part/whole as a percentage, "n/a" for an empty whole.
+func fmtShare(part, whole float64) string {
+	if whole == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", part/whole*100)
+}
+
+// fmtBytes renders a byte count in decimal units, as traffic is reported.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2f GB", float64(b)/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.1f MB", float64(b)/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.1f KB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// fmtDur renders a duration with sensible precision for the tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3f s", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2f ms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%d µs", d.Microseconds())
+	}
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"javmm"
+)
+
+// base returns the quick-test option set; cases tweak what they care about.
+func base() options {
+	return options{
+		Run:       true,
+		Format:    "table",
+		TopN:      5,
+		Workload:  "derby",
+		Mode:      "javmm",
+		MemMiB:    2048,
+		VCPUs:     4,
+		Bandwidth: javmm.GigabitEthernet,
+		Warmup:    30 * time.Second,
+		Seed:      1,
+		Collector: "parallel",
+	}
+}
+
+func TestRunModeTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(base(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Downtime attribution",
+		"workload downtime",
+		"enforced-gc",
+		"Iteration series",
+		"Ledger summary",
+		"Traffic by send reason",
+		"bitmap-skip",
+		"Top 5 hottest pages",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run-mode output missing %q", want)
+		}
+	}
+}
+
+func TestRunModePostCopyFaultStalls(t *testing.T) {
+	o := base()
+	o.Mode = "post-copy"
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Demand-fault stalls") {
+		t.Errorf("post-copy output missing fault-stall quantile summary:\n%s", out)
+	}
+	if !strings.Contains(out, "demand-fault") {
+		t.Errorf("post-copy output missing demand-fault traffic row")
+	}
+}
+
+// TestRunModeDeterministic is the acceptance criterion: two same-seed runs
+// must produce byte-identical analyzer output, in both formats.
+func TestRunModeDeterministic(t *testing.T) {
+	for _, format := range []string{"table", "csv"} {
+		o := base()
+		o.Mode = "hybrid"
+		o.Format = format
+		var a, b bytes.Buffer
+		if err := run(o, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(o, &b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("format %s: same-seed runs differ", format)
+		}
+		if a.Len() == 0 {
+			t.Errorf("format %s: empty output", format)
+		}
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	o := base()
+	o.Format = "csv"
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Downtime attribution") {
+		t.Errorf("csv output missing table title comment")
+	}
+	if !strings.Contains(out, "component,time,ns,share") {
+		t.Errorf("csv output missing CSV header row:\n%s", out[:min(len(out), 600)])
+	}
+}
+
+func TestTraceAndMetricsModes(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	o := base()
+	o.TraceOut = tracePath
+	o.MetricsOut = metricsPath
+	if err := run(o, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+
+	var traceBuf bytes.Buffer
+	if err := run(options{TracePath: tracePath, Format: "table", TopN: 5}, &traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	out := traceBuf.String()
+	for _, want := range []string{"Events by kind", "Spans by track and name", "migration.run", "vm-paused"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace-mode output missing %q:\n%s", want, out)
+		}
+	}
+
+	var metricsBuf bytes.Buffer
+	if err := run(options{MetricsPath: metricsPath, Format: "table", TopN: 5}, &metricsBuf); err != nil {
+		t.Fatal(err)
+	}
+	out = metricsBuf.String()
+	for _, want := range []string{"Counters", "migration.bytes_on_wire", "Histograms", "p95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics-mode output missing %q", want)
+		}
+	}
+
+	var promBuf bytes.Buffer
+	if err := run(options{MetricsPath: metricsPath, Prom: true, Format: "table", TopN: 5}, &promBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(promBuf.String(), "# TYPE javmm_migration_bytes_on_wire counter") {
+		t.Errorf("prom output missing typed counter line:\n%s", promBuf.String()[:min(promBuf.Len(), 400)])
+	}
+}
+
+func TestSourceSelection(t *testing.T) {
+	if err := run(options{Format: "table"}, new(bytes.Buffer)); err == nil {
+		t.Error("no source chosen: want error")
+	}
+	if err := run(options{Run: true, TracePath: "x", Format: "table"}, new(bytes.Buffer)); err == nil {
+		t.Error("two sources chosen: want error")
+	}
+	if err := run(options{Run: true, Format: "xml"}, new(bytes.Buffer)); err == nil {
+		t.Error("bad format: want error")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

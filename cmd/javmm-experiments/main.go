@@ -127,10 +127,11 @@ func run(o experiments.Options, selected func(...string) bool) error {
 			show(experiments.Table2(cs))
 		}
 		if selected("fig10") {
-			timeT, trafficT, downT, cpuT := experiments.Figure10(cs)
+			timeT, trafficT, downT, attribT, cpuT := experiments.Figure10(cs)
 			show(timeT)
 			show(trafficT)
 			show(downT)
+			show(attribT)
 			show(cpuT)
 		}
 		if selected("fig11") {

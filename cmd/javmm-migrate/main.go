@@ -39,6 +39,7 @@ func main() {
 	flag.StringVar(&o.TracePath, "trace", "", "write a migration trace to this file")
 	flag.StringVar(&o.TraceFormat, "trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
 	flag.BoolVar(&o.Metrics, "metrics", false, "print the metrics summary table after migration")
+	flag.StringVar(&o.MetricsOut, "metrics-out", "", "write the metrics snapshot as JSON to this file")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "javmm-migrate:", err)
@@ -63,6 +64,7 @@ type options struct {
 	TracePath   string
 	TraceFormat string // "chrome" or "jsonl"
 	Metrics     bool
+	MetricsOut  string
 }
 
 func run(o options, out io.Writer) error {
@@ -136,7 +138,7 @@ func run(o options, out io.Writer) error {
 		tracer = javmm.NewTracer(vm.Clock)
 		opts.Tracer = tracer
 	}
-	if o.Metrics {
+	if o.Metrics || o.MetricsOut != "" {
 		metrics = javmm.NewMetrics(vm.Clock)
 		opts.Metrics = metrics
 	}
@@ -180,9 +182,32 @@ func run(o options, out io.Writer) error {
 		fmt.Fprintf(out, "  trace               %s (%d events, %s)\n", o.TracePath, tracer.Len(), o.TraceFormat)
 	}
 	if metrics != nil {
-		printMetrics(out, metrics.Snapshot())
+		snap := metrics.Snapshot()
+		if o.MetricsOut != "" {
+			if err := writeMetrics(o.MetricsOut, snap); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  metrics snapshot    %s\n", o.MetricsOut)
+		}
+		if o.Metrics {
+			printMetrics(out, snap)
+		}
 	}
 	return nil
+}
+
+// writeMetrics exports the snapshot as JSON (readable back with
+// javmm.ReadMetricsJSON, e.g. by javmm-analyze).
+func writeMetrics(path string, s javmm.MetricsSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = javmm.WriteMetricsJSON(f, s)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeTrace exports the recorded events in the chosen format.

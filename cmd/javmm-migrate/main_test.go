@@ -195,3 +195,28 @@ func TestRunMetricsSummary(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWritesMetricsSnapshot(t *testing.T) {
+	o := base()
+	o.Warmup = 30 * time.Second
+	o.MetricsOut = filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "metrics snapshot") {
+		t.Fatal("report does not mention the written snapshot")
+	}
+	f, err := os.Open(o.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := javmm.ReadMetricsJSON(f)
+	if err != nil {
+		t.Fatalf("snapshot does not read back: %v", err)
+	}
+	if _, ok := snap.Counter("migration.pages_sent"); !ok {
+		t.Fatal("snapshot missing migration.pages_sent")
+	}
+}

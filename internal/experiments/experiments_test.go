@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -278,11 +279,28 @@ func TestComparisonPipeline(t *testing.T) {
 	if len(cs) != 1 || len(cs[0].Xen) != 1 || len(cs[0].Javmm) != 1 {
 		t.Fatalf("comparisons = %+v", cs)
 	}
-	timeT, trafficT, downT, cpuT := Figure10(cs)
+	timeT, trafficT, downT, attribT, cpuT := Figure10(cs)
 	for _, tab := range []*Table{timeT, trafficT, downT, cpuT} {
 		if len(tab.Rows) != 1 {
 			t.Fatalf("table %q rows = %d", tab.Title, len(tab.Rows))
 		}
+	}
+	if len(attribT.Rows) != 2 { // one xen + one javmm row per workload
+		t.Fatalf("attribution rows = %d", len(attribT.Rows))
+	}
+	// The javmm row's components must sum to its total (within rounding).
+	jr := attribT.Rows[1]
+	var sum float64
+	for _, cell := range jr[2:6] {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("attribution cell %q: %v", cell, err)
+		}
+		sum += v
+	}
+	total, _ := strconv.ParseFloat(jr[6], 64)
+	if diff := sum - total; diff > 0.005 || diff < -0.005 {
+		t.Fatalf("attribution components %v sum %.3f != total %.3f", jr, sum, total)
 	}
 	t2 := Table2(cs)
 	if len(t2.Rows) != 1 {

@@ -254,16 +254,55 @@ func comparisonTable(title, unit string, cs []Comparison, m metric) *Table {
 	return t
 }
 
+// DowntimeAttribution renders the exact decomposition behind Figure 10(c):
+// per workload and mode, the mean seconds of workload downtime charged to
+// each component. Every run's components reconcile tick-for-tick with its
+// total (RunMigration enforces it), so each row's columns sum to its total
+// up to display rounding.
+func DowntimeAttribution(cs []Comparison) *Table {
+	t := &Table{
+		Title: "Figure 10(c) attribution. Workload downtime by component (mean s)",
+		Header: []string{"workload", "mode", "enforced-gc", "final-update",
+			"stop-and-copy", "resumption", "total"},
+	}
+	meanDur := func(runs []*Run, f func(*Run) time.Duration) float64 {
+		var s float64
+		for _, r := range runs {
+			s += f(r).Seconds()
+		}
+		return s / float64(len(runs))
+	}
+	add := func(wl, mode string, runs []*Run) {
+		if len(runs) == 0 {
+			return
+		}
+		t.AddRow(wl, mode,
+			fmt.Sprintf("%.3f", meanDur(runs, func(r *Run) time.Duration { return r.Attribution.EnforcedGC })),
+			fmt.Sprintf("%.3f", meanDur(runs, func(r *Run) time.Duration { return r.Attribution.FinalUpdate })),
+			fmt.Sprintf("%.3f", meanDur(runs, func(r *Run) time.Duration { return r.Attribution.StopAndCopy })),
+			fmt.Sprintf("%.3f", meanDur(runs, func(r *Run) time.Duration { return r.Attribution.Resumption })),
+			fmt.Sprintf("%.3f", meanDur(runs, func(r *Run) time.Duration { return r.Attribution.WorkloadDowntime })),
+		)
+	}
+	for _, c := range cs {
+		add(c.Workload, "xen", c.Xen)
+		add(c.Workload, "javmm", c.Javmm)
+	}
+	return t
+}
+
 // Figure10 renders migration time, traffic and workload downtime for the
 // three representative workloads (derby, crypto, scimark) plus the §5.3
-// extras: daemon CPU time and framework memory overhead (X1).
-func Figure10(cs []Comparison) (timeT, trafficT, downT, cpuT *Table) {
+// extras: the downtime attribution, daemon CPU time and framework memory
+// overhead (X1).
+func Figure10(cs []Comparison) (timeT, trafficT, downT, attribT, cpuT *Table) {
 	timeT = comparisonTable("Figure 10(a). Total migration time", "s", cs,
 		func(r *Run) float64 { return r.Report.TotalTime.Seconds() })
 	trafficT = comparisonTable("Figure 10(b). Total migration traffic", "GB", cs,
 		func(r *Run) float64 { return float64(r.Report.TotalBytes()) / 1e9 })
 	downT = comparisonTable("Figure 10(c). Workload downtime", "s", cs,
 		func(r *Run) float64 { return r.WorkloadDowntime.Seconds() })
+	attribT = DowntimeAttribution(cs)
 	cpuT = comparisonTable("X1. Migration daemon CPU time", "s", cs,
 		func(r *Run) float64 { return r.Report.CPUTime.Seconds() })
 	for _, c := range cs {
@@ -274,7 +313,7 @@ func Figure10(cs []Comparison) (timeT, trafficT, downT, cpuT *Table) {
 				c.Workload, fmtBytes(r.LKMBitmapBytes), fmtBytes(r.LKMCacheBytes)))
 		}
 	}
-	return timeT, trafficT, downT, cpuT
+	return timeT, trafficT, downT, attribT, cpuT
 }
 
 // Table2 renders the observed heap state at migration time for the Figure 10

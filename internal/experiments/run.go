@@ -14,6 +14,8 @@ import (
 	"javmm/internal/migration"
 	"javmm/internal/netsim"
 	"javmm/internal/obs"
+	"javmm/internal/obs/attrib"
+	"javmm/internal/obs/ledger"
 	"javmm/internal/workload"
 )
 
@@ -67,6 +69,9 @@ type RunOpts struct {
 	// migration engine, so one experiment produces one coherent trace.
 	Tracer  *obs.Tracer
 	Metrics *obs.Metrics
+	// Ledger, when non-nil, records the run's per-page provenance and
+	// enables the Attribution carried on the Run.
+	Ledger *ledger.Ledger
 }
 
 func (o *RunOpts) fillDefaults() {
@@ -118,6 +123,13 @@ type Run struct {
 	// only for region-churning collectors with re-reporting on).
 	AgentReReports   int
 	AgentGrowReports int
+
+	// Attribution is the reconciled downtime/traffic accounting of the
+	// run, always present (the per-reason ledger breakdown only when
+	// RunOpts.Ledger was set). RunMigration fails if it does not reconcile
+	// with the Report — figures must not be built from numbers that do not
+	// add up.
+	Attribution *attrib.Attribution
 }
 
 // RunMigration boots a fresh VM, warms it up, migrates it and returns the
@@ -199,6 +211,9 @@ func RunMigration(opts RunOpts) (*Run, error) {
 	if opts.Metrics != nil {
 		cfg.Metrics = opts.Metrics
 	}
+	if opts.Ledger != nil {
+		cfg.Ledger = opts.Ledger
+	}
 	link := netsim.NewLink(vm.Clock, opts.Bandwidth, 100*time.Microsecond)
 	link.SetMetrics(opts.Metrics)
 
@@ -244,6 +259,11 @@ func RunMigration(opts RunOpts) (*Run, error) {
 	run.WorkloadDowntime = report.VMDowntime
 	if opts.Mode == migration.ModeAppAssisted {
 		run.WorkloadDowntime += run.EnforcedGC + report.FinalUpdate
+	}
+
+	run.Attribution = attrib.Build(report, run.EnforcedGC, opts.Ledger)
+	if err := run.Attribution.Reconcile(report); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 
 	run.LKMBitmapBytes = vm.Guest.LKM.BitmapBytes()

@@ -452,6 +452,7 @@ func (l *LKM) completePrepare() {
 	if m := l.metrics; m != nil {
 		m.Counter("lkm.final_updates").Inc()
 		m.Counter("lkm.fallback_apps").Add(int64(l.lastFallbacks))
+		m.Counter("lkm.final_update_total_ns").AddDuration(l.LastFinalUpdate)
 		m.Histogram("lkm.final_update_ns").Observe(float64(l.LastFinalUpdate))
 	}
 	l.ec.Guest().Notify(EvSuspensionReady{

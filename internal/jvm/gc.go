@@ -225,7 +225,12 @@ func (j *JVM) CompleteMinorGC() (GCStats, error) {
 		panic("jvm: CompleteMinorGC without BeginMinorGC")
 	}
 	plan := j.gc
-	defer plan.span.End() // idempotent: closes the span on error returns too
+	spanClosed := false
+	defer func() { // backstop: the error returns below leave the span open
+		if !spanClosed {
+			plan.span.End()
+		}
+	}()
 
 	// Copy any remainder of the live data into the To space (most of it
 	// was already written by GCCopyTick during the pause).
@@ -318,6 +323,7 @@ func (j *JVM) CompleteMinorGC() (GCStats, error) {
 	j.History = append(j.History, st)
 	j.gc = nil
 
+	spanClosed = true
 	plan.span.End(
 		obs.Uint64("garbage", st.Garbage),
 		obs.Uint64("promoted", st.Promoted),

@@ -444,7 +444,12 @@ func (h *RegionalHeap) CompleteMinorGC() (GCStats, error) {
 		panic("jvm: CompleteMinorGC without BeginMinorGC")
 	}
 	plan := h.gc
-	defer plan.span.End() // idempotent: closes the span on error returns too
+	spanClosed := false
+	defer func() { // backstop: the error returns below leave the span open
+		if !spanClosed {
+			plan.span.End()
+		}
+	}()
 	oldEden, oldSurv := h.eden, h.surv
 	h.eden, h.surv = nil, nil
 
@@ -507,6 +512,7 @@ func (h *RegionalHeap) CompleteMinorGC() (GCStats, error) {
 	h.lastMinorGCAt = st.At
 	h.gc = nil
 
+	spanClosed = true
 	plan.span.End(
 		obs.Uint64("garbage", st.Garbage),
 		obs.Uint64("promoted", st.Promoted),

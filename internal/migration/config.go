@@ -5,6 +5,7 @@ import (
 
 	"javmm/internal/mem"
 	"javmm/internal/obs"
+	"javmm/internal/obs/ledger"
 )
 
 // GuestExecutor runs guest activity for a span of virtual time. The
@@ -129,6 +130,13 @@ type Config struct {
 	// .bytes_on_wire, ...). The totals reconcile exactly with the Report of
 	// the same run.
 	Metrics *obs.Metrics
+
+	// Ledger, if non-nil, records per-page provenance: every page push is
+	// tagged with its iteration, wire bytes and send class, and every skip
+	// with its reason. The engine calls Begin on it when migration starts,
+	// so the ledger always describes the most recent run; its totals
+	// reconcile exactly with the Report (attrib.Build checks this).
+	Ledger *ledger.Ledger
 
 	// SkipFreePages enables the OS-assisted baseline of Koto et al.
 	// (paper §1/§2): pages the guest kernel holds on its free list are not

@@ -1,0 +1,100 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"javmm/internal/mem"
+	"javmm/internal/obs/ledger"
+)
+
+// The provenance ledger is only useful if it is exact: its totals must match
+// the Report byte-for-byte in every mode, or the attribution tooling built on
+// it is lying. This is the reconciliation half of the PR's acceptance
+// criteria at the engine level (javmm_obs_test.go re-checks it end to end).
+func TestLedgerReconcilesWithReportAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModeVanilla, ModeAppAssisted, ModePostCopy, ModeHybrid} {
+		t.Run(mode.String(), func(t *testing.T) {
+			r := newRig(4096, 20*1000*1000)
+			hot := mem.VARange{Start: 0x1000000, End: 0x1000000 + 1024*mem.PageSize}
+			sc := newScribbler(r.guest, r.clock, hot, 20000)
+			if mode == ModeAppAssisted {
+				sc.skip = []mem.VARange{hot}
+				sc.readyDelay = 10 * time.Millisecond
+				sc.register(r.guest)
+			}
+			led := ledger.New()
+			rep, err := r.source(Config{Mode: mode, Ledger: led}, sc).Migrate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := led.Summary()
+			if sum.TotalBytes != rep.TotalBytes() {
+				t.Fatalf("ledger bytes %d != report bytes %d", sum.TotalBytes, rep.TotalBytes())
+			}
+			if sum.TotalSends != rep.TotalPagesSent {
+				t.Fatalf("ledger sends %d != report pages sent %d", sum.TotalSends, rep.TotalPagesSent)
+			}
+			if sum.NumPages != 4096 {
+				t.Fatalf("ledger sized for %d pages", sum.NumPages)
+			}
+			// Mode-specific provenance shape.
+			switch mode {
+			case ModeVanilla:
+				if sum.SendBytes(ledger.ReasonFinalIter) == 0 {
+					t.Fatal("vanilla run recorded no final-iteration traffic")
+				}
+				if sum.SkipsByReason[ledger.SkipBitmap].Count != 0 {
+					t.Fatal("vanilla run recorded bitmap skips")
+				}
+			case ModeAppAssisted:
+				if sum.SkipsByReason[ledger.SkipBitmap].Count == 0 {
+					t.Fatal("app-assisted run saved nothing via the transfer bitmap")
+				}
+				if sum.SavedBytes == 0 {
+					t.Fatal("app-assisted run reports zero saved bytes")
+				}
+			case ModePostCopy:
+				if sum.SendBytes(ledger.ReasonFinalIter) != 0 {
+					t.Fatal("pure post-copy has no final iteration")
+				}
+				got := sum.SendsByReason[ledger.ReasonFirstCopy].Count +
+					sum.SendsByReason[ledger.ReasonDemandFault].Count
+				if got != sum.TotalSends {
+					t.Fatalf("post-copy sends beyond first-copy/demand-fault: %d of %d", got, sum.TotalSends)
+				}
+			case ModeHybrid:
+				if sum.SendsByReason[ledger.ReasonFirstCopy].Count == 0 {
+					t.Fatal("hybrid warm phase recorded no first copies")
+				}
+			}
+		})
+	}
+}
+
+// Aborted runs must leave the ledger describing exactly what was sent before
+// the cancel — not a stale previous run, and nothing beyond the Report.
+func TestLedgerTracksAbortedRun(t *testing.T) {
+	r := newRig(2048, 100*1000)
+	hot := mem.VARange{Start: 0x1000000, End: 0x1000000 + 1024*mem.PageSize}
+	sc := newScribbler(r.guest, r.clock, hot, 50000)
+	led := ledger.New()
+	rep, err := r.source(Config{
+		Mode:        ModeVanilla,
+		Ledger:      led,
+		CancelAfter: 2 * time.Second,
+	}, sc).Migrate()
+	if err != ErrCancelled {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	sum := led.Summary()
+	if sum.TotalBytes != rep.TotalBytes() {
+		t.Fatalf("aborted ledger bytes %d != report bytes %d", sum.TotalBytes, rep.TotalBytes())
+	}
+	if sum.TotalSends != rep.TotalPagesSent {
+		t.Fatalf("aborted ledger sends %d != report sends %d", sum.TotalSends, rep.TotalPagesSent)
+	}
+	if sum.SendBytes(ledger.ReasonFinalIter) != 0 {
+		t.Fatal("aborted run recorded a final iteration")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"javmm/internal/mem"
 	"javmm/internal/netsim"
 	"javmm/internal/obs"
+	"javmm/internal/obs/ledger"
 	"javmm/internal/simclock"
 )
 
@@ -152,6 +153,7 @@ func (s *Source) migratePreCopy() (*Report, error) {
 	s.report = &Report{Mode: s.Cfg.Mode}
 	s.sentBytes = 0
 	s.aborted = false
+	s.Cfg.Ledger.Begin(s.Dom.NumPages())
 
 	// The legacy OnIteration callback rides the event bus: when a tracer is
 	// configured it becomes a subscription to the per-iteration stats
@@ -245,13 +247,16 @@ func (s *Source) migratePreCopy() (*Report, error) {
 	// done.
 	if s.proto != nil {
 		prepStart := s.Clock.Now()
+		// The span closes on the success path below with its outcome attrs;
+		// every early return closes it explicitly first (double-closing is a
+		// recorded tracer misuse, so no backstop defer).
 		prepSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindPrepare, "prepare-suspension")
-		defer prepSpan.End()
 		s.proto.EnterLastIter()
 		iter++
 		newRound()
 		st := s.runIteration(iter, toSend, false)
 		if s.aborted {
+			prepSpan.End()
 			return abort()
 		}
 		// The LKM's PrepareTimeout bounds this wait; the engine adds a hard
@@ -259,9 +264,11 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		waitDeadline := s.Clock.Now() + s.Cfg.SuspensionBackstop
 		for !s.proto.Ready() {
 			if s.cancelRequested() {
+				prepSpan.End()
 				return abort()
 			}
 			if s.Clock.Now() >= waitDeadline {
+				prepSpan.End()
 				return nil, ErrSuspensionTimeout
 			}
 			s.advance(s.Cfg.IdleQuantum)
@@ -434,28 +441,39 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 		}
 	}
 
+	sendClass := ledger.ClassLive
+	if last {
+		sendClass = ledger.ClassFinal
+	}
 	toSend.Range(func(p mem.PFN) bool {
 		if s.aborted {
 			return false
 		}
 		s.report.CPUTime += s.Cfg.PageExamineCost
-		switch s.skip.Skip(p) {
+		switch r := s.skip.Skip(p); r {
 		case SkipBitmap:
 			st.PagesSkippedBitmap++
+			s.Cfg.Ledger.PageSkipped(p, index, rawWire, r.ledgerReason())
 			return true
 		case SkipFree:
 			st.PagesSkippedFree++
+			s.Cfg.Ledger.PageSkipped(p, index, rawWire, r.ledgerReason())
 			return true
 		}
 		if !last && s.Dom.DirtyNow(p) {
 			// Already re-dirtied this round: sending now would be wasted —
 			// the next round resends it (Figure 9, "already dirtied").
 			st.PagesSkippedDirty++
+			s.Cfg.Ledger.PageSkipped(p, index, rawWire, ledger.SkipDirty)
 			return true
 		}
 		w, encodeCPU := s.codec.Encode(p, rawWire)
 		chunkWire += w
 		s.report.CPUTime += encodeCPU
+		// Provenance: the ledger sees the page at encode time; every encoded
+		// page is flushed before the iteration returns (even on abort), so
+		// ledger totals reconcile exactly with the iteration counters.
+		s.Cfg.Ledger.PageSent(p, index, w, sendClass)
 		chunk = append(chunk, pagePayload{pfn: p, payload: s.Dom.Store().Export(p)})
 		if uint64(len(chunk)) >= s.Cfg.ChunkPages {
 			flush()

@@ -5,6 +5,7 @@ import (
 
 	"javmm/internal/mem"
 	"javmm/internal/obs"
+	"javmm/internal/obs/ledger"
 )
 
 // The lazy (post-switchover) engine: move the VM first, bring its memory
@@ -79,6 +80,7 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 	s.sentBytes = 0
 	s.aborted = false
 	s.proto = nil
+	s.Cfg.Ledger.Begin(n)
 	pc := &PostCopyStats{}
 	s.report.PostCopy = pc
 
@@ -159,6 +161,7 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 	missing := n - resident.Count()
 	var stallDebt time.Duration
 	wire := s.Dom.Store().WireSize()
+	lazyIter := iter + 1 // the ledger iteration index of the whole lazy phase
 
 	fetch := func(p mem.PFN) time.Duration {
 		d := s.Link.RoundTrip() + s.Link.Send(wire)
@@ -174,7 +177,10 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 		pc.Faults++
 		// The faulting vCPU stalls for a round trip plus the transfer;
 		// the debt is charged to guest time between prefetch chunks.
-		stallDebt += fetch(p)
+		d := fetch(p)
+		stallDebt += d
+		s.Cfg.Ledger.PageSent(p, lazyIter, wire, ledger.ClassFault)
+		s.Cfg.Metrics.Histogram("migration.fault_stall_ns").Observe(float64(d))
 	})
 	defer s.Dom.SetPageFaultHook(nil)
 
@@ -190,6 +196,7 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 				d := s.Link.Send(wire)
 				s.sink.ReceivePage(cursor, s.Dom.Store().Export(cursor))
 				resident.Set(cursor)
+				s.Cfg.Ledger.PageSent(cursor, lazyIter, wire, ledger.ClassPrefetch)
 				pc.PrefetchPages++
 				pushed++
 				st.PagesSent++

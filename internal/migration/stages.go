@@ -5,6 +5,7 @@ import (
 
 	"javmm/internal/guestos"
 	"javmm/internal/mem"
+	"javmm/internal/obs/ledger"
 )
 
 // The engine is a thin orchestrator over five pluggable stages. Each stage
@@ -35,6 +36,16 @@ const (
 	// OS assistance) — counted as PagesSkippedFree.
 	SkipFree
 )
+
+// ledgerReason maps a stage skip decision onto the provenance ledger's
+// taxonomy. Only policy skips appear here; the engine's own mid-round dirty
+// deferral is tagged ledger.SkipDirty directly.
+func (r SkipReason) ledgerReason() ledger.SkipReason {
+	if r == SkipFree {
+		return ledger.SkipFree
+	}
+	return ledger.SkipBitmap
+}
 
 // SkipPolicy decides, page by page, what the engine may leave behind. It
 // also produces the FinalTransfer snapshot recorded at VM pause: the set of

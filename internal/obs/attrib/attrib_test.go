@@ -1,0 +1,143 @@
+package attrib
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"javmm/internal/mem"
+	"javmm/internal/migration"
+	"javmm/internal/obs/ledger"
+)
+
+// report fabricates a consistent two-iteration Report for unit tests; the
+// end-to-end reconciliation against real engine runs lives in the root
+// package's observability tests.
+func report(mode migration.Mode) *migration.Report {
+	return &migration.Report{
+		Mode:           mode,
+		VMDowntime:     250 * time.Millisecond,
+		Resumption:     170 * time.Millisecond,
+		FinalUpdate:    6 * time.Millisecond,
+		TotalPagesSent: 300,
+		Iterations: []migration.IterationStats{
+			{Index: 1, Duration: time.Second, PagesSent: 200, BytesOnWire: 200 * 4096,
+				PagesDirtiedDuring: 100},
+			{Index: 2, Duration: 100 * time.Millisecond, Last: true, PagesSent: 100,
+				BytesOnWire: 100 * 4096},
+		},
+	}
+}
+
+func TestBuildVanillaDowntimeSplit(t *testing.T) {
+	r := report(migration.ModeVanilla)
+	// A stray enforced GC outside JAVMM mode is not workload downtime.
+	a := Build(r, 40*time.Millisecond, nil)
+	if a.EnforcedGC != 0 || a.FinalUpdate != 0 {
+		t.Fatalf("vanilla charged GC %v / final update %v", a.EnforcedGC, a.FinalUpdate)
+	}
+	if a.WorkloadDowntime != r.VMDowntime {
+		t.Fatalf("workload downtime %v, want %v", a.WorkloadDowntime, r.VMDowntime)
+	}
+	if a.StopAndCopy != 80*time.Millisecond {
+		t.Fatalf("stop-and-copy = %v", a.StopAndCopy)
+	}
+	if err := a.Reconcile(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Components()) != 4 {
+		t.Fatalf("components = %v", a.Components())
+	}
+}
+
+func TestBuildJAVMMChargesGCAndFinalUpdate(t *testing.T) {
+	r := report(migration.ModeAppAssisted)
+	gc := 40 * time.Millisecond
+	a := Build(r, gc, nil)
+	want := r.VMDowntime + gc + r.FinalUpdate
+	if a.WorkloadDowntime != want {
+		t.Fatalf("workload downtime %v, want %v", a.WorkloadDowntime, want)
+	}
+	if a.DowntimeSum() != want {
+		t.Fatalf("components sum %v, want %v", a.DowntimeSum(), want)
+	}
+	if err := a.Reconcile(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCarriesFaultStall(t *testing.T) {
+	r := report(migration.ModePostCopy)
+	r.PostCopy = &migration.PostCopyStats{
+		Faults: 17, FaultStall: 90 * time.Millisecond,
+	}
+	a := Build(r, 0, nil)
+	if a.Faults != 17 || a.FaultStall != 90*time.Millisecond {
+		t.Fatalf("fault stall = %d/%v", a.Faults, a.FaultStall)
+	}
+	// Stall is degradation, not downtime: it must not leak into the sum.
+	if a.DowntimeSum() != r.VMDowntime {
+		t.Fatalf("downtime sum %v includes stall", a.DowntimeSum())
+	}
+	if err := a.Reconcile(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildWithLedgerReconciles(t *testing.T) {
+	r := report(migration.ModeVanilla)
+	led := ledger.New()
+	led.Begin(512)
+	for p := 0; p < 200; p++ {
+		led.PageSent(mem.PFN(p), 1, 4096, ledger.ClassLive)
+	}
+	for p := 0; p < 100; p++ {
+		led.PageSent(mem.PFN(p), 2, 4096, ledger.ClassFinal)
+	}
+	a := Build(r, 0, led)
+	if !a.HasLedger {
+		t.Fatal("ledger breakdown absent")
+	}
+	if err := a.Reconcile(r); err != nil {
+		t.Fatal(err)
+	}
+	if a.Ledger.SendsByReason[ledger.ReasonFinalIter].Count != 100 {
+		t.Fatalf("final-iter bucket = %+v", a.Ledger.SendsByReason[ledger.ReasonFinalIter])
+	}
+}
+
+func TestReconcileCatchesLies(t *testing.T) {
+	r := report(migration.ModeVanilla)
+
+	a := Build(r, 0, nil)
+	a.Resumption += time.Nanosecond // one tick off must fail
+	if err := a.Reconcile(r); err == nil || !strings.Contains(err.Error(), "downtime") {
+		t.Fatalf("tick-off resumption not caught: %v", err)
+	}
+
+	a = Build(r, 0, nil)
+	a.Iterations[0].BytesOnWire-- // one byte off must fail
+	if err := a.Reconcile(r); err == nil || !strings.Contains(err.Error(), "bytes") {
+		t.Fatalf("byte-off series not caught: %v", err)
+	}
+
+	// A ledger that missed a send must fail reconciliation.
+	led := ledger.New()
+	led.Begin(512)
+	for p := 0; p < 299; p++ {
+		led.PageSent(mem.PFN(p), 1, 4096, ledger.ClassLive)
+	}
+	a = Build(r, 0, led)
+	if err := a.Reconcile(r); err == nil || !strings.Contains(err.Error(), "ledger") {
+		t.Fatalf("short ledger not caught: %v", err)
+	}
+
+	// Inactive ledger is simply absent, not an error.
+	a = Build(r, 0, nil)
+	if a.HasLedger {
+		t.Fatal("nil ledger marked present")
+	}
+	if err := a.Reconcile(r); err != nil {
+		t.Fatal(err)
+	}
+}

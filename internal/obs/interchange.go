@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Interchange formats: reading traces and metrics back from their exported
+// forms (for offline tooling like javmm-analyze), and rendering a metrics
+// snapshot in Prometheus text exposition format. Everything here is
+// deterministic: parsed attributes are sorted by key, and all output is
+// fixed-format — same input, byte-identical output.
+
+// jsonlEvent mirrors one WriteJSONL line for decoding.
+type jsonlEvent struct {
+	Seq   int                        `json:"seq"`
+	AtNs  int64                      `json:"at_ns"`
+	Track string                     `json:"track"`
+	Kind  string                     `json:"kind"`
+	Name  string                     `json:"name"`
+	Phase string                     `json:"phase"`
+	Attrs map[string]json.RawMessage `json:"attrs"`
+}
+
+// ReadJSONL parses a trace written by WriteJSONL back into events.
+// Attribute values come back as the JSON types allow: bool, string, int64
+// (integral numbers) or float64 — Duration attrs, exported as integer
+// nanoseconds, read back as int64. Attrs are sorted by key (JSON objects
+// carry no order), and Data payloads are gone: they were never exported.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal([]byte(raw), &je); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		e := Event{
+			Seq:   je.Seq,
+			At:    time.Duration(je.AtNs),
+			Track: je.Track,
+			Kind:  Kind(je.Kind),
+			Name:  je.Name,
+			Phase: Phase(je.Phase),
+		}
+		if len(je.Attrs) > 0 {
+			keys := make([]string, 0, len(je.Attrs))
+			for k := range je.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				v, err := decodeAttrValue(je.Attrs[k])
+				if err != nil {
+					return nil, fmt.Errorf("obs: trace line %d, attr %q: %w", line, k, err)
+				}
+				e.Attrs = append(e.Attrs, Attr{Key: k, Val: v})
+			}
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return events, nil
+}
+
+func decodeAttrValue(raw json.RawMessage) (any, error) {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	if n, ok := v.(json.Number); ok {
+		if i, err := strconv.ParseInt(n.String(), 10, 64); err == nil {
+			return i, nil
+		}
+		return n.Float64()
+	}
+	return v, nil
+}
+
+// AttrValue returns the value of the named attribute, or nil when absent.
+func (e Event) AttrValue(key string) any {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return nil
+}
+
+// WriteMetricsJSON writes a snapshot as indented JSON, the machine-readable
+// companion of the CLI's metrics table. Sections are sorted by construction,
+// so the output is byte-deterministic.
+func WriteMetricsJSON(w io.Writer, s MetricsSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadMetricsJSON parses a snapshot written by WriteMetricsJSON.
+func ReadMetricsJSON(r io.Reader) (MetricsSnapshot, error) {
+	var s MetricsSnapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return MetricsSnapshot{}, fmt.Errorf("obs: reading metrics snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// WritePrometheus renders a snapshot in Prometheus text exposition format
+// (version 0.0.4), for scraping or offline ingestion. Instrument names are
+// prefixed javmm_ and sanitized (dots become underscores). Counters map to
+// counter metrics; gauges to a gauge plus a _timeweighted_mean companion;
+// histograms to a summary with exact quantiles plus _min and _max gauges.
+func WritePrometheus(w io.Writer, s MetricsSnapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+		fmt.Fprintf(bw, "%s %s\n", n, strconv.FormatInt(c.Value, 10))
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(bw, "%s %s\n", n, promFloat(g.Value))
+		fmt.Fprintf(bw, "# TYPE %s_timeweighted_mean gauge\n", n)
+		fmt.Fprintf(bw, "%s_timeweighted_mean %s\n", n, promFloat(g.TimeWeightedMean))
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s summary\n", n)
+		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", n, promFloat(h.P50))
+		fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s\n", n, promFloat(h.P95))
+		fmt.Fprintf(bw, "%s{quantile=\"0.99\"} %s\n", n, promFloat(h.P99))
+		fmt.Fprintf(bw, "%s_sum %s\n", n, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %s\n", n, strconv.FormatUint(h.Count, 10))
+		fmt.Fprintf(bw, "# TYPE %s_min gauge\n", n)
+		fmt.Fprintf(bw, "%s_min %s\n", n, promFloat(h.Min))
+		fmt.Fprintf(bw, "# TYPE %s_max gauge\n", n)
+		fmt.Fprintf(bw, "%s_max %s\n", n, promFloat(h.Max))
+	}
+	return bw.Flush()
+}
+
+// promName sanitizes an instrument name into the Prometheus alphabet
+// [a-zA-Z0-9_:], with the javmm_ namespace prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("javmm_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"javmm/internal/simclock"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	c := simclock.New()
+	m := NewMetrics(c)
+	h := m.Histogram("q")
+
+	// Empty histogram: every quantile is 0.
+	if h.Quantile(0.5) != 0 || h.Quantile(0) != 0 || h.Quantile(1) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+
+	// Single sample: every quantile is that sample.
+	h.Observe(7)
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+
+	// Observations out of order; quantiles see them sorted.
+	h2 := m.Histogram("q2")
+	for _, v := range []float64{30, 10, 20, 40} {
+		h2.Observe(v)
+	}
+	if got := h2.Quantile(0); got != 10 {
+		t.Fatalf("q=0 -> %v, want min", got)
+	}
+	if got := h2.Quantile(1); got != 40 {
+		t.Fatalf("q=1 -> %v, want max", got)
+	}
+	if got := h2.Quantile(0.5); got != 25 { // interpolates 20..30
+		t.Fatalf("median = %v, want 25", got)
+	}
+	if got := h2.Quantile(1.0 / 3.0); got != 20 {
+		t.Fatalf("q=1/3 = %v, want 20", got)
+	}
+	// Observing after a Quantile call re-sorts correctly.
+	h2.Observe(5)
+	if got := h2.Quantile(0); got != 5 {
+		t.Fatalf("after new min, q=0 = %v", got)
+	}
+
+	// Nil histogram is safe.
+	var hn *Histogram
+	if hn.Quantile(0.9) != 0 {
+		t.Fatal("nil histogram quantile not 0")
+	}
+
+	// Snapshot carries the quantiles.
+	snap := m.Snapshot()
+	hs, ok := snap.Histogram("q2")
+	if !ok {
+		t.Fatal("q2 missing from snapshot")
+	}
+	if hs.P50 != 20 { // samples now 5,10,20,30,40
+		t.Fatalf("snapshot P50 = %v, want 20", hs.P50)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	c := simclock.New()
+	tr := New(c)
+	tr.Emit(TrackMigration, KindSuspend, "vm-suspend", nil)
+	c.Advance(3 * time.Millisecond)
+	sp := tr.Begin(TrackMigration, KindIteration, "iteration 1",
+		Int("iter", 1), Bool("last", false))
+	c.Advance(time.Millisecond)
+	sp.End(Uint64("pages_sent", 42), Dur("took", time.Millisecond),
+		Float("rate", 1.5), Str("mode", "xen"))
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d events, want 3", len(got))
+	}
+	if got[0].Kind != KindSuspend || got[0].At != 0 || got[0].Seq != 0 {
+		t.Fatalf("event 0 = %+v", got[0])
+	}
+	end := got[2]
+	if end.Phase != PhaseEnd || end.At != 4*time.Millisecond {
+		t.Fatalf("end event = %+v", end)
+	}
+	if v := end.AttrValue("pages_sent"); v != int64(42) {
+		t.Fatalf("pages_sent = %v (%T)", v, v)
+	}
+	if v := end.AttrValue("took"); v != int64(time.Millisecond) {
+		t.Fatalf("took = %v", v)
+	}
+	if v := end.AttrValue("rate"); v != 1.5 {
+		t.Fatalf("rate = %v", v)
+	}
+	if v := end.AttrValue("mode"); v != "xen" {
+		t.Fatalf("mode = %v", v)
+	}
+	if v := end.AttrValue("absent"); v != nil {
+		t.Fatalf("absent attr = %v", v)
+	}
+	// Attrs come back sorted by key.
+	for i := 1; i < len(end.Attrs); i++ {
+		if end.Attrs[i-1].Key > end.Attrs[i].Key {
+			t.Fatalf("attrs not sorted: %+v", end.Attrs)
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	evs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank input: %v, %d events", err, len(evs))
+	}
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	c := simclock.New()
+	m := NewMetrics(c)
+	m.Counter("migration.pages_sent").Add(100)
+	m.Gauge("link.utilization").Set(0.75)
+	m.Histogram("migration.fault_stall_ns").Observe(1000)
+	m.Histogram("migration.fault_stall_ns").Observe(3000)
+	c.Advance(2 * time.Second)
+
+	var buf bytes.Buffer
+	snap := m.Snapshot()
+	if err := WriteMetricsJSON(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMetricsJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.Counter("migration.pages_sent"); !ok || v != 100 {
+		t.Fatalf("counter = %d,%v", v, ok)
+	}
+	h, ok := got.Histogram("migration.fault_stall_ns")
+	if !ok || h.Count != 2 || h.P50 != 2000 {
+		t.Fatalf("histogram = %+v,%v", h, ok)
+	}
+	if got.At != 2*time.Second {
+		t.Fatalf("At = %v", got.At)
+	}
+
+	// Deterministic: writing twice yields identical bytes.
+	var buf2 bytes.Buffer
+	if err := WriteMetricsJSON(&buf2, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("metrics JSON not deterministic")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	c := simclock.New()
+	m := NewMetrics(c)
+	m.Counter("migration.pages_sent").Add(123)
+	m.Gauge("link.utilization").Set(0.5)
+	h := m.Histogram("migration.fault_stall_ns")
+	h.Observe(100)
+	h.Observe(300)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE javmm_migration_pages_sent counter\n",
+		"javmm_migration_pages_sent 123\n",
+		"# TYPE javmm_link_utilization gauge\n",
+		"javmm_link_utilization 0.5\n",
+		"javmm_link_utilization_timeweighted_mean 0.5\n",
+		"# TYPE javmm_migration_fault_stall_ns summary\n",
+		"javmm_migration_fault_stall_ns{quantile=\"0.5\"} 200\n",
+		"javmm_migration_fault_stall_ns_sum 400\n",
+		"javmm_migration_fault_stall_ns_count 2\n",
+		"javmm_migration_fault_stall_ns_min 100\n",
+		"javmm_migration_fault_stall_ns_max 300\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic across calls.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("prometheus output not deterministic")
+	}
+}

@@ -1,0 +1,361 @@
+// Package ledger is the page-provenance layer of the observability stack:
+// it answers, page by page, *why* each byte of migration traffic crossed the
+// wire and what the skip policy saved.
+//
+// The paper's whole argument is an accounting claim — young-generation pages
+// are transferred zero-or-once instead of repeatedly — and aggregate counters
+// cannot check it. The ledger can: the migration engine tags every page push
+// with a send class (live round, stop-and-copy, demand fault, background
+// prefetch) and every page skip with its reason, and the ledger reduces that
+// stream into per-PFN send counts, wasted bytes (every send of a page except
+// its last), bytes saved by the skip policy, and the reason taxonomy of
+// DESIGN.md §11:
+//
+//	first-copy      first time this page's content moves
+//	re-dirtied      page re-sent in a live round because it was written again
+//	final-iteration sent during stop-and-copy, while the VM is paused
+//	demand-fault    fetched post-switchover because the guest touched it
+//	hybrid-refetch  prefetched post-switchover after a warm-phase send went
+//	                stale (ModeHybrid's re-dirtied tail)
+//
+// Like obs.Tracer and obs.Metrics, a nil *Ledger is a valid no-op sink and
+// the ledger is single-threaded, keyed entirely to the deterministic
+// simulation: two same-seed runs produce identical ledgers.
+package ledger
+
+import (
+	"sort"
+
+	"javmm/internal/mem"
+)
+
+// SendClass is the engine-side context of one page push. The ledger refines
+// a class into a SendReason using its own per-page history (it alone knows
+// whether a page moved before).
+type SendClass int
+
+// Send classes, as the engine's stages see them.
+const (
+	// ClassLive: a pre-copy (or hybrid warm) round sent the page while the
+	// VM was running.
+	ClassLive SendClass = iota
+	// ClassFinal: the stop-and-copy iteration sent the page with the VM
+	// paused.
+	ClassFinal
+	// ClassFault: the post-copy engine demand-fetched the page because the
+	// resumed guest touched it.
+	ClassFault
+	// ClassPrefetch: the post-copy engine's background pre-paging pushed
+	// the page.
+	ClassPrefetch
+)
+
+// SendReason classifies why one page send happened — the attribution
+// taxonomy of the analyzer's traffic tables.
+type SendReason int
+
+// Send reasons. The order is the deterministic presentation order.
+const (
+	ReasonFirstCopy SendReason = iota
+	ReasonReDirtied
+	ReasonFinalIter
+	ReasonDemandFault
+	ReasonHybridRefetch
+
+	numSendReasons
+)
+
+// String names the reason as the analyzer prints it.
+func (r SendReason) String() string {
+	switch r {
+	case ReasonFirstCopy:
+		return "first-copy"
+	case ReasonReDirtied:
+		return "re-dirtied"
+	case ReasonFinalIter:
+		return "final-iteration"
+	case ReasonDemandFault:
+		return "demand-fault"
+	case ReasonHybridRefetch:
+		return "hybrid-refetch"
+	default:
+		return "unknown"
+	}
+}
+
+// SendReasons returns every reason in presentation order.
+func SendReasons() []SendReason {
+	return []SendReason{ReasonFirstCopy, ReasonReDirtied, ReasonFinalIter,
+		ReasonDemandFault, ReasonHybridRefetch}
+}
+
+// SkipReason classifies why the engine left a considered page behind.
+type SkipReason int
+
+// Skip reasons. Bitmap skips are the application-consent path — for JAVMM,
+// the young generation; free skips are the guest kernel's free list; dirty
+// skips are deferrals (the page was already re-dirtied mid-round and will be
+// reconsidered next round), so only the first two represent traffic truly
+// saved.
+const (
+	SkipBitmap SkipReason = iota
+	SkipFree
+	SkipDirty
+
+	numSkipReasons
+)
+
+// String names the skip reason as the analyzer prints it.
+func (r SkipReason) String() string {
+	switch r {
+	case SkipBitmap:
+		return "bitmap-skip"
+	case SkipFree:
+		return "free-skip"
+	case SkipDirty:
+		return "dirty-deferral"
+	default:
+		return "unknown"
+	}
+}
+
+// SkipReasons returns every skip reason in presentation order.
+func SkipReasons() []SkipReason { return []SkipReason{SkipBitmap, SkipFree, SkipDirty} }
+
+// Saved reports whether a skip of this reason avoided traffic outright
+// (rather than deferring it to a later round).
+func (r SkipReason) Saved() bool { return r == SkipBitmap || r == SkipFree }
+
+// pageRec is the ledger's memory of one PFN.
+type pageRec struct {
+	sends     uint32
+	bytes     uint64 // total wire bytes across all sends
+	lastBytes uint64 // wire bytes of the most recent send
+	lastIter  int32  // iteration index of the most recent send
+	skips     uint32
+}
+
+// ReasonTotal aggregates one reason bucket: how many events and how many
+// wire bytes they account for.
+type ReasonTotal struct {
+	Count uint64
+	Bytes uint64
+}
+
+// Ledger accumulates page provenance for one migration. Begin resizes and
+// resets it, so one ledger value can observe a sequence of runs (the last
+// one wins). The zero value and nil are valid no-op sinks until Begin.
+type Ledger struct {
+	pages []pageRec
+	sends [numSendReasons]ReasonTotal
+	skips [numSkipReasons]ReasonTotal
+	began bool
+}
+
+// New returns an empty ledger. The engine calls Begin with the VM's page
+// count when migration starts.
+func New() *Ledger { return &Ledger{} }
+
+// Begin resets the ledger for a migration of an n-page VM.
+func (l *Ledger) Begin(n uint64) {
+	if l == nil {
+		return
+	}
+	if uint64(cap(l.pages)) >= n {
+		l.pages = l.pages[:n]
+		for i := range l.pages {
+			l.pages[i] = pageRec{}
+		}
+	} else {
+		l.pages = make([]pageRec, n)
+	}
+	l.sends = [numSendReasons]ReasonTotal{}
+	l.skips = [numSkipReasons]ReasonTotal{}
+	l.began = true
+}
+
+// Active reports whether Begin has been called (a nil ledger is inactive).
+func (l *Ledger) Active() bool { return l != nil && l.began }
+
+// classify refines a send class into the canonical reason given the page's
+// history. rec is the page's record BEFORE this send is applied.
+func classify(class SendClass, rec pageRec) SendReason {
+	switch class {
+	case ClassFinal:
+		return ReasonFinalIter
+	case ClassFault:
+		return ReasonDemandFault
+	case ClassPrefetch:
+		if rec.sends > 0 {
+			return ReasonHybridRefetch
+		}
+		return ReasonFirstCopy
+	default: // ClassLive
+		if rec.sends > 0 {
+			return ReasonReDirtied
+		}
+		return ReasonFirstCopy
+	}
+}
+
+// PageSent records one page push of wire bytes in iteration iter, and
+// returns the reason it was classified as. A nil or un-begun ledger records
+// nothing and returns ReasonFirstCopy.
+func (l *Ledger) PageSent(p mem.PFN, iter int, wire uint64, class SendClass) SendReason {
+	if !l.Active() || uint64(p) >= uint64(len(l.pages)) {
+		return ReasonFirstCopy
+	}
+	rec := &l.pages[p]
+	reason := classify(class, *rec)
+	rec.sends++
+	rec.bytes += wire
+	rec.lastBytes = wire
+	rec.lastIter = int32(iter)
+	l.sends[reason].Count++
+	l.sends[reason].Bytes += wire
+	return reason
+}
+
+// PageSkipped records one page skip: the engine considered p in iteration
+// iter and left it behind for reason, avoiding (or deferring) raw wire
+// bytes.
+func (l *Ledger) PageSkipped(p mem.PFN, iter int, raw uint64, reason SkipReason) {
+	if !l.Active() || uint64(p) >= uint64(len(l.pages)) {
+		return
+	}
+	if reason < 0 || reason >= numSkipReasons {
+		return
+	}
+	l.pages[p].skips++
+	l.skips[reason].Count++
+	l.skips[reason].Bytes += raw
+	_ = iter
+}
+
+// Sends returns the number of times page p was sent.
+func (l *Ledger) Sends(p mem.PFN) uint32 {
+	if !l.Active() || uint64(p) >= uint64(len(l.pages)) {
+		return 0
+	}
+	return l.pages[p].sends
+}
+
+// PageStat is one page's ledger entry in exported form.
+type PageStat struct {
+	PFN      mem.PFN
+	Sends    uint32
+	Bytes    uint64
+	LastIter int32
+	Skips    uint32
+}
+
+// TopPages returns the n hottest pages — most sends first, ties broken by
+// bytes (descending) then PFN (ascending), so the order is deterministic.
+// Pages never sent are excluded.
+func (l *Ledger) TopPages(n int) []PageStat {
+	if !l.Active() || n <= 0 {
+		return nil
+	}
+	var out []PageStat
+	for p, rec := range l.pages {
+		if rec.sends == 0 {
+			continue
+		}
+		out = append(out, PageStat{
+			PFN:      mem.PFN(p),
+			Sends:    rec.sends,
+			Bytes:    rec.bytes,
+			LastIter: rec.lastIter,
+			Skips:    rec.skips,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sends != out[j].Sends {
+			return out[i].Sends > out[j].Sends
+		}
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].PFN < out[j].PFN
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Summary is the ledger's aggregate view: the analyzer's tables and the
+// attribution layer's traffic breakdown are built from it.
+type Summary struct {
+	NumPages uint64
+
+	// TotalSends and TotalBytes cover every page push of the run; they
+	// reconcile exactly with Report.TotalPagesSent and Report.TotalBytes().
+	TotalSends uint64
+	TotalBytes uint64
+
+	// WastedBytes is the cost of redundancy: every send of a page except
+	// its last. A run where each page moves zero-or-once wastes nothing.
+	WastedBytes uint64
+
+	// SavedBytes is the raw wire volume the skip policy avoided outright
+	// (bitmap + free skips; dirty deferrals are not savings).
+	SavedBytes uint64
+
+	// Page population by send count.
+	PagesNeverSent uint64
+	PagesSentOnce  uint64
+	PagesResent    uint64 // sent 2+ times
+	MaxSends       uint32
+
+	// SendsByReason and SkipsByReason are indexed by SendReason/SkipReason.
+	SendsByReason []ReasonTotal
+	SkipsByReason []ReasonTotal
+}
+
+// SendBytes returns the bytes attributed to one reason.
+func (s Summary) SendBytes(r SendReason) uint64 {
+	if int(r) >= len(s.SendsByReason) {
+		return 0
+	}
+	return s.SendsByReason[r].Bytes
+}
+
+// Summary reduces the ledger. A nil or un-begun ledger summarizes to zeros.
+func (l *Ledger) Summary() Summary {
+	var s Summary
+	if !l.Active() {
+		s.SendsByReason = make([]ReasonTotal, numSendReasons)
+		s.SkipsByReason = make([]ReasonTotal, numSkipReasons)
+		return s
+	}
+	s.NumPages = uint64(len(l.pages))
+	s.SendsByReason = append([]ReasonTotal(nil), l.sends[:]...)
+	s.SkipsByReason = append([]ReasonTotal(nil), l.skips[:]...)
+	for _, rt := range l.sends {
+		s.TotalSends += rt.Count
+		s.TotalBytes += rt.Bytes
+	}
+	for r, rt := range l.skips {
+		if SkipReason(r).Saved() {
+			s.SavedBytes += rt.Bytes
+		}
+	}
+	for _, rec := range l.pages {
+		switch {
+		case rec.sends == 0:
+			s.PagesNeverSent++
+		case rec.sends == 1:
+			s.PagesSentOnce++
+		default:
+			s.PagesResent++
+		}
+		if rec.sends > s.MaxSends {
+			s.MaxSends = rec.sends
+		}
+		if rec.sends > 0 {
+			s.WastedBytes += rec.bytes - rec.lastBytes
+		}
+	}
+	return s
+}

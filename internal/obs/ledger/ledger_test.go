@@ -1,0 +1,170 @@
+package ledger
+
+import (
+	"testing"
+
+	"javmm/internal/mem"
+)
+
+func TestNilAndUnbegunLedgerAreSafe(t *testing.T) {
+	var l *Ledger
+	l.Begin(8)
+	if l.PageSent(0, 1, 4096, ClassLive) != ReasonFirstCopy {
+		t.Fatal("nil ledger must return the zero reason")
+	}
+	l.PageSkipped(0, 1, 4096, SkipBitmap)
+	if l.Active() {
+		t.Fatal("nil ledger reports active")
+	}
+	s := l.Summary()
+	if s.TotalSends != 0 || len(s.SendsByReason) == 0 {
+		t.Fatalf("nil summary = %+v", s)
+	}
+	if l.TopPages(5) != nil {
+		t.Fatal("nil ledger has top pages")
+	}
+
+	fresh := New()
+	fresh.PageSent(0, 1, 4096, ClassLive) // before Begin: dropped
+	if got := fresh.Summary().TotalSends; got != 0 {
+		t.Fatalf("un-begun ledger recorded %d sends", got)
+	}
+}
+
+func TestSendClassification(t *testing.T) {
+	l := New()
+	l.Begin(16)
+
+	if r := l.PageSent(3, 1, 4096, ClassLive); r != ReasonFirstCopy {
+		t.Fatalf("first live send = %v, want first-copy", r)
+	}
+	if r := l.PageSent(3, 2, 4096, ClassLive); r != ReasonReDirtied {
+		t.Fatalf("second live send = %v, want re-dirtied", r)
+	}
+	if r := l.PageSent(3, 3, 4096, ClassFinal); r != ReasonFinalIter {
+		t.Fatalf("final send = %v, want final-iteration", r)
+	}
+	if r := l.PageSent(4, 3, 4096, ClassFault); r != ReasonDemandFault {
+		t.Fatalf("fault send = %v, want demand-fault", r)
+	}
+	if r := l.PageSent(5, 3, 4096, ClassPrefetch); r != ReasonFirstCopy {
+		t.Fatalf("prefetch of never-sent page = %v, want first-copy", r)
+	}
+	if r := l.PageSent(5, 3, 4096, ClassPrefetch); r != ReasonHybridRefetch {
+		t.Fatalf("prefetch of already-sent page = %v, want hybrid-refetch", r)
+	}
+}
+
+func TestWastedAndSavedBytes(t *testing.T) {
+	l := New()
+	l.Begin(8)
+
+	// Page 0: sent three times (4096 each) → waste is the first two sends.
+	l.PageSent(0, 1, 4096, ClassLive)
+	l.PageSent(0, 2, 4096, ClassLive)
+	l.PageSent(0, 3, 4096, ClassFinal)
+	// Page 1: sent once → no waste.
+	l.PageSent(1, 1, 4096, ClassLive)
+	// Page 2: bitmap-skipped twice → 8192 saved.
+	l.PageSkipped(2, 1, 4096, SkipBitmap)
+	l.PageSkipped(2, 2, 4096, SkipBitmap)
+	// Page 3: free-skipped once → 4096 saved.
+	l.PageSkipped(3, 1, 4096, SkipFree)
+	// Page 4: dirty deferral — not a saving.
+	l.PageSkipped(4, 1, 4096, SkipDirty)
+
+	s := l.Summary()
+	if s.TotalSends != 4 || s.TotalBytes != 4*4096 {
+		t.Fatalf("totals = %d sends, %d bytes", s.TotalSends, s.TotalBytes)
+	}
+	if s.WastedBytes != 2*4096 {
+		t.Fatalf("wasted = %d, want %d", s.WastedBytes, 2*4096)
+	}
+	if s.SavedBytes != 3*4096 {
+		t.Fatalf("saved = %d, want %d", s.SavedBytes, 3*4096)
+	}
+	if s.PagesSentOnce != 1 || s.PagesResent != 1 || s.PagesNeverSent != 6 {
+		t.Fatalf("population = once %d, resent %d, never %d",
+			s.PagesSentOnce, s.PagesResent, s.PagesNeverSent)
+	}
+	if s.MaxSends != 3 {
+		t.Fatalf("max sends = %d", s.MaxSends)
+	}
+	if got := s.SkipsByReason[SkipDirty].Count; got != 1 {
+		t.Fatalf("dirty deferrals = %d", got)
+	}
+	// Reason buckets sum to the totals.
+	var count, bytes uint64
+	for _, rt := range s.SendsByReason {
+		count += rt.Count
+		bytes += rt.Bytes
+	}
+	if count != s.TotalSends || bytes != s.TotalBytes {
+		t.Fatalf("reason buckets sum to %d/%d, totals %d/%d",
+			count, bytes, s.TotalSends, s.TotalBytes)
+	}
+}
+
+func TestTopPagesDeterministicOrder(t *testing.T) {
+	l := New()
+	l.Begin(16)
+	send := func(p mem.PFN, times int, wire uint64) {
+		for i := 0; i < times; i++ {
+			l.PageSent(p, i+1, wire, ClassLive)
+		}
+	}
+	send(7, 3, 4096)
+	send(2, 3, 4096) // ties with 7 on sends and bytes → PFN order
+	send(9, 5, 4096)
+	send(1, 1, 4096)
+
+	top := l.TopPages(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	if top[0].PFN != 9 || top[0].Sends != 5 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].PFN != 2 || top[2].PFN != 7 {
+		t.Fatalf("tie order = %d, %d, want 2, 7", top[1].PFN, top[2].PFN)
+	}
+	// Asking for more than exist returns all senders.
+	if n := len(l.TopPages(100)); n != 4 {
+		t.Fatalf("TopPages(100) = %d entries, want 4", n)
+	}
+}
+
+func TestBeginResetsAndReuses(t *testing.T) {
+	l := New()
+	l.Begin(8)
+	l.PageSent(0, 1, 4096, ClassLive)
+	l.Begin(4) // smaller: reuses backing array
+	if got := l.Summary(); got.TotalSends != 0 || got.NumPages != 4 {
+		t.Fatalf("after reset: %+v", got)
+	}
+	if l.Sends(0) != 0 {
+		t.Fatal("page record survived reset")
+	}
+	// Out-of-range pages are ignored, not panics.
+	l.PageSent(99, 1, 4096, ClassLive)
+	l.PageSkipped(99, 1, 4096, SkipFree)
+	if l.Summary().TotalSends != 0 {
+		t.Fatal("out-of-range send recorded")
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	for _, r := range SendReasons() {
+		if r.String() == "unknown" {
+			t.Fatalf("reason %d has no name", r)
+		}
+	}
+	for _, r := range SkipReasons() {
+		if r.String() == "unknown" {
+			t.Fatalf("skip reason %d has no name", r)
+		}
+	}
+	if SkipDirty.Saved() || !SkipBitmap.Saved() || !SkipFree.Saved() {
+		t.Fatal("Saved classification wrong")
+	}
+}

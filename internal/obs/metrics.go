@@ -161,6 +161,12 @@ type Histogram struct {
 
 	wsum float64 // Σ v·w_seconds
 	wtot float64 // Σ w_seconds
+
+	// samples retains every observed value for exact quantiles; sorted
+	// marks whether it is currently in ascending order (Quantile sorts
+	// lazily and Observe invalidates).
+	samples []float64
+	sorted  bool
 }
 
 // Observe records one sample with unit weight.
@@ -176,6 +182,8 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	h.samples = append(h.samples, v)
+	h.sorted = false
 }
 
 // ObserveWeighted records a sample weighted by the virtual time w.
@@ -221,6 +229,32 @@ func (h *Histogram) WeightedMean() float64 {
 	return h.wsum / h.wtot
 }
 
+// Quantile returns the exact q-quantile of the observed samples, by linear
+// interpolation between order statistics. An empty histogram returns 0;
+// q <= 0 returns the minimum and q >= 1 the maximum.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	pos := q * float64(len(h.samples)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(h.samples) {
+		return h.samples[lo]
+	}
+	return h.samples[lo] + frac*(h.samples[lo+1]-h.samples[lo])
+}
+
 // CounterSample is one counter in a snapshot.
 type CounterSample struct {
 	Name  string
@@ -234,14 +268,16 @@ type GaugeSample struct {
 	TimeWeightedMean float64
 }
 
-// HistogramSample is one histogram in a snapshot.
+// HistogramSample is one histogram in a snapshot. P50/P95/P99 are exact
+// sample quantiles (see Histogram.Quantile).
 type HistogramSample struct {
-	Name         string
-	Count        uint64
-	Sum          float64
-	Min, Max     float64
-	Mean         float64
-	WeightedMean float64
+	Name          string
+	Count         uint64
+	Sum           float64
+	Min, Max      float64
+	Mean          float64
+	WeightedMean  float64
+	P50, P95, P99 float64
 }
 
 // MetricsSnapshot is a point-in-time copy of every instrument, sorted by
@@ -272,6 +308,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		s.Histograms = append(s.Histograms, HistogramSample{
 			Name: name, Count: h.Count(), Sum: h.Sum(),
 			Min: h.min, Max: h.max, Mean: h.Mean(), WeightedMean: h.WeightedMean(),
+			P50: h.Quantile(0.5), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 		})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
@@ -289,4 +326,15 @@ func (s MetricsSnapshot) Counter(name string) (int64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Histogram returns the named histogram's sample from the snapshot, and
+// whether it was present.
+func (s MetricsSnapshot) Histogram(name string) (HistogramSample, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSample{}, false
 }

@@ -18,6 +18,7 @@
 package obs
 
 import (
+	"fmt"
 	"time"
 
 	"javmm/internal/simclock"
@@ -68,6 +69,13 @@ const (
 
 	// KindSample is the workload analyzer's per-second throughput sample.
 	KindSample Kind = "workload.sample"
+
+	// KindSpanError marks a span misuse the tracer detected and refused: a
+	// double close, or a close that would interleave with a more deeply
+	// nested open span on the same track. The offending end event is not
+	// recorded — nesting stays intact — and the error event documents the
+	// instrumentation bug instead.
+	KindSpanError Kind = "obs.span_error"
 )
 
 // Track names group events onto separate timelines (Chrome trace threads).
@@ -145,6 +153,9 @@ type Tracer struct {
 	events []Event
 	subs   []*subscriber
 	seq    int
+	// open is the per-track stack of not-yet-ended spans, used to detect
+	// closes that would corrupt the nesting the exporters rely on.
+	open map[string][]*Span
 }
 
 type subscriber struct{ fn func(Event) }
@@ -223,16 +234,23 @@ func (t *Tracer) Emit(track string, kind Kind, name string, data any, attrs ...A
 
 // Begin opens a span: a begin event now, and an end event when the returned
 // span's End is called. Spans on the same track must close in LIFO order
-// (they nest); spans on different tracks are independent.
+// (they nest); spans on different tracks are independent. The tracer
+// enforces the nesting: a misplaced End is refused and recorded as a
+// KindSpanError event (see Span.End).
 func (t *Tracer) Begin(track string, kind Kind, name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
 	t.record(track, kind, name, PhaseBegin, nil, attrs)
-	return &Span{t: t, track: track, kind: kind, name: name}
+	sp := &Span{t: t, track: track, kind: kind, name: name}
+	if t.open == nil {
+		t.open = make(map[string][]*Span)
+	}
+	t.open[track] = append(t.open[track], sp)
+	return sp
 }
 
-// Span is an open interval on one track. End is idempotent and nil-safe.
+// Span is an open interval on one track. End is nil-safe.
 type Span struct {
 	t     *Tracer
 	track string
@@ -243,10 +261,37 @@ type Span struct {
 
 // End closes the span at the current virtual time, attaching any final
 // attributes to the end event.
-func (s *Span) End(attrs ...Attr) {
-	if s == nil || s.ended {
-		return
+//
+// A span may be ended exactly once, and only while it is the innermost open
+// span on its track. A violating End — double close, or out-of-order close
+// — would silently corrupt the begin/end nesting every trace consumer
+// assumes, so the tracer refuses it: no end event is recorded, a
+// KindSpanError event marks the bug in the trace, and the error describes
+// it. An out-of-order close leaves the span open; it may still be ended
+// legitimately once the spans nested inside it have closed.
+func (s *Span) End(attrs ...Attr) error {
+	if s == nil {
+		return nil
 	}
+	if s.ended {
+		err := fmt.Errorf("obs: span %q on track %q closed twice", s.name, s.track)
+		s.t.Emit(s.track, KindSpanError, "double-close", nil, Str("span", s.name))
+		return err
+	}
+	stack := s.t.open[s.track]
+	if n := len(stack); n == 0 || stack[n-1] != s {
+		innermost := "<none>"
+		if n > 0 {
+			innermost = stack[n-1].name
+		}
+		err := fmt.Errorf("obs: span %q on track %q closed out of order (innermost open span is %q)",
+			s.name, s.track, innermost)
+		s.t.Emit(s.track, KindSpanError, "out-of-order-close", nil,
+			Str("span", s.name), Str("innermost", innermost))
+		return err
+	}
+	s.t.open[s.track] = stack[:len(stack)-1]
 	s.ended = true
 	s.t.record(s.track, s.kind, s.name, PhaseEnd, nil, attrs)
+	return nil
 }

@@ -36,12 +36,13 @@ func TestSpanBeginEnd(t *testing.T) {
 
 	sp := tr.Begin(TrackJVM, KindGC, "minor GC", Bool("enforced", false))
 	c.Advance(70 * time.Millisecond)
-	sp.End(Uint64("garbage", 42))
-	sp.End() // idempotent
+	if err := sp.End(Uint64("garbage", 42)); err != nil {
+		t.Fatal(err)
+	}
 
 	evs := tr.Events()
 	if len(evs) != 2 {
-		t.Fatalf("got %d events, want 2 (End must be idempotent)", len(evs))
+		t.Fatalf("got %d events, want 2", len(evs))
 	}
 	if evs[0].Phase != PhaseBegin || evs[1].Phase != PhaseEnd {
 		t.Fatalf("phases %v, %v", evs[0].Phase, evs[1].Phase)
@@ -205,5 +206,71 @@ func TestSnapshotSortedAndLookup(t *testing.T) {
 	}
 	if _, ok := s.Counter("missing"); ok {
 		t.Fatal("missing counter reported present")
+	}
+}
+
+func TestSpanDoubleCloseRefused(t *testing.T) {
+	c := simclock.New()
+	tr := New(c)
+
+	sp := tr.Begin(TrackJVM, KindGC, "gc")
+	if err := sp.End(); err != nil {
+		t.Fatal(err)
+	}
+	err := sp.End()
+	if err == nil {
+		t.Fatal("double close not reported")
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want begin+end+error", len(evs))
+	}
+	last := evs[2]
+	if last.Kind != KindSpanError || last.Phase != PhaseInstant || last.Name != "double-close" {
+		t.Fatalf("error event = %+v", last)
+	}
+	// A later span on the track is unaffected.
+	sp2 := tr.Begin(TrackJVM, KindGC, "gc2")
+	if err := sp2.End(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanOutOfOrderCloseRefused(t *testing.T) {
+	c := simclock.New()
+	tr := New(c)
+
+	outer := tr.Begin(TrackMigration, KindMigration, "run")
+	inner := tr.Begin(TrackMigration, KindIteration, "iteration 1")
+
+	err := outer.End()
+	if err == nil {
+		t.Fatal("out-of-order close not reported")
+	}
+	// The refused close recorded an error event, no end event: nesting holds.
+	evs := tr.Events()
+	if got := evs[len(evs)-1]; got.Kind != KindSpanError || got.Name != "out-of-order-close" {
+		t.Fatalf("error event = %+v", got)
+	}
+	for _, e := range evs {
+		if e.Phase == PhaseEnd {
+			t.Fatalf("refused close emitted an end event: %+v", e)
+		}
+	}
+	// Closing in the right order still works — the outer span was left open.
+	if err := inner.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.End(); err != nil {
+		t.Fatal(err)
+	}
+	// Different tracks do not interfere.
+	a := tr.Begin(TrackJVM, KindGC, "gc")
+	b := tr.Begin(TrackLKM, KindLKMState, "state")
+	if err := a.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.End(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -42,6 +42,8 @@ import (
 	"javmm/internal/migration"
 	"javmm/internal/netsim"
 	"javmm/internal/obs"
+	"javmm/internal/obs/attrib"
+	"javmm/internal/obs/ledger"
 	"javmm/internal/replication"
 	"javmm/internal/simclock"
 	"javmm/internal/workload"
@@ -96,6 +98,25 @@ type (
 	// MetricsSnapshot is a point-in-time, name-sorted view of a Metrics
 	// registry.
 	MetricsSnapshot = obs.MetricsSnapshot
+	// Ledger records per-page provenance for one migration: every send
+	// tagged with iteration and reason, every skip with its cause. Attach
+	// one via MigrateOptions.Ledger; its totals reconcile exactly with the
+	// run's Report.
+	Ledger = ledger.Ledger
+	// LedgerSummary aggregates a ledger: totals, wasted and saved bytes,
+	// per-reason buckets and page-population counts.
+	LedgerSummary = ledger.Summary
+	// PageStat is one page's provenance record (see Ledger.TopPages).
+	PageStat = ledger.PageStat
+	// SendReason classifies why one page send happened (first copy,
+	// re-dirtied, final iteration, demand fault, hybrid refetch).
+	SendReason = ledger.SendReason
+	// SkipReason classifies why a considered page was left behind
+	// (bitmap skip, free skip, dirty deferral).
+	SkipReason = ledger.SkipReason
+	// Attribution is the reconciled accounting of one run: the downtime
+	// breakdown, the per-reason traffic split and the per-iteration series.
+	Attribution = attrib.Attribution
 )
 
 // Migration modes.
@@ -136,12 +157,52 @@ func NewTracer(c *Clock) *Tracer { return obs.New(c) }
 // NewMetrics returns a metrics registry keyed to the given virtual clock.
 func NewMetrics(c *Clock) *Metrics { return obs.NewMetrics(c) }
 
+// NewLedger returns an empty provenance ledger; pass it as
+// MigrateOptions.Ledger and read it back after the run.
+func NewLedger() *Ledger { return ledger.New() }
+
+// SendReasons enumerates the ledger's send taxonomy in deterministic
+// presentation order; SkipReasons does the same for skips.
+func SendReasons() []SendReason { return ledger.SendReasons() }
+
+// SkipReasons enumerates the ledger's skip taxonomy in deterministic
+// presentation order.
+func SkipReasons() []SkipReason { return ledger.SkipReasons() }
+
 // WriteTraceJSONL exports recorded events as one JSON object per line.
 func WriteTraceJSONL(w io.Writer, events []Event) error { return obs.WriteJSONL(w, events) }
 
 // WriteTraceChrome exports recorded events as Chrome trace_event JSON,
 // loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 func WriteTraceChrome(w io.Writer, events []Event) error { return obs.WriteChromeTrace(w, events) }
+
+// ReadTraceJSONL parses a trace previously exported with WriteTraceJSONL.
+func ReadTraceJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
+
+// WriteMetricsJSON exports a metrics snapshot as indented JSON, and
+// ReadMetricsJSON parses it back.
+func WriteMetricsJSON(w io.Writer, s MetricsSnapshot) error { return obs.WriteMetricsJSON(w, s) }
+
+// ReadMetricsJSON parses a snapshot written by WriteMetricsJSON.
+func ReadMetricsJSON(r io.Reader) (MetricsSnapshot, error) { return obs.ReadMetricsJSON(r) }
+
+// WritePrometheus renders a metrics snapshot in Prometheus text exposition
+// format (javmm_-prefixed metric names).
+func WritePrometheus(w io.Writer, s MetricsSnapshot) error { return obs.WritePrometheus(w, s) }
+
+// Attribute builds the reconciled run accounting from a migration result and
+// the (optional) ledger attached to the run: the exact downtime breakdown,
+// the per-reason traffic split and the per-iteration dirty-rate/traffic
+// series. It returns an error if the attribution does not reconcile with the
+// Report byte-for-byte and tick-for-tick — which would mean the
+// instrumentation itself is broken.
+func Attribute(res *Result, led *Ledger) (*Attribution, error) {
+	a := attrib.Build(res.Report, res.EnforcedGC, led)
+	if err := a.Reconcile(res.Report); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
 
 // ParseMode parses a migration mode name: "xen" (vanilla pre-copy),
 // "javmm" (application-assisted), "post-copy" or "hybrid". Every parsed
@@ -190,6 +251,10 @@ type MigrateOptions struct {
 	// Metrics, when non-nil, accumulates counters/gauges/histograms from
 	// the same emit points (migration.*, jvm.gc.*, lkm.*, net.*).
 	Metrics *Metrics
+	// Ledger, when non-nil, records per-page provenance for the run: every
+	// page send tagged with its iteration and reason, every skip with its
+	// cause. Feed it to Attribute afterwards for the reconciled breakdown.
+	Ledger *Ledger
 }
 
 // Result combines the engine report with guest-side observations.
@@ -225,6 +290,9 @@ func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
 	}
 	if opts.Metrics != nil {
 		cfg.Metrics = opts.Metrics
+	}
+	if opts.Ledger != nil {
+		cfg.Ledger = opts.Ledger
 	}
 	vm.AttachObs(cfg.Tracer, cfg.Metrics)
 
@@ -366,6 +434,9 @@ func MigrateCustom(g *Guest, exec GuestExecutor, opts MigrateOptions, required f
 	}
 	if opts.Metrics != nil {
 		cfg.Metrics = opts.Metrics
+	}
+	if opts.Ledger != nil {
+		cfg.Ledger = opts.Ledger
 	}
 	g.LKM.SetObs(cfg.Tracer, cfg.Metrics)
 	g.Bus.SetTracer(cfg.Tracer)

@@ -195,3 +195,115 @@ func TestMetricsReconcileWithReport(t *testing.T) {
 		t.Fatalf("dest.pages_received = %d (present=%v), want %d", v, ok, res.TotalPagesSent)
 	}
 }
+
+// TestTraceChromeDeterminismLazyModes extends the golden-trace property to
+// the post-copy and hybrid engines: their traces interleave demand faults,
+// prefetch chunks and the lazy-phase span, and all of it must still be
+// byte-identical across same-seed runs.
+func TestTraceChromeDeterminismLazyModes(t *testing.T) {
+	for _, mode := range []javmm.Mode{javmm.ModePostCopy, javmm.ModeHybrid} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, first, _ := traceRun(t, mode, 42)
+			_, second, _ := traceRun(t, mode, 42)
+
+			var a, b bytes.Buffer
+			if err := javmm.WriteTraceChrome(&a, first.Events()); err != nil {
+				t.Fatal(err)
+			}
+			if err := javmm.WriteTraceChrome(&b, second.Events()); err != nil {
+				t.Fatal(err)
+			}
+			if a.Len() == 0 {
+				t.Fatal("empty chrome export")
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("%s: chrome exports of identical seeded runs differ", mode)
+			}
+		})
+	}
+}
+
+// attributedRun is traceRun with a provenance ledger attached, for the
+// reconciliation tests.
+func attributedRun(t *testing.T, mode javmm.Mode, seed int64) (*javmm.Result, *javmm.Ledger) {
+	t.Helper()
+	prof, err := javmm.Workload("derby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := javmm.BootVM(javmm.BootConfig{
+		Profile:  prof,
+		Assisted: mode == javmm.ModeJAVMM,
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Driver.Run(60 * time.Second)
+	if vm.Driver.Err != nil {
+		t.Fatal(vm.Driver.Err)
+	}
+	led := javmm.NewLedger()
+	res, err := javmm.Migrate(vm, javmm.MigrateOptions{Mode: mode, Ledger: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	return res, led
+}
+
+// TestAttributionReconcilesAllModes is the acceptance criterion of the
+// observability layer: in every migration mode, the ledger's traffic
+// buckets sum to the report's total byte-for-byte, and the attribution's
+// downtime components sum to the reported workload downtime tick-for-tick.
+func TestAttributionReconcilesAllModes(t *testing.T) {
+	for _, mode := range []javmm.Mode{
+		javmm.ModeXen, javmm.ModeJAVMM, javmm.ModePostCopy, javmm.ModeHybrid,
+	} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res, led := attributedRun(t, mode, 11)
+
+			// Attribute itself refuses to return un-reconciled accounting,
+			// but assert the two invariants explicitly anyway.
+			a, err := javmm.Attribute(res, led)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sum := led.Summary()
+			var reasonBytes, reasonSends uint64
+			for _, r := range javmm.SendReasons() {
+				reasonBytes += sum.SendsByReason[r].Bytes
+				reasonSends += sum.SendsByReason[r].Count
+			}
+			if reasonBytes != res.TotalBytes() {
+				t.Fatalf("ledger reason bytes %d != Report.TotalBytes %d", reasonBytes, res.TotalBytes())
+			}
+			if reasonSends != res.TotalPagesSent {
+				t.Fatalf("ledger reason sends %d != Report.TotalPagesSent %d", reasonSends, res.TotalPagesSent)
+			}
+
+			var downtime time.Duration
+			for _, c := range a.Components() {
+				downtime += c.Dur
+			}
+			if downtime != res.WorkloadDowntime {
+				t.Fatalf("component sum %v != reported workload downtime %v", downtime, res.WorkloadDowntime)
+			}
+			if a.StopAndCopy+a.Resumption != res.VMDowntime {
+				t.Fatalf("stop-and-copy %v + resumption %v != VM downtime %v",
+					a.StopAndCopy, a.Resumption, res.VMDowntime)
+			}
+			if mode == javmm.ModeJAVMM {
+				if a.EnforcedGC != res.EnforcedGC || a.FinalUpdate != res.FinalUpdate {
+					t.Fatalf("JAVMM components (%v, %v) != report (%v, %v)",
+						a.EnforcedGC, a.FinalUpdate, res.EnforcedGC, res.FinalUpdate)
+				}
+			} else if a.EnforcedGC != 0 || a.FinalUpdate != 0 {
+				t.Fatalf("%s charged JAVMM-only components: gc=%v update=%v", mode, a.EnforcedGC, a.FinalUpdate)
+			}
+		})
+	}
+}

@@ -49,6 +49,11 @@ func main() {
 	flag.BoolVar(&o.Compress, "compress", false, "compress unskipped pages (§6 extension)")
 	flag.StringVar(&o.TraceOut, "trace-out", "", "also write the run's trace as JSONL to this file")
 	flag.StringVar(&o.MetricsOut, "metrics-out", "", "also write the run's metrics snapshot (JSON) to this file")
+	flag.Func("fault", "inject a fault into the -run migration: site[@at][#nth][,key=val...] (repeatable)", func(s string) error {
+		o.Faults = append(o.Faults, s)
+		return nil
+	})
+	flag.Int64Var(&o.FaultSeed, "fault-seed", 1, "seed for the retry backoff jitter")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "javmm-analyze:", err)
@@ -77,6 +82,8 @@ type options struct {
 	Compress   bool
 	TraceOut   string
 	MetricsOut string
+	Faults     []string // -fault rule specs for the -run migration
+	FaultSeed  int64
 }
 
 func run(o options, out io.Writer) error {
@@ -140,12 +147,25 @@ func analyzeRun(o options, out io.Writer) error {
 
 	led := javmm.NewLedger()
 	metrics := javmm.NewMetrics(vm.Clock)
+	engine := javmm.EngineConfig{Compress: o.Compress}
+	engine.Recovery.Seed = o.FaultSeed
 	opts := javmm.MigrateOptions{
 		Mode:      mode,
 		Bandwidth: o.Bandwidth,
 		Ledger:    led,
 		Metrics:   metrics,
-		Engine:    javmm.EngineConfig{Compress: o.Compress},
+		Engine:    engine,
+	}
+	if len(o.Faults) > 0 {
+		plan, err := javmm.ParseFaultPlan(o.Faults)
+		if err != nil {
+			return err
+		}
+		inj, err := javmm.NewFaultInjector(vm.Clock, plan)
+		if err != nil {
+			return err
+		}
+		opts.Faults = inj
 	}
 	var tracer *javmm.Tracer
 	if o.TraceOut != "" {
@@ -154,6 +174,10 @@ func analyzeRun(o options, out io.Writer) error {
 	}
 	res, err := javmm.Migrate(vm, opts)
 	if err != nil {
+		if res != nil && res.Recovery != nil && res.Recovery.Aborted {
+			fmt.Fprintf(out, "run ABORTED after %v: %s (source resumed, destination discarded)\n",
+				res.TotalTime, res.Recovery.AbortReason)
+		}
 		return err
 	}
 	a, err := javmm.Attribute(res, led)
@@ -162,8 +186,12 @@ func analyzeRun(o options, out io.Writer) error {
 	}
 	snap := metrics.Snapshot()
 
+	modeLabel := res.EffectiveMode().String()
+	if a.Degraded != nil {
+		modeLabel = fmt.Sprintf("%s (degraded from %s)", res.EffectiveMode(), a.Degraded.From)
+	}
 	fmt.Fprintf(out, "run: workload=%s mode=%s mem=%dMiB seed=%d total-time=%v traffic=%s\n\n",
-		prof.Name, mode, o.MemMiB, o.Seed, res.TotalTime, fmtBytes(a.TotalBytes))
+		prof.Name, modeLabel, o.MemMiB, o.Seed, res.TotalTime, fmtBytes(a.TotalBytes))
 	emit(o, out, attributionTable(a))
 	emit(o, out, iterationTable(a))
 	sum := led.Summary()
@@ -254,6 +282,16 @@ func attributionTable(a *javmm.Attribution) *experiments.Table {
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("post-switchover degradation: %d demand faults stalled the guest %s (not downtime)",
 				a.Faults, fmtDur(a.FaultStall)))
+	}
+	if d := a.Degraded; d != nil {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("DEGRADED %s -> %s at %s (%s): assisted components not charged",
+				d.From, d.To, fmtDur(d.At), d.Reason))
+	}
+	if a.Retries > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("recovery: %d retried stage attempts, %s cumulative backoff",
+				a.Retries, fmtDur(a.BackoffTotal)))
 	}
 	return t
 }

@@ -165,3 +165,42 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestRunModeDegradedVisible(t *testing.T) {
+	o := base()
+	o.Faults = []string{"lkm.handshake"}
+	o.FaultSeed = 1
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mode=xen (degraded from javmm)") {
+		t.Fatalf("header does not show effective mode:\n%s", out)
+	}
+	if !strings.Contains(out, "DEGRADED javmm -> xen") {
+		t.Fatalf("attribution notes do not show degradation:\n%s", out)
+	}
+	// A degraded run charges neither assisted component; the attribution
+	// still reconciled (run() would have failed otherwise).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "enforced-gc") || strings.HasPrefix(line, "final-update") {
+			if !strings.Contains(line, "0 µs") {
+				t.Errorf("degraded run charges assisted component: %q", line)
+			}
+		}
+	}
+}
+
+func TestRunModeAbortReported(t *testing.T) {
+	o := base()
+	o.Mode = "xen"
+	o.Faults = []string{"dest.crash@2s"}
+	var buf bytes.Buffer
+	if err := run(o, &buf); err == nil {
+		t.Fatal("crashed-destination run succeeded")
+	}
+	if !strings.Contains(buf.String(), "run ABORTED") {
+		t.Fatalf("abort banner missing:\n%s", buf.String())
+	}
+}

@@ -9,7 +9,7 @@
 //	javmm-experiments -warmup 120s    # quicker, slightly less faithful
 //
 // Experiment IDs: table1 fig1 fig5 fig8 fig9 table2 fig10 fig11 table3 fig12
-// x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 all.
+// x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 (alias: res) all.
 package main
 
 import (
@@ -239,6 +239,13 @@ func run(o experiments.Options, selected func(...string) bool) error {
 	}
 	if selected("x13") {
 		t, err := experiments.AblationDelta(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x14", "res") {
+		t, err := experiments.AblationResilience(o)
 		if err != nil {
 			return err
 		}

@@ -40,6 +40,11 @@ func main() {
 	flag.StringVar(&o.TraceFormat, "trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
 	flag.BoolVar(&o.Metrics, "metrics", false, "print the metrics summary table after migration")
 	flag.StringVar(&o.MetricsOut, "metrics-out", "", "write the metrics snapshot as JSON to this file")
+	flag.Func("fault", "inject a fault: site[@at][#nth][,key=val...] (repeatable); e.g. 'link.partition@10s,for=2s', 'lkm.handshake', 'dest.receive#3,count=2'", func(s string) error {
+		o.Faults = append(o.Faults, s)
+		return nil
+	})
+	flag.Int64Var(&o.FaultSeed, "fault-seed", 1, "seed for the retry backoff jitter")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "javmm-migrate:", err)
@@ -65,6 +70,8 @@ type options struct {
 	TraceFormat string // "chrome" or "jsonl"
 	Metrics     bool
 	MetricsOut  string
+	Faults      []string // -fault rule specs
+	FaultSeed   int64
 }
 
 func run(o options, out io.Writer) error {
@@ -127,10 +134,22 @@ func run(o options, out io.Writer) error {
 		}
 	}
 
+	engine.Recovery.Seed = o.FaultSeed
 	opts := javmm.MigrateOptions{
 		Mode:      mode,
 		Bandwidth: o.Bandwidth,
 		Engine:    engine,
+	}
+	if len(o.Faults) > 0 {
+		plan, err := javmm.ParseFaultPlan(o.Faults)
+		if err != nil {
+			return err
+		}
+		inj, err := javmm.NewFaultInjector(vm.Clock, plan)
+		if err != nil {
+			return err
+		}
+		opts.Faults = inj
 	}
 	var tracer *javmm.Tracer
 	var metrics *javmm.Metrics
@@ -144,18 +163,29 @@ func run(o options, out io.Writer) error {
 	}
 	res, err := javmm.Migrate(vm, opts)
 	if err != nil {
+		if res != nil && res.Recovery != nil && res.Recovery.Aborted {
+			fmt.Fprintf(out, "\nmigration ABORTED after %v: %s\n",
+				res.TotalTime.Round(time.Millisecond), res.Recovery.AbortReason)
+			printRecovery(out, res.Recovery, opts.Faults)
+			fmt.Fprintf(out, "  source VM           resumed (still authoritative)\n")
+			fmt.Fprintf(out, "  destination         discarded\n")
+		}
 		return err
 	}
 
-	fmt.Fprintf(out, "\nmigration complete (%s):\n", mode)
+	effective := res.EffectiveMode()
+	fmt.Fprintf(out, "\nmigration complete (%s):\n", effective)
 	fmt.Fprintf(out, "  total time          %v\n", res.TotalTime.Round(time.Millisecond))
 	fmt.Fprintf(out, "  total traffic       %.2f GB (%d pages)\n", float64(res.TotalBytes())/1e9, res.TotalPagesSent)
 	fmt.Fprintf(out, "  iterations          %d (%d live + stop-and-copy)\n", len(res.Iterations), res.LiveIterations())
 	fmt.Fprintf(out, "  VM downtime         %v\n", res.VMDowntime.Round(time.Millisecond))
 	fmt.Fprintf(out, "  workload downtime   %v\n", res.WorkloadDowntime.Round(time.Millisecond))
-	if mode == javmm.ModeJAVMM {
+	if effective == javmm.ModeJAVMM {
 		fmt.Fprintf(out, "  enforced GC         %v\n", res.EnforcedGC.Round(time.Millisecond))
 		fmt.Fprintf(out, "  final bitmap update %v\n", res.FinalUpdate.Round(time.Microsecond))
+	}
+	if res.Recovery != nil {
+		printRecovery(out, res.Recovery, opts.Faults)
 	}
 	if pc := res.PostCopy; pc != nil {
 		fmt.Fprintf(out, "  demand faults       %d (stalled the guest %v)\n", pc.Faults, pc.FaultStall.Round(time.Millisecond))
@@ -239,6 +269,33 @@ func printMetrics(out io.Writer, s javmm.MetricsSnapshot) {
 	}
 	for _, h := range s.Histograms {
 		fmt.Fprintf(out, "  %-32s n=%d mean=%.3g min=%.3g max=%.3g\n", h.Name, h.Count, h.Mean, h.Min, h.Max)
+	}
+}
+
+// printRecovery renders the robustness layer's account of the run: injected
+// faults, retried stages, and any mid-flight degradation.
+func printRecovery(out io.Writer, rec *javmm.RecoveryStats, inj *javmm.FaultInjector) {
+	if inj != nil {
+		if ev := inj.Events(); len(ev) > 0 {
+			fmt.Fprintf(out, "  faults injected     %d:", len(ev))
+			for _, e := range ev {
+				fmt.Fprintf(out, " %s@%v", e.Site, e.At.Round(time.Millisecond))
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if n := len(rec.Retries); n > 0 {
+		fmt.Fprintf(out, "  retries             %d (total backoff %v)\n",
+			n, rec.BackoffTotal.Round(time.Millisecond))
+		for _, r := range rec.Retries {
+			fmt.Fprintf(out, "    %-14s attempt %d at %v, backed off %v: %s\n",
+				r.Stage, r.Attempt, r.At.Round(time.Millisecond),
+				r.Backoff.Round(time.Millisecond), r.Err)
+		}
+	}
+	if d := rec.Degraded; d != nil {
+		fmt.Fprintf(out, "  DEGRADED            %s -> %s at %v (%s)\n",
+			d.From, d.To, d.At.Round(time.Millisecond), d.Reason)
 	}
 }
 

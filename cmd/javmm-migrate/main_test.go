@@ -220,3 +220,70 @@ func TestRunWritesMetricsSnapshot(t *testing.T) {
 		t.Fatal("snapshot missing migration.pages_sent")
 	}
 }
+
+func TestRunFaultDegradesToXen(t *testing.T) {
+	o := base()
+	o.Warmup = 30 * time.Second
+	o.Faults = []string{"lkm.handshake"}
+	o.FaultSeed = 1
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "migration complete (xen)") {
+		t.Fatalf("degraded run did not complete with xen semantics:\n%s", out)
+	}
+	if !strings.Contains(out, "DEGRADED") || !strings.Contains(out, "javmm -> xen") {
+		t.Fatalf("degrade record missing from report:\n%s", out)
+	}
+	if !strings.Contains(out, "faults injected") {
+		t.Fatalf("fault audit missing from report:\n%s", out)
+	}
+}
+
+func TestRunFaultRetriesThroughPartition(t *testing.T) {
+	o := base()
+	o.Mode = "xen"
+	o.Warmup = 30 * time.Second
+	o.Faults = []string{"link.partition@2s,for=100ms"}
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "migration complete (xen)") {
+		t.Fatalf("run with healed partition did not complete:\n%s", out)
+	}
+	if !strings.Contains(out, "retries") {
+		t.Fatalf("retry record missing from report:\n%s", out)
+	}
+}
+
+func TestRunFaultAbortReportsRollback(t *testing.T) {
+	o := base()
+	o.Mode = "xen"
+	o.Warmup = 30 * time.Second
+	o.Faults = []string{"dest.crash@2s"}
+	var buf bytes.Buffer
+	err := run(o, &buf)
+	if err == nil {
+		t.Fatal("crashed-destination run succeeded")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "migration ABORTED") {
+		t.Fatalf("abort banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "source VM           resumed") ||
+		!strings.Contains(out, "destination         discarded") {
+		t.Fatalf("rollback summary missing:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFaultSpec(t *testing.T) {
+	o := base()
+	o.Faults = []string{"no.such.site"}
+	if err := run(o, new(bytes.Buffer)); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}

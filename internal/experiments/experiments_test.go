@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"javmm/internal/faults"
 	"javmm/internal/migration"
 	"javmm/internal/workload"
 )
@@ -636,5 +637,67 @@ func TestFigure12Sweep(t *testing.T) {
 	// Compiler capped at 512 MiB: observed young must equal the cap.
 	if !strings.Contains(t3.Rows[0][2], "512") {
 		t.Fatalf("compiler observed young = %q", t3.Rows[0][2])
+	}
+}
+
+func TestAblationResilienceShapes(t *testing.T) {
+	o := fastOpts()
+	o.Warmup = 60 * time.Second
+	tab, err := AblationResilience(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("resilience table has %d rows, want 9", len(tab.Rows))
+	}
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r
+	}
+	if out := byName["xen / partition outlives retries"][1]; out != "aborted (source resumed)" {
+		t.Errorf("long partition outcome = %q, want aborted", out)
+	}
+	if out := byName["javmm / handshake lost"][1]; out != "degraded -> xen" {
+		t.Errorf("lost handshake outcome = %q, want degraded -> xen", out)
+	}
+	if out := byName["xen / partition x1 (500ms)"]; out[1] != "completed" || out[5] == "0" {
+		t.Errorf("healed partition row = %v, want completed with retries > 0", out)
+	}
+	if out := byName["xen / clean"]; out[1] != "completed" || out[5] != "0" || out[7] != "0" {
+		t.Errorf("clean row = %v, want completed with no retries or faults", out)
+	}
+	if tab.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRunMigrationFaultAbortRequiresOptIn(t *testing.T) {
+	prof := mustLookup(t, "derby")
+	opts := RunOpts{
+		Profile: prof,
+		Mode:    migration.ModeVanilla,
+		Seed:    1,
+		Warmup:  30 * time.Second,
+		FaultPlan: faults.Plan{
+			{Site: faults.SiteDestCrash, At: 2 * time.Second},
+		},
+	}
+	if _, err := RunMigration(opts); err == nil {
+		t.Fatal("aborted run without AllowAbort did not error")
+	}
+	opts.AllowAbort = true
+	run, err := RunMigration(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Aborted || run.AbortReason == "" {
+		t.Fatalf("run = aborted=%v reason=%q, want aborted with a reason", run.Aborted, run.AbortReason)
+	}
+	if len(run.FaultEvents) == 0 {
+		t.Fatal("no fault events recorded")
+	}
+	// The aborted run's partial accounting still reconciles.
+	if run.Attribution == nil {
+		t.Fatal("aborted run has no attribution")
 	}
 }

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"javmm/internal/faults"
+	"javmm/internal/migration"
+	"javmm/internal/workload"
+)
+
+// AblationResilience renders X14: the derby VM migrated while the fault
+// plane injects adversity — healed partitions the retry/backoff machinery
+// rides out, a collapsed link, a flaky destination, a partition that outlives
+// the retry budget (clean abort: source resumed, destination discarded), and
+// a swallowed LKM handshake that degrades the assisted run to vanilla
+// pre-copy mid-flight (§4.2's non-responsive-application contingency).
+//
+// Every completed row reconciled byte-for-byte through the attribution layer
+// (RunMigration refuses to return otherwise), faults and all.
+func AblationResilience(o Options) (*Table, error) {
+	o.fillDefaults()
+	prof, err := workload.Lookup("derby")
+	if err != nil {
+		return nil, err
+	}
+
+	window := 500 * time.Millisecond
+	partitions := func(n int) faults.Plan {
+		var p faults.Plan
+		for i := 0; i < n; i++ {
+			p = append(p, faults.Rule{
+				Site: faults.SiteLinkPartition,
+				At:   time.Duration(i+1) * 4 * time.Second,
+				For:  window,
+			})
+		}
+		return p
+	}
+
+	type scenario struct {
+		name       string
+		mode       migration.Mode
+		plan       faults.Plan
+		allowAbort bool
+	}
+	scenarios := []scenario{
+		{"xen / clean", migration.ModeVanilla, nil, false},
+		{"xen / partition x1 (500ms)", migration.ModeVanilla, partitions(1), false},
+		{"xen / partition x2", migration.ModeVanilla, partitions(2), false},
+		{"xen / partition x4", migration.ModeVanilla, partitions(4), false},
+		{"xen / bandwidth 10% for 5s", migration.ModeVanilla, faults.Plan{
+			{Site: faults.SiteLinkBandwidth, At: 2 * time.Second, For: 5 * time.Second, Factor: 0.1},
+		}, false},
+		{"xen / flaky destination", migration.ModeVanilla, faults.Plan{
+			{Site: faults.SiteDestReceive, Nth: 1000, Count: 3},
+		}, false},
+		{"xen / partition outlives retries", migration.ModeVanilla, faults.Plan{
+			{Site: faults.SiteLinkPartition, At: 2 * time.Second, For: 30 * time.Second},
+		}, true},
+		{"javmm / clean", migration.ModeAppAssisted, nil, false},
+		{"javmm / handshake lost", migration.ModeAppAssisted, faults.Plan{
+			{Site: faults.SiteLKMHandshake},
+		}, false},
+	}
+
+	t := &Table{
+		Title: "X14. Migration under injected faults (derby VM, seeded backoff)",
+		Header: []string{"config", "outcome", "total time", "traffic",
+			"workload downtime", "retries", "backoff", "faults"},
+	}
+	for _, sc := range scenarios {
+		opts := o.runOpts(prof, sc.mode, o.Seeds[0])
+		opts.Cooldown = 0
+		opts.FaultPlan = sc.plan
+		opts.RecoverySeed = o.Seeds[0]
+		opts.AllowAbort = sc.allowAbort
+		run, err := RunMigration(opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: resilience %q: %w", sc.name, err)
+		}
+		if run.VerifyErr != nil {
+			return nil, fmt.Errorf("experiments: resilience %q: %w", sc.name, run.VerifyErr)
+		}
+		rep := run.Report
+
+		outcome := "completed"
+		downtime := fmtDur(run.WorkloadDowntime)
+		switch {
+		case run.Aborted:
+			outcome = "aborted (source resumed)"
+			downtime = "n/a"
+		case run.Attribution.Degraded != nil:
+			outcome = fmt.Sprintf("degraded -> %s", rep.EffectiveMode())
+		}
+		var retries int
+		var backoff time.Duration
+		if rec := rep.Recovery; rec != nil {
+			retries = len(rec.Retries)
+			backoff = rec.BackoffTotal
+		}
+		t.AddRow(sc.name, outcome,
+			fmtDur(rep.TotalTime),
+			fmtBytes(rep.TotalBytes()),
+			downtime,
+			fmt.Sprintf("%d", retries),
+			fmtDur(backoff),
+			fmt.Sprintf("%d", len(run.FaultEvents)))
+	}
+	t.Notes = append(t.Notes,
+		"healed partitions cost retries+backoff but complete with the same correctness guarantees; the 30s partition exhausts the retry budget and aborts cleanly",
+		"the lost LKM handshake downgrades the assisted run to vanilla pre-copy mid-flight (paper §4.2): every page ever skipped by consent is re-queued and sent",
+		"every completed row passed byte-for-byte attribution reconciliation with faults active")
+	return t, nil
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"javmm/internal/faults"
 	"javmm/internal/jvm"
 	"javmm/internal/mem"
 	"javmm/internal/migration"
@@ -72,6 +73,15 @@ type RunOpts struct {
 	// Ledger, when non-nil, records the run's per-page provenance and
 	// enables the Attribution carried on the Run.
 	Ledger *ledger.Ledger
+
+	// FaultPlan, when non-empty, injects faults into every layer of the run
+	// (resilience experiments); RecoverySeed seeds the retry backoff jitter.
+	FaultPlan    faults.Plan
+	RecoverySeed int64
+	// AllowAbort tolerates a fault-aborted migration: instead of an error,
+	// RunMigration returns the Run with Aborted set and the partial report
+	// (source resumed, destination discarded).
+	AllowAbort bool
 }
 
 func (o *RunOpts) fillDefaults() {
@@ -130,6 +140,13 @@ type Run struct {
 	// with the Report — figures must not be built from numbers that do not
 	// add up.
 	Attribution *attrib.Attribution
+
+	// Aborted marks a fault-aborted run (only with RunOpts.AllowAbort);
+	// AbortReason carries the permanent failure behind it.
+	Aborted     bool
+	AbortReason string
+	// FaultEvents is the injector's audit log of faults that fired.
+	FaultEvents []faults.Event
 }
 
 // RunMigration boots a fresh VM, warms it up, migrates it and returns the
@@ -214,8 +231,23 @@ func RunMigration(opts RunOpts) (*Run, error) {
 	if opts.Ledger != nil {
 		cfg.Ledger = opts.Ledger
 	}
+	var inj *faults.Injector
+	if len(opts.FaultPlan) > 0 {
+		inj, err = faults.NewInjector(vm.Clock, opts.FaultPlan)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		inj.SetObs(opts.Tracer, opts.Metrics)
+		cfg.Faults = inj
+		cfg.Recovery.Seed = opts.RecoverySeed
+		vm.Guest.LKM.SetFaults(inj)
+		vm.Guest.Bus.SetFaults(inj)
+	}
 	link := netsim.NewLink(vm.Clock, opts.Bandwidth, 100*time.Microsecond)
 	link.SetMetrics(opts.Metrics)
+	link.SetFaults(inj)
+	dest := migration.NewDestination(vm.Dom.NumPages())
+	dest.SetFaults(inj)
 
 	src := &migration.Source{
 		Dom:   vm.Dom,
@@ -223,7 +255,7 @@ func RunMigration(opts RunOpts) (*Run, error) {
 		Link:  link,
 		Clock: vm.Clock,
 		Exec:  vm.Driver,
-		Dest:  migration.NewDestination(vm.Dom.NumPages()),
+		Dest:  dest,
 		Cfg:   cfg,
 		GuestFree: func(p mem.PFN) bool {
 			return !vm.Guest.Frames.Allocated(p)
@@ -231,18 +263,28 @@ func RunMigration(opts RunOpts) (*Run, error) {
 		HintFor: vm.Guest.LKM.HintFor,
 	}
 	report, err := src.Migrate()
+	aborted := false
 	if err != nil {
-		return nil, fmt.Errorf("experiments: migration failed: %w", err)
+		if !opts.AllowAbort || report == nil || report.Recovery == nil || !report.Recovery.Aborted {
+			return nil, fmt.Errorf("experiments: migration failed: %w", err)
+		}
+		aborted = true
 	}
 	if vm.Driver.Err != nil {
 		return nil, fmt.Errorf("experiments: workload failed during migration: %w", vm.Driver.Err)
 	}
 	run.Report = report
+	run.Aborted = aborted
+	if aborted {
+		run.AbortReason = report.Recovery.AbortReason
+	}
+	run.FaultEvents = inj.Events()
 
 	// Runs with a post-copy phase have no store-equality counterpart: the
 	// guest keeps running (and dirtying) after switchover, and the engine's
-	// demand-fetch path guarantees residency by construction.
-	if report.PostCopy == nil {
+	// demand-fetch path guarantees residency by construction. Aborted runs
+	// discarded the destination — there is nothing to verify.
+	if report.PostCopy == nil && !aborted {
 		run.VerifyErr = migration.VerifyMigration(
 			vm.Dom.Store(), src.Dest.Store, report.FinalTransfer,
 			func(p mem.PFN) bool { return vm.Guest.Frames.Allocated(p) })
@@ -257,7 +299,9 @@ func RunMigration(opts RunOpts) (*Run, error) {
 		}
 	}
 	run.WorkloadDowntime = report.VMDowntime
-	if opts.Mode == migration.ModeAppAssisted {
+	// Keyed on the EFFECTIVE mode: a run degraded to vanilla pre-copy never
+	// performed the final update and charges neither assisted component.
+	if report.EffectiveMode() == migration.ModeAppAssisted {
 		run.WorkloadDowntime += run.EnforcedGC + report.FinalUpdate
 	}
 

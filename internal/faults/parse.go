@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseRule parses the CLI fault-rule syntax:
+//
+//	site[@at][#nth][,key=value...]
+//
+// where site is one of Sites(), @at is the virtual time offset from migration
+// start at which the rule becomes eligible, #nth (discrete sites) selects the
+// Nth occurrence, and key=value pairs set the remaining fields: for=<dur>
+// (window length), factor=<0..1> (bandwidth multiplier), delay=<dur> (late
+// delivery), count=<n> (occurrences affected). Examples:
+//
+//	link.partition@10s,for=2s       partition the link for 2s, 10s in
+//	link.bandwidth@5s,for=1s,factor=0.1
+//	dest.receive#3,count=2          fail the 3rd and 4th page receives
+//	netlink.delay#1,delay=50ms      deliver the 1st netlink message 50ms late
+//	lkm.handshake                   swallow the first suspension handshake
+//	dest.crash@30s                  crash the destination after 30s
+func ParseRule(spec string) (Rule, error) {
+	var r Rule
+	head, rest, _ := strings.Cut(spec, ",")
+	head = strings.TrimSpace(head)
+	if head == "" {
+		return r, fmt.Errorf("faults: empty rule spec")
+	}
+	if head, nth, ok := cutLast(head, "#"); ok {
+		n, err := strconv.ParseUint(nth, 10, 64)
+		if err != nil || n == 0 {
+			return r, fmt.Errorf("faults: bad #nth in %q (want positive integer)", spec)
+		}
+		r.Nth = n
+		if head2, at, ok := cutLast(head, "@"); ok {
+			d, err := time.ParseDuration(at)
+			if err != nil {
+				return r, fmt.Errorf("faults: bad @at in %q: %v", spec, err)
+			}
+			r.At = d
+			head = head2
+		}
+		r.Site = Site(head)
+	} else if head2, at, ok := cutLast(head, "@"); ok {
+		d, err := time.ParseDuration(at)
+		if err != nil {
+			return r, fmt.Errorf("faults: bad @at in %q: %v", spec, err)
+		}
+		r.At = d
+		r.Site = Site(head2)
+	} else {
+		r.Site = Site(head)
+	}
+
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return r, fmt.Errorf("faults: bad option %q in %q (want key=value)", kv, spec)
+			}
+			key = strings.TrimSpace(key)
+			val = strings.TrimSpace(val)
+			switch key {
+			case "for":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return r, fmt.Errorf("faults: bad for=%q: %v", val, err)
+				}
+				r.For = d
+			case "factor":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return r, fmt.Errorf("faults: bad factor=%q: %v", val, err)
+				}
+				r.Factor = f
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return r, fmt.Errorf("faults: bad delay=%q: %v", val, err)
+				}
+				r.Delay = d
+			case "count":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil || n == 0 {
+					return r, fmt.Errorf("faults: bad count=%q (want positive integer)", val)
+				}
+				r.Count = n
+			default:
+				return r, fmt.Errorf("faults: unknown option %q in %q", key, spec)
+			}
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ParsePlan parses each spec with ParseRule and validates the result.
+func ParsePlan(specs []string) (Plan, error) {
+	var p Plan
+	for _, s := range specs {
+		r, err := ParseRule(s)
+		if err != nil {
+			return nil, err
+		}
+		p = append(p, r)
+	}
+	return p, nil
+}
+
+// String renders the rule back into the ParseRule syntax (a round-trippable
+// canonical form).
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(string(r.Site))
+	if r.At > 0 {
+		fmt.Fprintf(&b, "@%v", r.At)
+	}
+	if r.Nth > 0 {
+		fmt.Fprintf(&b, "#%d", r.Nth)
+	}
+	if r.For > 0 {
+		fmt.Fprintf(&b, ",for=%v", r.For)
+	}
+	if r.Factor > 0 {
+		fmt.Fprintf(&b, ",factor=%g", r.Factor)
+	}
+	if r.Delay > 0 {
+		fmt.Fprintf(&b, ",delay=%v", r.Delay)
+	}
+	if r.Count > 0 {
+		fmt.Fprintf(&b, ",count=%d", r.Count)
+	}
+	return b.String()
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}

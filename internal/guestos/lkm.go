@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"javmm/internal/faults"
 	"javmm/internal/hypervisor"
 	"javmm/internal/mem"
 	"javmm/internal/obs"
@@ -138,13 +139,21 @@ type LKM struct {
 	ShrinkEvents    int           // MsgAreaShrunk handled
 	IgnoredShrinks  int           // MsgAreaShrunk ignored in rewalk mode
 	HintedPages     int           // pages carrying a non-default compression hint
+	LostHandshakes  int           // suspension-ready notifications swallowed by fault injection
 
 	hints         []uint8 // per-page compression hints (§6 extension)
 	lastFallbacks int     // stragglers in the current prepare window
 
 	tracer  *obs.Tracer
 	metrics *obs.Metrics
+	faults  *faults.Injector
 }
+
+// SetFaults attaches a fault injector: an lkm.handshake rule swallows the
+// suspension-ready notification on its way to the migration daemon, so the
+// engine's handshake wait times out and the run degrades to vanilla
+// pre-copy. A nil injector changes nothing.
+func (l *LKM) SetFaults(inj *faults.Injector) { l.faults = inj }
 
 // SetObs attaches a tracer and metrics registry. State transitions are
 // emitted as lkm.state events on the LKM track (named after the state being
@@ -213,6 +222,13 @@ func (p *DaemonProtocol) Begin() *mem.Bitmap {
 	p.ev = EvSuspensionReady{}
 	p.ep.Bind(func(msg any) {
 		if ev, ok := msg.(EvSuspensionReady); ok {
+			// The handshake fault models a wedged daemon-side notification
+			// path (§4.2's non-responsive contingency): the LKM believes it
+			// reported readiness, but the engine never hears it.
+			if p.lkm.faults.Fire(faults.SiteLKMHandshake) {
+				p.lkm.LostHandshakes++
+				return
+			}
 			p.ready = true
 			p.ev = ev
 		}

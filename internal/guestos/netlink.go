@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"javmm/internal/faults"
 	"javmm/internal/mem"
 	"javmm/internal/obs"
 )
@@ -67,13 +68,32 @@ type Socket struct {
 func (s *Socket) App() AppID { return s.app }
 
 // Send delivers a message from the application to the kernel (the LKM).
+// Under fault injection a message can be silently dropped (netlink.loss) or
+// delivered after a delay of virtual time (netlink.delay) — late messages
+// arrive in whatever LKM state holds by then, exercising the workflow's
+// invalid-message handling.
 func (s *Socket) Send(msg any) error {
 	if s.bus.kernel == nil {
 		return fmt.Errorf("guestos: netlink send from app %d: no kernel receiver", s.app)
 	}
-	s.bus.toKernel++
+	if s.bus.faults.Fire(faults.SiteNetlinkLoss) {
+		s.bus.dropped++
+		return nil
+	}
 	s.bus.tracer.Emit(obs.TrackNetlink, obs.KindNetlink, msgName(msg), nil,
 		obs.Str("dir", "send"), obs.Int("app", int(s.app)))
+	if r, ok := s.bus.faults.FireRule(faults.SiteNetlinkDelay); ok {
+		s.bus.delayed++
+		bus, app := s.bus, s.app
+		bus.faults.After(r.Delay, func() {
+			if bus.kernel != nil {
+				bus.toKernel++
+				bus.kernel(app, msg)
+			}
+		})
+		return nil
+	}
+	s.bus.toKernel++
 	s.bus.kernel(s.app, msg)
 	return nil
 }
@@ -93,13 +113,21 @@ type Bus struct {
 	nextID   AppID
 	toKernel uint64
 	toApps   uint64
+	dropped  uint64
+	delayed  uint64
 	tracer   *obs.Tracer
+	faults   *faults.Injector
 }
 
 // SetTracer attaches a tracer: every kernel-bound send and every multicast
 // is recorded as a netlink.msg event on the netlink track, named after the
 // message type. A nil tracer detaches.
 func (b *Bus) SetTracer(t *obs.Tracer) { b.tracer = t }
+
+// SetFaults attaches a fault injector: kernel-bound sends and individual
+// multicast deliveries become subject to netlink.loss (dropped) and
+// netlink.delay (late delivery) rules. A nil injector changes nothing.
+func (b *Bus) SetFaults(inj *faults.Injector) { b.faults = inj }
 
 // msgName renders a message's type name without the package prefix
 // ("MsgReportAreas", not "guestos.MsgReportAreas").
@@ -129,16 +157,33 @@ func (b *Bus) Subscribe(handler func(msg any)) *Socket {
 }
 
 // Multicast delivers msg to every subscribed application, in subscription
-// order (deterministic iteration).
+// order (deterministic iteration). Each delivery is individually subject to
+// loss and delay faults, so one application can miss a query the others
+// received.
 func (b *Bus) Multicast(msg any) {
 	b.tracer.Emit(obs.TrackNetlink, obs.KindNetlink, msgName(msg), nil,
 		obs.Str("dir", "multicast"), obs.Int("subscribers", len(b.subs)))
 	// Iterate in AppID order for determinism.
 	for id := AppID(1); id < b.nextID; id++ {
-		if h, ok := b.subs[id]; ok {
-			b.toApps++
-			h(msg)
+		h, ok := b.subs[id]
+		if !ok {
+			continue
 		}
+		if b.faults.Fire(faults.SiteNetlinkLoss) {
+			b.dropped++
+			continue
+		}
+		if r, ok := b.faults.FireRule(faults.SiteNetlinkDelay); ok {
+			b.delayed++
+			h := h
+			b.faults.After(r.Delay, func() {
+				b.toApps++
+				h(msg)
+			})
+			continue
+		}
+		b.toApps++
+		h(msg)
 	}
 }
 
@@ -147,3 +192,6 @@ func (b *Bus) Subscribers() int { return len(b.subs) }
 
 // Stats returns (messages to kernel, multicast deliveries to apps).
 func (b *Bus) Stats() (toKernel, toApps uint64) { return b.toKernel, b.toApps }
+
+// FaultStats returns (messages dropped, messages delayed) by injection.
+func (b *Bus) FaultStats() (dropped, delayed uint64) { return b.dropped, b.delayed }

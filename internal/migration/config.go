@@ -3,6 +3,7 @@ package migration
 import (
 	"time"
 
+	"javmm/internal/faults"
 	"javmm/internal/mem"
 	"javmm/internal/obs"
 	"javmm/internal/obs/ledger"
@@ -154,6 +155,66 @@ type Config struct {
 	// ShouldCancel, if non-nil, is polled at chunk boundaries; returning
 	// true aborts like CancelAfter.
 	ShouldCancel func() bool
+
+	// Faults, if non-nil, is the fault-injection plane consulted by the
+	// engine's own injection sites (destination receive/crash, post-copy
+	// fetch). The engine arms it (Begin) when migration starts, so rule
+	// times are relative to migration start. The link, netlink bus and LKM
+	// each carry their own reference to the same injector.
+	Faults *faults.Injector
+
+	// Recovery tunes the engine's robustness layer: retry/backoff on
+	// transient stage failures, the per-stage deadline, and the handshake
+	// degradation switch. The zero value plus FillDefaults is the paper-
+	// plausible policy (retry for a few seconds, then abort cleanly).
+	Recovery Recovery
+}
+
+// Recovery is the engine's failure policy. Backoff is exponential with
+// seeded jitter: attempt k waits a uniformly random duration in
+// [base·2ᵏ⁻¹/2, base·2ᵏ⁻¹], capped at MaxBackoff, drawn from a PRNG seeded
+// with Seed — fully deterministic under the virtual clock.
+type Recovery struct {
+	// MaxRetries bounds the re-attempts of one failed stage operation
+	// (default 10; with the default backoff that is ≈6.5s of cumulative
+	// waiting, enough to ride out a short partition).
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff ceiling (default 10ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single backoff (default 2s).
+	MaxBackoff time.Duration
+	// StageDeadline bounds the total virtual time one stage operation may
+	// spend failing and backing off before the run aborts (default 60s).
+	StageDeadline time.Duration
+	// Seed seeds the jitter PRNG (default 1). Different seeds produce
+	// different backoff schedules; the same seed reproduces the run
+	// byte-for-byte.
+	Seed int64
+	// DisableDegrade keeps a ModeAppAssisted run from downgrading to
+	// vanilla pre-copy when the suspension handshake times out: the run
+	// fails with ErrSuspensionTimeout instead. Degradation is only
+	// considered when Config.Faults is set, so fault-free runs keep the
+	// strict timeout contract either way.
+	DisableDegrade bool
+}
+
+// fillDefaults populates the unset recovery knobs.
+func (r *Recovery) fillDefaults() {
+	if r.MaxRetries == 0 {
+		r.MaxRetries = 10
+	}
+	if r.BaseBackoff == 0 {
+		r.BaseBackoff = 10 * time.Millisecond
+	}
+	if r.MaxBackoff == 0 {
+		r.MaxBackoff = 2 * time.Second
+	}
+	if r.StageDeadline == 0 {
+		r.StageDeadline = 60 * time.Second
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
 }
 
 // FillDefaults populates unset fields with the paper's testbed defaults.
@@ -200,6 +261,7 @@ func (c *Config) FillDefaults() {
 	if c.HybridWarmIterations == 0 {
 		c.HybridWarmIterations = 3
 	}
+	c.Recovery.fillDefaults()
 }
 
 // IterationStats describes one migration iteration — the boxes of Figure 8
@@ -268,6 +330,57 @@ type Report struct {
 	// record and the correctness invariant is "every page became
 	// resident", not store equality.
 	PostCopy *PostCopyStats
+
+	// Recovery is set when the robustness layer acted: retries performed,
+	// a mid-flight degradation, or a clean abort. Fault-free runs leave it
+	// nil, so existing reports are unchanged byte for byte.
+	Recovery *RecoveryStats
+}
+
+// RecoveryStats is the Report's account of the robustness layer's work.
+// Slices (not maps) keep reports deterministically comparable.
+type RecoveryStats struct {
+	// Retries lists every backed-off re-attempt, in order.
+	Retries []RetryRecord
+	// BackoffTotal is the virtual time spent waiting between attempts.
+	BackoffTotal time.Duration
+	// Degraded is set when the run downgraded mid-flight (assisted pre-copy
+	// falling back to vanilla semantics after a failed handshake).
+	Degraded *Degradation
+	// Aborted is true when the run failed and rolled back: source resumed,
+	// destination discarded.
+	Aborted     bool
+	AbortReason string
+}
+
+// RetryRecord is one backed-off re-attempt of a failed stage operation.
+type RetryRecord struct {
+	Stage   string        // which operation failed (chunk-send, page-receive, ...)
+	Attempt int           // 1-based attempt number being retried
+	At      time.Duration // virtual time the backoff started
+	Backoff time.Duration
+	Err     string // the error that triggered the retry
+}
+
+// Degradation records a mid-flight downgrade (paper §4.2's non-responsive
+// contingency: a wedged JVM/LKM handshake must not wedge the migration).
+type Degradation struct {
+	From   Mode
+	To     Mode
+	At     time.Duration // virtual time of the downgrade
+	Reason string
+}
+
+// EffectiveMode returns the semantics the migration actually completed
+// with: the requested mode, unless the run degraded mid-flight. Downtime
+// attribution keys on this — a degraded run's enforced GC is not charged as
+// assisted-migration downtime because the migration finished with vanilla
+// semantics.
+func (r *Report) EffectiveMode() Mode {
+	if r.Recovery != nil && r.Recovery.Degraded != nil {
+		return r.Recovery.Degraded.To
+	}
+	return r.Mode
 }
 
 // TotalBytes returns the migration's total payload traffic.

@@ -3,6 +3,7 @@ package migration
 import (
 	"fmt"
 
+	"javmm/internal/faults"
 	"javmm/internal/mem"
 	"javmm/internal/netsim"
 	"javmm/internal/obs"
@@ -19,12 +20,40 @@ type Destination struct {
 	tee       *netsim.PageWriter
 	teeErrors int
 	metrics   *obs.Metrics
+	faults    *faults.Injector
+	crashed   bool
+	discarded bool
 }
 
 // SetMetrics attaches a metrics registry to the destination's receive path
 // (dest.pages_received, dest.bytes_received, dest.import_failures,
 // dest.tee_errors). A nil registry detaches.
 func (d *Destination) SetMetrics(m *obs.Metrics) { d.metrics = m }
+
+// SetFaults attaches a fault injector: dest.receive rules fail individual
+// page receives transiently, a dest.crash rule kills the destination for
+// the rest of the run (every receive fails with ErrDestinationLost). A nil
+// injector changes nothing.
+func (d *Destination) SetFaults(inj *faults.Injector) { d.faults = inj }
+
+// Discard models tearing down the destination's half-received VM after an
+// aborted migration: the memory image is released (zeroed) and the
+// destination marked discarded. The crash flag resets so the host can serve
+// a later re-attempt with a fresh image.
+func (d *Destination) Discard() {
+	d.discarded = true
+	d.crashed = false
+	d.PagesReceived = 0
+	d.BytesReceived = 0
+	if n := d.Store.NumPages(); n > 0 {
+		d.Store = mem.NewVersionStore(n)
+	}
+	d.metrics.Counter("dest.discards").Inc()
+}
+
+// Discarded reports whether the destination's image was rolled back by an
+// aborted migration (and not rebuilt since).
+func (d *Destination) Discarded() bool { return d.discarded }
 
 // NewDestination returns a destination with zeroed memory of n pages,
 // version-backed like the simulated source.
@@ -41,17 +70,29 @@ func NewDestinationWithStore(store mem.PageStore) *Destination {
 // ReceiveCheckpointPage imports a page pushed outside a migration — the
 // replication package's checkpoint stream uses the same destination
 // machinery (and Tee mirroring) as migration.
-func (d *Destination) ReceiveCheckpointPage(p mem.PFN, payload []byte) {
-	d.ReceivePage(p, payload)
+func (d *Destination) ReceiveCheckpointPage(p mem.PFN, payload []byte) error {
+	return d.ReceivePage(p, payload)
 }
 
 // ReceivePage implements PageSink: import the page, account it, and mirror
-// it onto the tee when one is attached.
-func (d *Destination) ReceivePage(p mem.PFN, payload []byte) {
+// it onto the tee when one is attached. Fault injection can fail a receive
+// transiently (dest.receive — the engine retries) or crash the destination
+// for the rest of the run (dest.crash — permanent ErrDestinationLost).
+func (d *Destination) ReceivePage(p mem.PFN, payload []byte) error {
+	if d.crashed {
+		return ErrDestinationLost
+	}
+	if d.faults.Fire(faults.SiteDestCrash) {
+		d.crashed = true
+		return ErrDestinationLost
+	}
+	if d.faults.Fire(faults.SiteDestReceive) {
+		return fmt.Errorf("migration: destination refused page %d (injected)", p)
+	}
 	if err := d.Store.Import(p, payload); err != nil {
 		d.ImportFailures++
 		d.metrics.Counter("dest.import_failures").Inc()
-		return
+		return fmt.Errorf("migration: import page %d: %w", p, err)
 	}
 	d.PagesReceived++
 	d.BytesReceived += uint64(len(payload))
@@ -63,6 +104,7 @@ func (d *Destination) ReceivePage(p mem.PFN, payload []byte) {
 			d.metrics.Counter("dest.tee_errors").Inc()
 		}
 	}
+	return nil
 }
 
 // VerifyMigration checks the migration correctness invariant (DESIGN.md §6):

@@ -27,6 +27,7 @@ package migration
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"javmm/internal/guestos"
@@ -69,6 +70,16 @@ type Source struct {
 	sentBytes uint64
 	startedAt time.Duration
 	aborted   bool
+	// failure is the permanent error that aborted the run (nil for a plain
+	// cancel); rng drives the retry jitter (seeded, deterministic).
+	failure error
+	rng     *rand.Rand
+	// skippedEver accumulates every page skipped by application consent,
+	// maintained only while a degradation to vanilla is still possible;
+	// degradePending is its snapshot after a downgrade — pages that must be
+	// transferred after all, cleared as they are sent.
+	skippedEver    *mem.Bitmap
+	degradePending *mem.Bitmap
 
 	// stages bound for the current run
 	skip  SkipPolicy
@@ -154,6 +165,7 @@ func (s *Source) migratePreCopy() (*Report, error) {
 	s.sentBytes = 0
 	s.aborted = false
 	s.Cfg.Ledger.Begin(s.Dom.NumPages())
+	s.beginRecovery()
 
 	// The legacy OnIteration callback rides the event bus: when a tracer is
 	// configured it becomes a subscription to the per-iteration stats
@@ -206,6 +218,13 @@ func (s *Source) migratePreCopy() (*Report, error) {
 	n := s.Dom.NumPages()
 	toSend := mem.NewBitmap(n)
 	toSend.SetAll() // iteration 1: all pages
+	if s.proto != nil && s.degradeEnabled() {
+		// Track consent-skipped pages while a downgrade to vanilla is still
+		// possible: they are the pages a degraded run must transfer after
+		// all (their staleness is invisible to dirty tracking, which was
+		// cleared while they were being skipped).
+		s.skippedEver = mem.NewBitmap(n)
+	}
 
 	var everDirty *mem.Bitmap
 	if s.Cfg.ConservativeLastIter {
@@ -218,34 +237,34 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		}
 	}
 
-	abort := func() (*Report, error) {
-		if s.proto != nil {
-			s.proto.Aborted()
-		}
-		s.report.TotalTime = s.Clock.Now() - start
-		return s.report, ErrCancelled
-	}
+	abort := func() (*Report, error) { return s.abortRun(start) }
 
-	iter := 1
+	iter := 0
 	for {
-		st := s.runIteration(iter, toSend, false)
-		s.report.Iterations = append(s.report.Iterations, st)
-		s.notifyIteration(st)
-		if s.aborted {
-			return abort()
+		// Live pre-copy rounds until the stop policy fires.
+		for {
+			iter++
+			st := s.runIteration(iter, toSend, false)
+			s.report.Iterations = append(s.report.Iterations, st)
+			s.notifyIteration(st)
+			if s.aborted {
+				return abort()
+			}
+			if s.stop.Stop(iter, st, s.sentBytes, s.Dom.MemoryBytes()) {
+				break
+			}
+			newRound()
 		}
-		if s.stop.Stop(iter, st, s.sentBytes, s.Dom.MemoryBytes()) {
+		if s.proto == nil {
+			// Vanilla semantics — native or degraded — go straight to
+			// stop-and-copy.
 			break
 		}
-		iter++
-		newRound()
-	}
 
-	// Pre-suspension handshake (app-assisted): notify the guest, run one
-	// more live round, then wait — without starting new dirty rounds — until
-	// the applications are suspension-ready and the final bitmap update is
-	// done.
-	if s.proto != nil {
+		// Pre-suspension handshake (app-assisted): notify the guest, run one
+		// more live round, then wait — without starting new dirty rounds —
+		// until the applications are suspension-ready and the final bitmap
+		// update is done.
 		prepStart := s.Clock.Now()
 		// The span closes on the success path below with its outcome attrs;
 		// every early return closes it explicitly first (double-closing is a
@@ -260,26 +279,44 @@ func (s *Source) migratePreCopy() (*Report, error) {
 			return abort()
 		}
 		// The LKM's PrepareTimeout bounds this wait; the engine adds a hard
-		// backstop against a misconfigured (disabled) timeout.
+		// backstop against a misconfigured (disabled) timeout. With fault
+		// injection configured the backstop instead degrades the run to
+		// vanilla pre-copy (§4.2): a wedged handshake must not wedge the VM.
 		waitDeadline := s.Clock.Now() + s.Cfg.SuspensionBackstop
+		timedOut := false
 		for !s.proto.Ready() {
 			if s.cancelRequested() {
 				prepSpan.End()
 				return abort()
 			}
 			if s.Clock.Now() >= waitDeadline {
-				prepSpan.End()
-				return nil, ErrSuspensionTimeout
+				if !s.degradeEnabled() {
+					prepSpan.End()
+					return nil, ErrSuspensionTimeout
+				}
+				timedOut = true
+				break
 			}
 			s.advance(s.Cfg.IdleQuantum)
 		}
 		// The second-last iteration's duration includes the wait for the
 		// workload to reach a Safepoint and finish the enforced GC
-		// (Figure 8(b)).
+		// (Figure 8(b)) — or, on a timeout, the exhausted backstop.
 		st.Duration = s.Clock.Now() - st.Start
 		s.report.Iterations = append(s.report.Iterations, st)
 		s.notifyIteration(st)
 		s.report.PrepareWait = s.Clock.Now() - prepStart
+		if timedOut {
+			prepSpan.End(obs.Str("outcome", "degraded"))
+			s.degradeToVanilla("suspension handshake timed out")
+			// Fold the next dirty round in, then every page ever skipped by
+			// application consent and not sent since: with the handshake dead
+			// their content is only at the source, and vanilla semantics
+			// promise the destination all of it.
+			newRound()
+			toSend.Or(s.degradePending)
+			continue
+		}
 		s.report.FinalUpdate, s.report.Fallbacks = s.proto.Outcome()
 		// The final bitmap update runs with applications held; charge its
 		// (sub-millisecond) cost before pausing the VM.
@@ -288,6 +325,7 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		fuSpan.End(obs.Dur("duration", s.report.FinalUpdate))
 		prepSpan.End(obs.Dur("prepare_wait", s.report.PrepareWait),
 			obs.Int("fallbacks", s.report.Fallbacks))
+		break
 	}
 
 	// Stop-and-copy.
@@ -302,11 +340,22 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		// at any point during migration.
 		toSend.Or(everDirty)
 	}
+	if s.degradePending != nil {
+		// Degraded run: consent-skipped pages not sent since must still
+		// move (PeekAndClear overwrote the set, so re-fold them here).
+		toSend.Or(s.degradePending)
+	}
 	iter++
 	st := s.runIteration(iter, toSend, true)
 	s.report.Iterations = append(s.report.Iterations, st)
 	s.notifyIteration(st)
 	s.report.LastIterBytes = st.BytesOnWire
+	if s.aborted {
+		// A permanent failure during stop-and-copy (a crashed destination)
+		// aborts even here: the source resumes as if never paused.
+		pausedSpan.End()
+		return abort()
+	}
 
 	// Resumption: reconnect devices, activate at destination.
 	resSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindResumption, "resumption")
@@ -408,26 +457,62 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 	type pagePayload struct {
 		pfn     mem.PFN
 		payload []byte
+		wire    uint64
 	}
 	chunk := make([]pagePayload, 0, s.Cfg.ChunkPages)
 	var chunkWire uint64
+
+	sendClass := ledger.ClassLive
+	if last {
+		sendClass = ledger.ClassFinal
+	}
 
 	flush := func() {
 		if len(chunk) == 0 {
 			return
 		}
+		fail := func(cs *obs.Span, err error) {
+			// Permanent failure: the undelivered remainder was never
+			// accounted (report, ledger and metrics all count at delivery),
+			// so totals keep reconciling on the aborted run.
+			s.fail(err)
+			cs.End(obs.Str("error", err.Error()))
+			chunk = chunk[:0]
+			chunkWire = 0
+		}
 		cs := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindChunk, "chunk",
 			obs.Int("pages", len(chunk)), obs.Uint64("wire_bytes", chunkWire))
-		d := s.Link.Send(chunkWire)
-		st.PagesSent += uint64(len(chunk))
-		st.BytesOnWire += chunkWire
-		s.sentBytes += chunkWire
-		s.report.TotalPagesSent += uint64(len(chunk))
-		s.report.CPUTime += time.Duration(len(chunk)) * s.Cfg.PageCopyCost
+		var d time.Duration
+		send := func() error {
+			var err error
+			d, err = s.Link.SendErr(chunkWire)
+			return err
+		}
+		if err := send(); err != nil {
+			if err = s.retryAfter("chunk-send", err, s.advance, send); err != nil {
+				fail(cs, err)
+				return
+			}
+		}
 		for _, pp := range chunk {
-			s.sink.ReceivePage(pp.pfn, pp.payload)
+			if err := s.deliverPage(pp.pfn, pp.payload); err != nil {
+				fail(cs, err)
+				return
+			}
+			st.PagesSent++
+			st.BytesOnWire += pp.wire
+			s.sentBytes += pp.wire
+			s.report.TotalPagesSent++
+			s.report.CPUTime += s.Cfg.PageCopyCost
+			s.Cfg.Ledger.PageSent(pp.pfn, index, pp.wire, sendClass)
 			if s.residentTrack != nil {
 				s.residentTrack.Set(pp.pfn)
+			}
+			if s.skippedEver != nil {
+				s.skippedEver.Clear(pp.pfn)
+			}
+			if s.degradePending != nil {
+				s.degradePending.Clear(pp.pfn)
 			}
 		}
 		chunk = chunk[:0]
@@ -440,11 +525,6 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 			s.aborted = true
 		}
 	}
-
-	sendClass := ledger.ClassLive
-	if last {
-		sendClass = ledger.ClassFinal
-	}
 	toSend.Range(func(p mem.PFN) bool {
 		if s.aborted {
 			return false
@@ -454,10 +534,16 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 		case SkipBitmap:
 			st.PagesSkippedBitmap++
 			s.Cfg.Ledger.PageSkipped(p, index, rawWire, r.ledgerReason())
+			if s.skippedEver != nil {
+				s.skippedEver.Set(p)
+			}
 			return true
 		case SkipFree:
 			st.PagesSkippedFree++
 			s.Cfg.Ledger.PageSkipped(p, index, rawWire, r.ledgerReason())
+			if s.skippedEver != nil {
+				s.skippedEver.Set(p)
+			}
 			return true
 		}
 		if !last && s.Dom.DirtyNow(p) {
@@ -470,11 +556,11 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 		w, encodeCPU := s.codec.Encode(p, rawWire)
 		chunkWire += w
 		s.report.CPUTime += encodeCPU
-		// Provenance: the ledger sees the page at encode time; every encoded
-		// page is flushed before the iteration returns (even on abort), so
-		// ledger totals reconcile exactly with the iteration counters.
-		s.Cfg.Ledger.PageSent(p, index, w, sendClass)
-		chunk = append(chunk, pagePayload{pfn: p, payload: s.Dom.Store().Export(p)})
+		// Provenance and iteration counters both account at delivery time
+		// (inside flush): a chunk lost to a permanent failure is then
+		// invisible to report, ledger and metrics alike, so the three keep
+		// reconciling even on an aborted run.
+		chunk = append(chunk, pagePayload{pfn: p, payload: s.Dom.Store().Export(p), wire: w})
 		if uint64(len(chunk)) >= s.Cfg.ChunkPages {
 			flush()
 		}

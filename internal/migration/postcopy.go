@@ -3,6 +3,7 @@ package migration
 import (
 	"time"
 
+	"javmm/internal/faults"
 	"javmm/internal/mem"
 	"javmm/internal/obs"
 	"javmm/internal/obs/ledger"
@@ -81,6 +82,7 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 	s.aborted = false
 	s.proto = nil
 	s.Cfg.Ledger.Begin(n)
+	s.beginRecovery()
 	pc := &PostCopyStats{}
 	s.report.PostCopy = pc
 
@@ -122,8 +124,7 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 			s.report.Iterations = append(s.report.Iterations, st)
 			s.notifyIteration(st)
 			if s.aborted {
-				s.report.TotalTime = s.Clock.Now() - start
-				return s.report, ErrCancelled
+				return s.abortRun(start)
 			}
 			if stop.Stop(iter, st, s.sentBytes, s.Dom.MemoryBytes()) {
 				break
@@ -150,7 +151,19 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 		resident.AndNot(dirty)
 		pc.WarmPages = resident.Count()
 	}
-	s.Clock.Advance(s.Link.Send(cpuStateBytes))
+	var stateTime time.Duration
+	sendState := func() error {
+		var err error
+		stateTime, err = s.Link.SendErr(cpuStateBytes)
+		return err
+	}
+	if err := s.withRetry("switchover", sendState); err != nil {
+		// The CPU/device state never made it across: resume at the source.
+		s.fail(err)
+		pausedSpan.End()
+		return s.abortRun(start)
+	}
+	s.Clock.Advance(stateTime)
 	s.Clock.Advance(s.Cfg.ResumptionTime)
 	s.report.Resumption = s.Cfg.ResumptionTime
 	s.report.VMDowntime = s.Clock.Now() - pauseStart
@@ -163,21 +176,47 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 	wire := s.Dom.Store().WireSize()
 	lazyIter := iter + 1 // the ledger iteration index of the whole lazy phase
 
-	fetch := func(p mem.PFN) time.Duration {
-		d := s.Link.RoundTrip() + s.Link.Send(wire)
-		s.sink.ReceivePage(p, s.Dom.Store().Export(p))
+	fetch := func(p mem.PFN) (time.Duration, error) {
+		var d, backoffStall time.Duration
+		op := func() error {
+			if s.Cfg.Faults.Fire(faults.SitePostCopyFetch) {
+				return ErrFetchFaulted
+			}
+			var err error
+			d, err = s.Link.SendErr(wire)
+			if err != nil {
+				return err
+			}
+			d += s.Link.RoundTrip()
+			return s.sink.ReceivePage(p, s.Dom.Store().Export(p))
+		}
+		if err := op(); err != nil {
+			// The faulting vCPU is frozen: retry backoffs accumulate as
+			// stall debt rather than advancing the clock (which would run
+			// the guest and could recurse into this very hook).
+			err = s.retryAfter("demand-fetch", err,
+				func(b time.Duration) { backoffStall += b }, op)
+			if err != nil {
+				return 0, err
+			}
+		}
 		resident.Set(p)
-		return d
+		return d + backoffStall, nil
 	}
 
 	s.Dom.SetPageFaultHook(func(p mem.PFN) {
-		if resident.Test(p) {
+		if s.aborted || resident.Test(p) {
+			return
+		}
+		// The faulting vCPU stalls for a round trip plus the transfer
+		// (plus any retry backoff); the debt is charged to guest time
+		// between prefetch chunks.
+		d, err := fetch(p)
+		if err != nil {
+			s.fail(err)
 			return
 		}
 		pc.Faults++
-		// The faulting vCPU stalls for a round trip plus the transfer;
-		// the debt is charged to guest time between prefetch chunks.
-		d := fetch(p)
 		stallDebt += d
 		s.Cfg.Ledger.PageSent(p, lazyIter, wire, ledger.ClassFault)
 		s.Cfg.Metrics.Histogram("migration.fault_stall_ns").Observe(float64(d))
@@ -189,12 +228,27 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 	st := IterationStats{Index: iter + 1, Start: s.Clock.Now(), Last: true}
 	cursor := mem.PFN(0)
 	chunk := s.Cfg.ChunkPages
+prefetch:
 	for resident.Count() < n {
 		var pushed uint64
 		for pushed < chunk && cursor < mem.PFN(n) {
+			if s.aborted {
+				break prefetch
+			}
 			if !resident.Test(cursor) {
-				d := s.Link.Send(wire)
-				s.sink.ReceivePage(cursor, s.Dom.Store().Export(cursor))
+				var d time.Duration
+				push := func() error {
+					var err error
+					d, err = s.Link.SendErr(wire)
+					if err != nil {
+						return err
+					}
+					return s.sink.ReceivePage(cursor, s.Dom.Store().Export(cursor))
+				}
+				if err := s.withRetry("prefetch", push); err != nil {
+					s.fail(err)
+					break prefetch
+				}
 				resident.Set(cursor)
 				s.Cfg.Ledger.PageSent(cursor, lazyIter, wire, ledger.ClassPrefetch)
 				pc.PrefetchPages++
@@ -217,6 +271,12 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 		if cursor >= mem.PFN(n) {
 			cursor = 0 // demand faults may have left holes behind the cursor
 		}
+	}
+	if s.aborted {
+		// A demand fetch or prefetch failed permanently after switchover:
+		// the run rolls back to the source (whose domain retains every
+		// page) and the destination's partial image is discarded.
+		return s.abortRun(start)
 	}
 	pc.ResidentAt = s.Clock.Now() - start
 

@@ -246,9 +246,10 @@ var _ SuspensionProtocol = (*guestos.DaemonProtocol)(nil)
 
 // PageSink receives transferred pages. Destination is the default sink
 // (with optional Tee mirroring); replication and tests may substitute their
-// own.
+// own. A non-nil error means the page did NOT land: the engine retries
+// transient errors with backoff and aborts on ErrDestinationLost.
 type PageSink interface {
-	ReceivePage(p mem.PFN, payload []byte)
+	ReceivePage(p mem.PFN, payload []byte) error
 }
 
 // bindStages resolves the active stage set for one run: explicit Source

@@ -11,12 +11,20 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"javmm/internal/faults"
 	"javmm/internal/obs"
 	"javmm/internal/simclock"
 )
+
+// ErrPartitioned is returned by SendErr while a fault-injected network
+// partition covers the current virtual time. The transfer carries no bytes;
+// the caller retries (with backoff) until the partition heals or its retry
+// budget runs out.
+var ErrPartitioned = errors.New("netsim: link partitioned")
 
 // Common effective bandwidths. A gigabit link moves 125 MB/s at line rate;
 // after Ethernet/IP/TCP framing the payload rate observed by migration tools
@@ -41,11 +49,13 @@ type Link struct {
 	// background traffic on the migration path.
 	Modulator func(now time.Duration) float64
 
-	bytesSent uint64
-	sends     uint64
-	busy      time.Duration
+	bytesSent   uint64
+	sends       uint64
+	failedSends uint64
+	busy        time.Duration
 
 	metrics *obs.Metrics
+	faults  *faults.Injector
 }
 
 // SetMetrics attaches a metrics registry: Send accounts net.bytes_sent,
@@ -53,6 +63,11 @@ type Link struct {
 // weighted by transfer duration (so its weighted mean is the effective
 // utilized bandwidth). A nil registry detaches.
 func (l *Link) SetMetrics(m *obs.Metrics) { l.metrics = m }
+
+// SetFaults attaches a fault injector: partition windows make SendErr fail
+// with ErrPartitioned and bandwidth-collapse windows scale Bandwidth by the
+// rule's factor. A nil injector (the default) changes nothing.
+func (l *Link) SetFaults(inj *faults.Injector) { l.faults = inj }
 
 // NewLink returns a link with the given payload bandwidth (bytes/sec) and
 // one-way latency.
@@ -69,16 +84,19 @@ func NewGigabit(clock *simclock.Clock) *Link {
 }
 
 // Bandwidth returns the link's current payload bandwidth in bytes/sec,
-// after modulation.
+// after modulation and any fault-injected bandwidth collapse.
 func (l *Link) Bandwidth() uint64 {
-	if l.Modulator == nil {
-		return l.bandwidth
+	bw := l.bandwidth
+	if l.Modulator != nil {
+		f := l.Modulator(l.clock.Now())
+		if f <= 0 || f > 1 {
+			panic(fmt.Sprintf("netsim: modulator factor %v out of (0,1]", f))
+		}
+		bw = uint64(float64(bw) * f)
 	}
-	f := l.Modulator(l.clock.Now())
-	if f <= 0 || f > 1 {
-		panic(fmt.Sprintf("netsim: modulator factor %v out of (0,1]", f))
+	if f := l.faults.BandwidthFactor(); f < 1 {
+		bw = uint64(float64(bw) * f)
 	}
-	bw := uint64(float64(l.bandwidth) * f)
 	if bw == 0 {
 		bw = 1
 	}
@@ -89,10 +107,18 @@ func (l *Link) Bandwidth() uint64 {
 func (l *Link) Latency() time.Duration { return l.latency }
 
 // TransferTime returns the virtual time needed to push n payload bytes
-// through the link at its current bandwidth, excluding latency.
+// through the link at its current bandwidth, excluding latency. A non-empty
+// transfer always costs at least 1ns: the float arithmetic rounds sub-ns
+// costs (small payloads on very fast links) down to zero, which would let
+// busy-time accounting and effective-bandwidth metrics record transfers
+// that took no time at all.
 func (l *Link) TransferTime(n uint64) time.Duration {
 	bw := l.Bandwidth()
-	return time.Duration(float64(n) / float64(bw) * float64(time.Second))
+	d := time.Duration(float64(n) / float64(bw) * float64(time.Second))
+	if n > 0 && d <= 0 {
+		d = 1
+	}
+	return d
 }
 
 // Send accounts for a transfer of n payload bytes and returns its duration
@@ -113,8 +139,27 @@ func (l *Link) Send(n uint64) time.Duration {
 	return d
 }
 
+// SendErr is Send under fault injection: while a partition window is
+// active it fails with ErrPartitioned, carrying no bytes and costing no
+// busy time. The migration engine sends through this path so partitions
+// surface as retryable errors; Send keeps the legacy always-succeeds
+// contract for callers with no fault story (e.g. the replication stream).
+func (l *Link) SendErr(n uint64) (time.Duration, error) {
+	if l.faults.LinkDown() {
+		l.failedSends++
+		if m := l.metrics; m != nil {
+			m.Counter("net.failed_sends").Inc()
+		}
+		return 0, ErrPartitioned
+	}
+	return l.Send(n), nil
+}
+
 // BytesSent returns total payload bytes accounted through Send.
 func (l *Link) BytesSent() uint64 { return l.bytesSent }
+
+// FailedSends returns the number of sends refused by a partition.
+func (l *Link) FailedSends() uint64 { return l.failedSends }
 
 // Sends returns the number of Send calls.
 func (l *Link) Sends() uint64 { return l.sends }

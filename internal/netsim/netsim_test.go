@@ -2,11 +2,13 @@ package netsim
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"net"
 	"testing"
 	"time"
 
+	"javmm/internal/faults"
 	"javmm/internal/mem"
 	"javmm/internal/simclock"
 )
@@ -269,5 +271,74 @@ func TestPageStreamOverTCP(t *testing.T) {
 		if !bytes.Equal(dst.Page(p), store.Page(p)) {
 			t.Fatalf("page %d content mismatch after TCP transfer", p)
 		}
+	}
+}
+
+func TestTransferTimeNeverRoundsToZero(t *testing.T) {
+	// Regression: a 4-byte control payload on a 10-gigabit link costs
+	// ~0.0034ns, which the float arithmetic used to round down to 0ns —
+	// making tiny transfers invisible to busy-time accounting.
+	l := NewLink(simclock.New(), TenGigabitEffective, 0)
+	if d := l.TransferTime(4); d < 1 {
+		t.Fatalf("TransferTime(4) = %v, want >= 1ns", d)
+	}
+	if d := l.TransferTime(0); d != 0 {
+		t.Fatalf("TransferTime(0) = %v, want 0 (empty transfer is free)", d)
+	}
+	// Busy time now reflects every non-empty send.
+	l.Send(1)
+	if l.Busy() < 1 {
+		t.Fatalf("Busy = %v after a 1-byte send, want >= 1ns", l.Busy())
+	}
+}
+
+func TestSendErrPartition(t *testing.T) {
+	clock := simclock.New()
+	inj, err := faults.NewInjector(clock, faults.Plan{
+		{Site: faults.SiteLinkPartition, At: time.Second, For: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Begin()
+	l := NewLink(clock, 1000, 0)
+	l.SetFaults(inj)
+
+	if d, err := l.SendErr(100); err != nil || d != 100*time.Millisecond {
+		t.Fatalf("pre-partition SendErr = (%v, %v)", d, err)
+	}
+	clock.Advance(time.Second)
+	if _, err := l.SendErr(100); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("in-partition SendErr err = %v, want ErrPartitioned", err)
+	}
+	if l.FailedSends() != 1 {
+		t.Fatalf("FailedSends = %d, want 1", l.FailedSends())
+	}
+	if l.BytesSent() != 100 {
+		t.Fatalf("BytesSent = %d: a refused send must carry no bytes", l.BytesSent())
+	}
+	clock.Advance(time.Second)
+	if _, err := l.SendErr(100); err != nil {
+		t.Fatalf("post-heal SendErr err = %v", err)
+	}
+}
+
+func TestBandwidthCollapseFault(t *testing.T) {
+	clock := simclock.New()
+	inj, err := faults.NewInjector(clock, faults.Plan{
+		{Site: faults.SiteLinkBandwidth, For: time.Second, Factor: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Begin()
+	l := NewLink(clock, 1000, 0)
+	l.SetFaults(inj)
+	if bw := l.Bandwidth(); bw != 100 {
+		t.Fatalf("collapsed bandwidth = %d, want 100", bw)
+	}
+	clock.Advance(2 * time.Second)
+	if bw := l.Bandwidth(); bw != 1000 {
+		t.Fatalf("healed bandwidth = %d, want 1000", bw)
 	}
 }

@@ -44,7 +44,11 @@ type IterationPoint struct {
 
 // Attribution is the reconciled accounting of one migration run.
 type Attribution struct {
-	Mode migration.Mode
+	// Mode is the mode the run started in; EffectiveMode is the semantics it
+	// actually completed with (they differ when a failed suspension handshake
+	// degraded an assisted run to vanilla pre-copy mid-flight).
+	Mode          migration.Mode
+	EffectiveMode migration.Mode
 
 	// Downtime components. Their sum is WorkloadDowntime exactly; the
 	// non-applicable ones are zero (e.g. EnforcedGC outside JAVMM mode).
@@ -76,6 +80,16 @@ type Attribution struct {
 	HasLedger bool
 
 	Iterations []IterationPoint
+
+	// Recovery surface (zero/nil on a fault-free run). Retries counts
+	// transient-failure re-attempts, BackoffTotal their cumulative backoff;
+	// Degraded carries the mid-flight downgrade record when the suspension
+	// handshake failed; Aborted marks a run that rolled back to the source.
+	Retries      int
+	BackoffTotal time.Duration
+	Degraded     *migration.Degradation
+	Aborted      bool
+	AbortReason  string
 }
 
 // Build computes the attribution for one finished run. enforcedGC is the
@@ -89,15 +103,21 @@ type Attribution struct {
 // experiences as downtime (paper §5.3).
 func Build(r *migration.Report, enforcedGC time.Duration, led *ledger.Ledger) *Attribution {
 	a := &Attribution{
-		Mode:       r.Mode,
-		VMDowntime: r.VMDowntime,
-		Resumption: r.Resumption,
-		TotalBytes: r.TotalBytes(),
-		TotalPages: r.TotalPagesSent,
+		Mode:          r.Mode,
+		EffectiveMode: r.EffectiveMode(),
+		VMDowntime:    r.VMDowntime,
+		Resumption:    r.Resumption,
+		TotalBytes:    r.TotalBytes(),
+		TotalPages:    r.TotalPagesSent,
 	}
 	a.StopAndCopy = r.VMDowntime - r.Resumption
 	a.WorkloadDowntime = r.VMDowntime
-	if r.Mode == migration.ModeAppAssisted {
+	// The assisted-mode downtime components are keyed on the EFFECTIVE mode:
+	// a run degraded to vanilla pre-copy never performed the final bitmap
+	// update, and its enforced GC (if one ran before the downgrade) was paid
+	// while the guest workflow was still live — vanilla semantics charge
+	// neither (paper §4.2).
+	if a.EffectiveMode == migration.ModeAppAssisted {
 		a.EnforcedGC = enforcedGC
 		a.FinalUpdate = r.FinalUpdate
 		a.WorkloadDowntime += enforcedGC + r.FinalUpdate
@@ -105,6 +125,13 @@ func Build(r *migration.Report, enforcedGC time.Duration, led *ledger.Ledger) *A
 	if pc := r.PostCopy; pc != nil {
 		a.FaultStall = pc.FaultStall
 		a.Faults = pc.Faults
+	}
+	if rec := r.Recovery; rec != nil {
+		a.Retries = len(rec.Retries)
+		a.BackoffTotal = rec.BackoffTotal
+		a.Degraded = rec.Degraded
+		a.Aborted = rec.Aborted
+		a.AbortReason = rec.AbortReason
 	}
 	if led.Active() {
 		a.Ledger = led.Summary()
@@ -153,6 +180,21 @@ func (a *Attribution) DowntimeSum() time.Duration {
 // Report's traffic. A non-nil error means the instrumentation lied somewhere
 // and the numbers must not be presented.
 func (a *Attribution) Reconcile(r *migration.Report) error {
+	if got := r.EffectiveMode(); a.EffectiveMode != got {
+		return fmt.Errorf("attrib: effective mode %v, report says %v", a.EffectiveMode, got)
+	}
+	if a.Degraded != nil {
+		// A degraded run completed with vanilla semantics: the final bitmap
+		// update never happened, so charging it would invent downtime.
+		if r.FinalUpdate != 0 {
+			return fmt.Errorf("attrib: degraded run reports a %v final update; must be 0",
+				r.FinalUpdate)
+		}
+		if a.EnforcedGC != 0 || a.FinalUpdate != 0 {
+			return fmt.Errorf("attrib: degraded run charges assisted components (gc=%v update=%v)",
+				a.EnforcedGC, a.FinalUpdate)
+		}
+	}
 	if got := a.DowntimeSum(); got != a.WorkloadDowntime {
 		return fmt.Errorf("attrib: downtime components sum to %v, workload downtime is %v",
 			got, a.WorkloadDowntime)

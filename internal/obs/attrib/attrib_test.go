@@ -141,3 +141,51 @@ func TestReconcileCatchesLies(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBuildDegradedRunChargesVanillaSemantics(t *testing.T) {
+	r := report(migration.ModeAppAssisted)
+	r.FinalUpdate = 0 // a degraded run never performed the final bitmap update
+	r.Recovery = &migration.RecoveryStats{
+		Retries: []migration.RetryRecord{
+			{Stage: "chunk-send", Attempt: 1, Backoff: 10 * time.Millisecond},
+		},
+		BackoffTotal: 10 * time.Millisecond,
+		Degraded: &migration.Degradation{
+			From: migration.ModeAppAssisted, To: migration.ModeVanilla,
+			Reason: "suspension handshake timed out",
+		},
+	}
+	// Even with an enforced GC on record (it ran before the downgrade), the
+	// effective-vanilla run charges neither assisted component.
+	a := Build(r, 40*time.Millisecond, nil)
+	if a.EffectiveMode != migration.ModeVanilla {
+		t.Fatalf("EffectiveMode = %v, want vanilla", a.EffectiveMode)
+	}
+	if a.EnforcedGC != 0 || a.FinalUpdate != 0 {
+		t.Fatalf("degraded run charged GC %v / final update %v", a.EnforcedGC, a.FinalUpdate)
+	}
+	if a.WorkloadDowntime != r.VMDowntime {
+		t.Fatalf("workload downtime %v, want %v", a.WorkloadDowntime, r.VMDowntime)
+	}
+	if a.Retries != 1 || a.BackoffTotal != 10*time.Millisecond || a.Degraded == nil {
+		t.Fatalf("recovery surface lost: %+v", a)
+	}
+	if err := a.Reconcile(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconcileCatchesDegradeInconsistency(t *testing.T) {
+	r := report(migration.ModeAppAssisted)
+	r.Recovery = &migration.RecoveryStats{
+		Degraded: &migration.Degradation{
+			From: migration.ModeAppAssisted, To: migration.ModeVanilla,
+		},
+	}
+	// FinalUpdate left non-zero: a degraded run claiming a final bitmap
+	// update is lying about its own semantics.
+	a := Build(r, 0, nil)
+	if err := a.Reconcile(r); err == nil || !strings.Contains(err.Error(), "final update") {
+		t.Fatalf("degraded run with final update not caught: %v", err)
+	}
+}

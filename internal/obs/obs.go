@@ -70,6 +70,19 @@ const (
 	// KindSample is the workload analyzer's per-second throughput sample.
 	KindSample Kind = "workload.sample"
 
+	// KindFault marks an injected fault (site + occurrence) on the faults
+	// track.
+	KindFault Kind = "fault.injected"
+	// KindRetry marks one recovery retry: the engine backed off and will
+	// re-attempt a failed stage operation.
+	KindRetry Kind = "migration.retry"
+	// KindDegrade marks a mid-flight mode downgrade (assisted pre-copy
+	// falling back to vanilla semantics after a failed handshake, §4.2).
+	KindDegrade Kind = "migration.degrade"
+	// KindAbort marks a failed migration's clean abort: source resumed,
+	// destination discarded.
+	KindAbort Kind = "migration.abort"
+
 	// KindSpanError marks a span misuse the tracer detected and refused: a
 	// double close, or a close that would interleave with a more deeply
 	// nested open span on the same track. The offending end event is not
@@ -86,6 +99,7 @@ const (
 	TrackNetlink   = "netlink"
 	TrackJVM       = "jvm"
 	TrackWorkload  = "workload"
+	TrackFaults    = "faults"
 )
 
 // Phase distinguishes instant events from span boundaries.

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"javmm/internal/cacheapp"
+	"javmm/internal/faults"
 	"javmm/internal/guestos"
 	"javmm/internal/hypervisor"
 	"javmm/internal/jvm"
@@ -117,7 +118,76 @@ type (
 	// Attribution is the reconciled accounting of one run: the downtime
 	// breakdown, the per-reason traffic split and the per-iteration series.
 	Attribution = attrib.Attribution
+	// FaultInjector evaluates a FaultPlan against the virtual clock; attach
+	// one via MigrateOptions.Faults to exercise the recovery machinery. A
+	// nil injector is a valid no-op.
+	FaultInjector = faults.Injector
+	// FaultPlan is an ordered set of fault rules.
+	FaultPlan = faults.Plan
+	// FaultRule is one declarative fault (site, virtual time, occurrence).
+	FaultRule = faults.Rule
+	// FaultSite names one injection point in the migration pipeline.
+	FaultSite = faults.Site
+	// FaultEvent is one audit-log entry: a fault that actually fired.
+	FaultEvent = faults.Event
+	// RecoveryConfig tunes the engine's retry/backoff/degrade policy
+	// (EngineConfig.Recovery).
+	RecoveryConfig = migration.Recovery
+	// RecoveryStats is the Report's account of the robustness layer's work
+	// (Report.Recovery, nil on fault-free runs).
+	RecoveryStats = migration.RecoveryStats
+	// RetryRecord is one retried stage attempt.
+	RetryRecord = migration.RetryRecord
+	// Degradation records a mid-flight downgrade of an assisted run to
+	// vanilla pre-copy semantics (paper §4.2).
+	Degradation = migration.Degradation
 )
+
+// Fault-injection sites, re-exported from the faults package.
+const (
+	// FaultLinkPartition takes the migration link down for a window.
+	FaultLinkPartition = faults.SiteLinkPartition
+	// FaultLinkBandwidth collapses link bandwidth for a window.
+	FaultLinkBandwidth = faults.SiteLinkBandwidth
+	// FaultNetlinkLoss drops a netlink message.
+	FaultNetlinkLoss = faults.SiteNetlinkLoss
+	// FaultNetlinkDelay delivers a netlink message late.
+	FaultNetlinkDelay = faults.SiteNetlinkDelay
+	// FaultLKMHandshake swallows the LKM's suspension-ready notification;
+	// the run degrades to vanilla pre-copy.
+	FaultLKMHandshake = faults.SiteLKMHandshake
+	// FaultDestReceive fails one page receive transiently.
+	FaultDestReceive = faults.SiteDestReceive
+	// FaultDestCrash crashes the destination mid-stream (permanent).
+	FaultDestCrash = faults.SiteDestCrash
+	// FaultPostCopyFetch fails one post-copy demand fetch.
+	FaultPostCopyFetch = faults.SitePostCopyFetch
+)
+
+// Errors surfaced by aborted migrations, re-exported for errors.Is checks.
+var (
+	// ErrDestinationLost reports a destination that crashed mid-stream.
+	ErrDestinationLost = migration.ErrDestinationLost
+	// ErrRetriesExhausted wraps the last transient error once the retry
+	// budget or stage deadline is exhausted.
+	ErrRetriesExhausted = migration.ErrRetriesExhausted
+)
+
+// NewFaultInjector compiles a fault plan against the VM's virtual clock.
+func NewFaultInjector(c *Clock, plan FaultPlan) (*FaultInjector, error) {
+	return faults.NewInjector(c, plan)
+}
+
+// ParseFaultRule parses the CLI fault-rule syntax
+// (site[@at][#nth][,key=value...]), e.g. "link.partition@10s,for=2s" or
+// "dest.receive#3,count=2".
+func ParseFaultRule(spec string) (FaultRule, error) { return faults.ParseRule(spec) }
+
+// ParseFaultPlan parses each spec with ParseFaultRule.
+func ParseFaultPlan(specs []string) (FaultPlan, error) { return faults.ParsePlan(specs) }
+
+// FaultSites enumerates every injection site in presentation order.
+func FaultSites() []FaultSite { return faults.Sites() }
 
 // Migration modes.
 const (
@@ -255,6 +325,12 @@ type MigrateOptions struct {
 	// page send tagged with its iteration and reason, every skip with its
 	// cause. Feed it to Attribute afterwards for the reconciled breakdown.
 	Ledger *Ledger
+	// Faults, when non-nil, injects the plan's faults into every layer of
+	// the run (link, netlink bus, LKM handshake, destination, demand-fetch
+	// path) and enables graceful degradation: an assisted run whose
+	// suspension handshake fails completes with vanilla pre-copy semantics
+	// instead of erroring. Tune retries/backoff via Engine.Recovery.
+	Faults *FaultInjector
 }
 
 // Result combines the engine report with guest-side observations.
@@ -294,6 +370,10 @@ func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
 	if opts.Ledger != nil {
 		cfg.Ledger = opts.Ledger
 	}
+	if opts.Faults != nil {
+		cfg.Faults = opts.Faults
+		opts.Faults.SetObs(cfg.Tracer, cfg.Metrics)
+	}
 	vm.AttachObs(cfg.Tracer, cfg.Metrics)
 
 	exec := opts.Executor
@@ -302,8 +382,12 @@ func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
 	}
 	link := netsim.NewLink(vm.Clock, opts.Bandwidth, opts.Latency)
 	link.SetMetrics(cfg.Metrics)
+	link.SetFaults(opts.Faults)
 	dest := migration.NewDestination(vm.Dom.NumPages())
 	dest.SetMetrics(cfg.Metrics)
+	dest.SetFaults(opts.Faults)
+	vm.Guest.LKM.SetFaults(opts.Faults)
+	vm.Guest.Bus.SetFaults(opts.Faults)
 	src := &migration.Source{
 		Dom:   vm.Dom,
 		LKM:   vm.Guest.LKM,
@@ -315,6 +399,12 @@ func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
 	}
 	report, err := src.Migrate()
 	if err != nil {
+		// A fault-aborted run still produced a partial report (recovery
+		// section, abort reason) and a discarded destination; surface both
+		// beside the error so callers and tests can inspect the rollback.
+		if report != nil {
+			return &Result{Report: report, Destination: dest}, err
+		}
 		return nil, err
 	}
 	if vm.Driver.Err != nil {
@@ -329,7 +419,10 @@ func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
 		}
 	}
 	res.WorkloadDowntime = report.VMDowntime
-	if opts.Mode == ModeJAVMM {
+	// Keyed on the EFFECTIVE mode: a run degraded to vanilla pre-copy never
+	// performed the final update, and its workload downtime is plain
+	// stop-and-copy plus resumption.
+	if report.EffectiveMode() == ModeJAVMM {
 		res.WorkloadDowntime += res.EnforcedGC + report.FinalUpdate
 	}
 	// Store-equality verification only applies to runs that finish at VM
@@ -438,13 +531,21 @@ func MigrateCustom(g *Guest, exec GuestExecutor, opts MigrateOptions, required f
 	if opts.Ledger != nil {
 		cfg.Ledger = opts.Ledger
 	}
+	if opts.Faults != nil {
+		cfg.Faults = opts.Faults
+		opts.Faults.SetObs(cfg.Tracer, cfg.Metrics)
+	}
 	g.LKM.SetObs(cfg.Tracer, cfg.Metrics)
 	g.Bus.SetTracer(cfg.Tracer)
+	g.LKM.SetFaults(opts.Faults)
+	g.Bus.SetFaults(opts.Faults)
 
 	link := netsim.NewLink(g.Dom.Clock(), opts.Bandwidth, opts.Latency)
 	link.SetMetrics(cfg.Metrics)
+	link.SetFaults(opts.Faults)
 	dest := migration.NewDestination(g.Dom.NumPages())
 	dest.SetMetrics(cfg.Metrics)
+	dest.SetFaults(opts.Faults)
 	src := &migration.Source{
 		Dom:   g.Dom,
 		LKM:   g.LKM,
@@ -456,6 +557,9 @@ func MigrateCustom(g *Guest, exec GuestExecutor, opts MigrateOptions, required f
 	}
 	report, err := src.Migrate()
 	if err != nil {
+		if report != nil {
+			return &Result{Report: report, Destination: dest}, err
+		}
 		return nil, err
 	}
 	res := &Result{Report: report, Destination: dest, WorkloadDowntime: report.VMDowntime}

@@ -15,8 +15,10 @@ build:
 test:
 	$(GO) test ./...
 
+# The experiments package replays full paper tables and runs well past the
+# default 10m under the race detector; give the suite headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 vet:
 	$(GO) vet ./...

@@ -198,6 +198,9 @@ func analyzeRun(o options, out io.Writer) error {
 	emit(o, out, ledgerTable(sum))
 	emit(o, out, trafficTable(sum))
 	emit(o, out, skipTable(sum))
+	if t := integrityTable(res.Report, sum); t != nil {
+		emit(o, out, t)
+	}
 	emit(o, out, topPagesTable(led.TopPages(o.TopN), o.TopN))
 	if t := faultStallTable(snap); t != nil {
 		emit(o, out, t)
@@ -386,6 +389,44 @@ func topPagesTable(pages []javmm.PageStat, n int) *experiments.Table {
 			fmtBytes(p.Bytes),
 			fmt.Sprintf("%d", p.LastIter),
 			fmt.Sprintf("%d", p.Skips))
+	}
+	return t
+}
+
+// integrityTable is the end-to-end verification audit: what the digest plane
+// checked and healed, and — on resumed runs — how much of the resume token
+// was honoured versus refetched. Nil when the run recorded neither.
+func integrityTable(rep *javmm.Report, sum javmm.LedgerSummary) *experiments.Table {
+	ic, rs := rep.Integrity, rep.Resume
+	if ic == nil && rs == nil {
+		return nil
+	}
+	t := &experiments.Table{
+		Title:  "Integrity and resume (digest audit, repairs, token reuse)",
+		Header: []string{"metric", "value"},
+	}
+	if ic != nil {
+		t.AddRow("pages audited", fmt.Sprintf("%d", ic.PagesAudited))
+		t.AddRow("audit rounds", fmt.Sprintf("%d", ic.AuditRounds))
+		t.AddRow("digest mismatches", fmt.Sprintf("%d", ic.Mismatches))
+		t.AddRow("repairs", fmt.Sprintf("%d", ic.Repairs))
+		t.AddRow("repair traffic", fmtBytes(ic.RepairBytes))
+		t.AddRow("rolling digest", fmt.Sprintf("%016x", ic.RollingDigest))
+	}
+	if rs != nil {
+		if rs.FullFirstCopy {
+			t.AddRow("resume", fmt.Sprintf("token refused (%s)", rs.Reason))
+		} else {
+			t.AddRow("resume trusted pages", fmt.Sprintf("%d", rs.TrustedPages))
+			t.AddRow("resume refetch pages", fmt.Sprintf("%d", rs.RefetchPages))
+			t.AddRow("resume saved bytes", fmtBytes(rs.SavedBytes))
+		}
+		rt := sum.SendsByReason[javmm.ReasonResumeRefetch]
+		t.AddRow("resume-refetch traffic", fmt.Sprintf("%d sends, %s", rt.Count, fmtBytes(rt.Bytes)))
+	}
+	if ic != nil && ic.Mismatches > 0 {
+		t.Notes = append(t.Notes,
+			"every mismatch was repaired by verified re-fetch before the run reported success")
 	}
 	return t
 }

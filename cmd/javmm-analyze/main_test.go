@@ -41,10 +41,32 @@ func TestRunModeTables(t *testing.T) {
 		"Ledger summary",
 		"Traffic by send reason",
 		"bitmap-skip",
+		"Integrity and resume",
+		"pages audited",
+		"rolling digest",
 		"Top 5 hottest pages",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("run-mode output missing %q", want)
+		}
+	}
+}
+
+func TestRunModeCorruptionRepairRows(t *testing.T) {
+	o := base()
+	o.Faults = []string{"corrupt-page-stream#40,count=3"}
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digest mismatches",
+		"repairs",
+		"repair traffic",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("corrupting run output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -45,6 +45,8 @@ func main() {
 		return nil
 	})
 	flag.Int64Var(&o.FaultSeed, "fault-seed", 1, "seed for the retry backoff jitter")
+	flag.BoolVar(&o.Resume, "resume", false, "on a clean abort, keep the destination image and resume the migration from the minted token (faults detached)")
+	flag.BoolVar(&o.Verify, "verify", true, "end-to-end page-digest audit: detect and repair in-flight corruption at switchover (-verify=false ablates it)")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "javmm-migrate:", err)
@@ -72,6 +74,8 @@ type options struct {
 	MetricsOut  string
 	Faults      []string // -fault rule specs
 	FaultSeed   int64
+	Resume      bool
+	Verify      bool
 }
 
 func run(o options, out io.Writer) error {
@@ -135,6 +139,8 @@ func run(o options, out io.Writer) error {
 	}
 
 	engine.Recovery.Seed = o.FaultSeed
+	engine.Recovery.EnableResume = o.Resume
+	engine.Integrity.Disable = !o.Verify
 	opts := javmm.MigrateOptions{
 		Mode:      mode,
 		Bandwidth: o.Bandwidth,
@@ -163,14 +169,28 @@ func run(o options, out io.Writer) error {
 	}
 	res, err := javmm.Migrate(vm, opts)
 	if err != nil {
-		if res != nil && res.Recovery != nil && res.Recovery.Aborted {
-			fmt.Fprintf(out, "\nmigration ABORTED after %v: %s\n",
-				res.TotalTime.Round(time.Millisecond), res.Recovery.AbortReason)
-			printRecovery(out, res.Recovery, opts.Faults)
-			fmt.Fprintf(out, "  source VM           resumed (still authoritative)\n")
-			fmt.Fprintf(out, "  destination         discarded\n")
+		if res == nil || res.Recovery == nil || !res.Recovery.Aborted {
+			return err
 		}
-		return err
+		fmt.Fprintf(out, "\nmigration ABORTED after %v: %s\n",
+			res.TotalTime.Round(time.Millisecond), res.Recovery.AbortReason)
+		printRecovery(out, res.Recovery, opts.Faults)
+		fmt.Fprintf(out, "  source VM           resumed (still authoritative)\n")
+		if !o.Resume || res.ResumeToken() == nil {
+			fmt.Fprintf(out, "  destination         discarded\n")
+			return err
+		}
+		fmt.Fprintf(out, "  destination         kept (resume token minted)\n")
+		fmt.Fprintf(out, "\nresuming from token (faults detached)...\n")
+		res, err = javmm.Resume(vm, res, javmm.MigrateOptions{
+			Bandwidth: o.Bandwidth,
+			Engine:    engine,
+			Tracer:    tracer,
+			Metrics:   metrics,
+		})
+		if err != nil {
+			return fmt.Errorf("resume failed: %w", err)
+		}
 	}
 
 	effective := res.EffectiveMode()
@@ -194,6 +214,20 @@ func run(o options, out io.Writer) error {
 			fmt.Fprintf(out, "  warm-phase resident %.1f MB at switchover\n", float64(pc.WarmPages*4096)/1e6)
 		}
 		fmt.Fprintf(out, "  fully resident at   %v\n", pc.ResidentAt.Round(time.Millisecond))
+	}
+	if rs := res.Resume; rs != nil {
+		if rs.FullFirstCopy {
+			fmt.Fprintf(out, "  resume              token refused, full first copy (%s)\n", rs.Reason)
+		} else {
+			fmt.Fprintf(out, "  resume              trusted %d pages, refetched %d (saved %s)\n",
+				rs.TrustedPages, rs.RefetchPages, mb(rs.SavedBytes))
+		}
+	}
+	if ic := res.Integrity; ic != nil {
+		fmt.Fprintf(out, "  integrity           %d pages audited in %d rounds, %d mismatches, %d repaired (rolling digest %016x)\n",
+			ic.PagesAudited, ic.AuditRounds, ic.Mismatches, ic.Repairs, ic.RollingDigest)
+	} else if !o.Verify {
+		fmt.Fprintf(out, "  integrity           DISABLED (-verify=false): in-flight corruption would go undetected\n")
 	}
 	fmt.Fprintf(out, "  daemon CPU (model)  %v\n", res.CPUTime.Round(time.Millisecond))
 	if res.VerifyErr != nil {

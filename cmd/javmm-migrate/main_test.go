@@ -24,6 +24,7 @@ func base() options {
 		Warmup:      60 * time.Second,
 		Seed:        1,
 		TraceFormat: "chrome",
+		Verify:      true,
 	}
 }
 
@@ -277,6 +278,55 @@ func TestRunFaultAbortReportsRollback(t *testing.T) {
 	if !strings.Contains(out, "source VM           resumed") ||
 		!strings.Contains(out, "destination         discarded") {
 		t.Fatalf("rollback summary missing:\n%s", out)
+	}
+}
+
+func TestRunResumeAfterAbort(t *testing.T) {
+	o := base()
+	o.Warmup = 30 * time.Second
+	o.Faults = []string{"dest.receive#100,count=1000000"}
+	o.Resume = true
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatalf("resumed run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"migration ABORTED",
+		"destination         kept (resume token minted)",
+		"resuming from token",
+		"resume              trusted",
+		"migration complete",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("resume output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunVerifyAuditsCorruption(t *testing.T) {
+	o := base()
+	o.Warmup = 30 * time.Second
+	o.Faults = []string{"corrupt-page-stream#40,count=3"}
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatalf("corrupting run failed under -verify: %v\n%s", err, buf.String())
+	}
+	if out := buf.String(); !strings.Contains(out, "integrity           ") {
+		t.Fatalf("integrity audit line missing:\n%s", out)
+	}
+}
+
+func TestRunVerifyDisabledNote(t *testing.T) {
+	o := base()
+	o.Warmup = 30 * time.Second
+	o.Verify = false
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "integrity           DISABLED") {
+		t.Fatalf("ablation note missing:\n%s", out)
 	}
 }
 

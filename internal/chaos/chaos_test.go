@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"javmm/internal/faults"
+)
+
+// With the digest audit disabled (the planted invariant bug), a random plan
+// containing an in-flight corruption completes silently — the search must
+// find it, shrink it to a minimal plan, and do so deterministically.
+func TestSearchFindsPlantedIntegrityBug(t *testing.T) {
+	opts := Options{Seed: 1, Plans: 40, DisableIntegrityAudit: true, Log: t.Logf}
+	res := Search(opts)
+	v := res.Violation
+	if v == nil {
+		t.Fatalf("no violation found in %d plans despite the disabled audit", res.PlansRun)
+	}
+	if v.Invariant != "silent-corruption" {
+		t.Fatalf("invariant = %q (%s), want silent-corruption", v.Invariant, v.Detail)
+	}
+	if len(v.Shrunk) == 0 || len(v.Shrunk) > len(v.Plan) {
+		t.Fatalf("shrunk plan has %d rules (original %d)", len(v.Shrunk), len(v.Plan))
+	}
+	hasCorrupt := false
+	for _, r := range v.Shrunk {
+		if r.Site == faults.SiteCorruptPage {
+			hasCorrupt = true
+		}
+	}
+	if !hasCorrupt {
+		t.Fatalf("shrunk plan %v lost the corruption rule", v.Shrunk)
+	}
+	// The repro is replayable: every -fault string parses back to its rule.
+	repro := v.Repro()
+	if len(repro) < 4 || repro[0] != "-mode" {
+		t.Fatalf("repro = %v", repro)
+	}
+	ri := 0
+	for i := 2; i < len(repro); i += 2 {
+		if repro[i] != "-fault" {
+			t.Fatalf("repro[%d] = %q, want -fault", i, repro[i])
+		}
+		rule, err := faults.ParseRule(repro[i+1])
+		if err != nil {
+			t.Fatalf("repro rule %q does not parse: %v", repro[i+1], err)
+		}
+		if !reflect.DeepEqual(rule, v.Shrunk[ri]) {
+			t.Fatalf("repro rule %v != shrunk rule %v", rule, v.Shrunk[ri])
+		}
+		ri++
+	}
+
+	// Determinism: the same options find the same violation, shrunk the
+	// same way.
+	again := Search(Options{Seed: 1, Plans: 40, DisableIntegrityAudit: true})
+	if again.Violation == nil || !reflect.DeepEqual(again.Violation, v) {
+		t.Fatalf("search is not deterministic:\n first %+v\nsecond %+v", v, again.Violation)
+	}
+}
+
+// With the audit enabled, the same plan population upholds every invariant:
+// corruption is repaired or aborts cleanly, aborts mint tokens, resumes
+// converge, ledgers reconcile.
+func TestSearchCleanWithAuditEnabled(t *testing.T) {
+	res := Search(Options{Seed: 1, Plans: 40, Log: t.Logf})
+	if v := res.Violation; v != nil {
+		t.Fatalf("invariant %q violated by seed %d (%s): %s\nplan: %v",
+			v.Invariant, v.Seed, v.Mode, v.Detail, v.Plan)
+	}
+	if res.PlansRun != 40 {
+		t.Fatalf("ran %d plans, want 40", res.PlansRun)
+	}
+}

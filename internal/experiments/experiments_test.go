@@ -647,8 +647,8 @@ func TestAblationResilienceShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 9 {
-		t.Fatalf("resilience table has %d rows, want 9", len(tab.Rows))
+	if len(tab.Rows) != 12 {
+		t.Fatalf("resilience table has %d rows, want 12", len(tab.Rows))
 	}
 	byName := map[string][]string{}
 	for _, r := range tab.Rows {
@@ -665,6 +665,12 @@ func TestAblationResilienceShapes(t *testing.T) {
 	}
 	if out := byName["xen / clean"]; out[1] != "completed" || out[5] != "0" || out[7] != "0" {
 		t.Errorf("clean row = %v, want completed with no retries or faults", out)
+	}
+	if out := byName["xen / corrupt stream x3 (repaired)"]; out[1] != "completed (3 corruptions repaired)" || out[7] != "3" {
+		t.Errorf("corrupt row = %v, want 3 repaired corruptions", out)
+	}
+	if out := byName["javmm / abort + resume"]; !strings.HasPrefix(out[1], "aborted -> resumed") {
+		t.Errorf("abort+resume row = %v, want aborted -> resumed outcome", out)
 	}
 	if tab.Render() == "" {
 		t.Fatal("empty render")

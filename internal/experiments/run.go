@@ -82,6 +82,11 @@ type RunOpts struct {
 	// RunMigration returns the Run with Aborted set and the partial report
 	// (source resumed, destination discarded).
 	AllowAbort bool
+	// ResumeAfterAbort (implies AllowAbort) enables the resume plane on the
+	// run: an abort keeps the destination image, mints a ResumeToken, and
+	// RunMigration then resumes the migration fault-free from the token.
+	// The continuation's report lands in Run.ResumeReport.
+	ResumeAfterAbort bool
 }
 
 func (o *RunOpts) fillDefaults() {
@@ -147,6 +152,12 @@ type Run struct {
 	AbortReason string
 	// FaultEvents is the injector's audit log of faults that fired.
 	FaultEvents []faults.Event
+
+	// ResumeReport is the continuation's report when ResumeAfterAbort
+	// resumed an aborted run (nil when the run completed outright), and
+	// ResumeVerifyErr its destination-consistency outcome.
+	ResumeReport    *migration.Report
+	ResumeVerifyErr error
 }
 
 // RunMigration boots a fresh VM, warms it up, migrates it and returns the
@@ -243,6 +254,16 @@ func RunMigration(opts RunOpts) (*Run, error) {
 		vm.Guest.LKM.SetFaults(inj)
 		vm.Guest.Bus.SetFaults(inj)
 	}
+	if opts.ResumeAfterAbort {
+		if opts.Ledger != nil {
+			// One ledger cannot serve two runs: the continuation's sends
+			// would land on top of the aborted run's and break the
+			// attribution reconciliation against the first report.
+			return nil, fmt.Errorf("experiments: ResumeAfterAbort is incompatible with a shared Ledger")
+		}
+		opts.AllowAbort = true
+		cfg.Recovery.EnableResume = true
+	}
 	link := netsim.NewLink(vm.Clock, opts.Bandwidth, 100*time.Microsecond)
 	link.SetMetrics(opts.Metrics)
 	link.SetFaults(inj)
@@ -279,6 +300,35 @@ func RunMigration(opts RunOpts) (*Run, error) {
 		run.AbortReason = report.Recovery.AbortReason
 	}
 	run.FaultEvents = inj.Events()
+
+	if aborted && opts.ResumeAfterAbort {
+		tok := report.Recovery.Token
+		if tok == nil {
+			return nil, fmt.Errorf("experiments: abort (%s) minted no resume token", run.AbortReason)
+		}
+		// Detach the injector everywhere and let the guest run on: the
+		// continuation is fault-free and pays only for what the token
+		// cannot vouch for.
+		link.SetFaults(nil)
+		dest.SetFaults(nil)
+		vm.Guest.LKM.SetFaults(nil)
+		vm.Guest.Bus.SetFaults(nil)
+		src.Cfg.Faults = nil
+		vm.Driver.Run(2 * time.Second)
+		if vm.Driver.Err != nil {
+			return nil, fmt.Errorf("experiments: workload failed between abort and resume: %w", vm.Driver.Err)
+		}
+		rrep, rerr := src.Resume(tok)
+		if rerr != nil {
+			return nil, fmt.Errorf("experiments: resume after abort failed: %w", rerr)
+		}
+		run.ResumeReport = rrep
+		if rrep.PostCopy == nil {
+			run.ResumeVerifyErr = migration.VerifyMigration(
+				vm.Dom.Store(), src.Dest.Store, rrep.FinalTransfer,
+				func(p mem.PFN) bool { return vm.Guest.Frames.Allocated(p) })
+		}
+	}
 
 	// Runs with a post-copy phase have no store-equality counterpart: the
 	// guest keeps running (and dirtying) after switchover, and the engine's

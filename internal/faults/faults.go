@@ -59,13 +59,17 @@ const (
 	// SitePostCopyFetch fails one demand fetch in the post-copy/hybrid lazy
 	// phase; the faulting vCPU stalls through the retry backoff.
 	SitePostCopyFetch Site = "postcopy.fetch"
+	// SiteCorruptPage flips bits in one page payload in flight: the transfer
+	// succeeds at the wire level but the destination receives (and digests)
+	// wrong content. Only the end-to-end integrity audit can catch it.
+	SiteCorruptPage Site = "corrupt-page-stream"
 )
 
 // Sites returns every site in deterministic presentation order.
 func Sites() []Site {
 	return []Site{SiteLinkPartition, SiteLinkBandwidth, SiteNetlinkLoss,
 		SiteNetlinkDelay, SiteLKMHandshake, SiteDestReceive, SiteDestCrash,
-		SitePostCopyFetch}
+		SitePostCopyFetch, SiteCorruptPage}
 }
 
 // Windowed reports whether the site is window-activated (time span) rather

@@ -1,0 +1,56 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RandomPlan generates a seeded random fault plan of up to budget rules, for
+// the chaos-search harness (internal/chaos). The same (seed, budget) pair
+// always yields the same plan, so a failing plan found by the search is
+// reproducible from its seed alone, and the shrinker can re-run subsets
+// deterministically.
+//
+// Every generated rule passes Validate: windowed sites get a window, the
+// bandwidth site a factor in (0,1), the delay site a positive delay. Field
+// ranges are tuned to the simulator's migration timescale (runs of a few
+// virtual seconds to a few minutes): windows of 10ms–2s, rule onsets inside
+// the first 20 virtual seconds, occurrence triggers within the first few
+// hundred events of a site.
+func RandomPlan(seed int64, budget int) Plan {
+	if budget <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sites := Sites()
+	n := 1 + rng.Intn(budget)
+	plan := make(Plan, 0, n)
+	for i := 0; i < n; i++ {
+		site := sites[rng.Intn(len(sites))]
+		r := Rule{Site: site}
+		// Onset: 0 (immediate) a third of the time, else inside [0, 20s).
+		if rng.Intn(3) > 0 {
+			r.At = time.Duration(rng.Int63n(int64(20 * time.Second)))
+		}
+		if site.Windowed() {
+			r.For = 10*time.Millisecond + time.Duration(rng.Int63n(int64(2*time.Second)))
+			if site == SiteLinkBandwidth {
+				r.Factor = 0.05 + 0.9*rng.Float64()
+			}
+		} else {
+			// Discrete: trigger on an early-to-mid occurrence, affect a
+			// small burst.
+			if rng.Intn(2) == 0 {
+				r.Nth = 1 + uint64(rng.Intn(200))
+			}
+			if rng.Intn(2) == 0 {
+				r.Count = 1 + uint64(rng.Intn(3))
+			}
+			if site == SiteNetlinkDelay {
+				r.Delay = time.Millisecond + time.Duration(rng.Int63n(int64(100*time.Millisecond)))
+			}
+		}
+		plan = append(plan, r)
+	}
+	return plan
+}

@@ -1,0 +1,47 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := RandomPlan(seed, 5)
+		b := RandomPlan(seed, 5)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%v\n%v", seed, a, b)
+		}
+	}
+	if reflect.DeepEqual(RandomPlan(1, 5), RandomPlan(2, 5)) {
+		t.Fatal("seeds 1 and 2 produced identical plans; rng not seeded")
+	}
+}
+
+func TestRandomPlanAlwaysValidates(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		p := RandomPlan(seed, 6)
+		if len(p) == 0 || len(p) > 6 {
+			t.Fatalf("seed %d: plan size %d out of [1,6]", seed, len(p))
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid plan %v: %v", seed, p, err)
+		}
+		// Every rule must survive the CLI round-trip the shrinker prints.
+		for _, r := range p {
+			back, err := ParseRule(r.String())
+			if err != nil {
+				t.Fatalf("seed %d: rule %v does not re-parse from %q: %v", seed, r, r.String(), err)
+			}
+			if !reflect.DeepEqual(back, r) {
+				t.Fatalf("seed %d: round-trip mismatch: %v -> %q -> %v", seed, r, r.String(), back)
+			}
+		}
+	}
+}
+
+func TestRandomPlanZeroBudget(t *testing.T) {
+	if p := RandomPlan(1, 0); p != nil {
+		t.Fatalf("budget 0 should yield nil plan, got %v", p)
+	}
+}

@@ -271,6 +271,20 @@ func (l *LKM) TransferBitmap() *mem.Bitmap { return l.transfer }
 // BitmapBytes returns the transfer bitmap's memory cost: one bit per page.
 func (l *LKM) BitmapBytes() uint64 { return (l.guest.Dom.NumPages() + 7) / 8 }
 
+// ArmDirtyEpoch starts a new dirty epoch in the hypervisor on the daemon's
+// behalf and returns its number. abortRun calls this at the instant the
+// source VM resumes, so a later Resume can ask exactly which pages the guest
+// wrote while the migration was interrupted.
+func (l *LKM) ArmDirtyEpoch() uint64 { return l.guest.Dom.BeginDirtyEpoch() }
+
+// DirtySince returns the pages the guest dirtied since epoch was armed, or
+// ok=false when the epoch is stale (a different migration armed a newer one)
+// or was never armed — in which case the resuming daemon must distrust every
+// page.
+func (l *LKM) DirtySince(epoch uint64) (*mem.Bitmap, bool) {
+	return l.guest.Dom.DirtySince(epoch)
+}
+
 // CacheBytes returns the PFN cache's peak memory cost at 4 bytes per entry
 // (paper §3.3.4: "1 MB per GB of skip-over area with 4-byte entries").
 func (l *LKM) CacheBytes() uint64 { return uint64(l.CacheHighWater) * 4 }

@@ -32,6 +32,13 @@ type Domain struct {
 	logDirty bool
 	dirty    *mem.Bitmap
 
+	// Epoch dirty tracking for resumable migration: an independent
+	// accumulating bitmap that, unlike the per-round log-dirty bitmap, is
+	// never cleared by PeekAndClear. A ResumeToken records the epoch counter
+	// at abort time; Resume asks for every page dirtied since that epoch.
+	epoch      uint64
+	epochDirty *mem.Bitmap
+
 	paused      bool
 	pausedAt    time.Duration
 	totalPaused time.Duration
@@ -91,6 +98,9 @@ func (d *Domain) WritePage(p mem.PFN) {
 	}
 	d.store.Write(p)
 	d.writes++
+	if d.epochDirty != nil {
+		d.epochDirty.Set(p)
+	}
 	if d.logDirty && !d.dirty.Test(p) {
 		d.dirty.Set(p)
 		d.dirtySetOps++
@@ -162,6 +172,36 @@ func (d *Domain) DirtyNow(p mem.PFN) bool { return d.dirty.Test(p) }
 
 // DirtyCount returns the number of pages dirty in the current round.
 func (d *Domain) DirtyCount() uint64 { return d.dirty.Count() }
+
+// BeginDirtyEpoch starts (or restarts) epoch dirty tracking and returns the
+// new epoch number. From this call on, every guest write is accumulated in a
+// bitmap that survives log-dirty round boundaries; abortRun stamps the
+// current epoch into the ResumeToken, and a later Resume retrieves the pages
+// written in between via DirtySince.
+func (d *Domain) BeginDirtyEpoch() uint64 {
+	d.epoch++
+	if d.epochDirty == nil {
+		d.epochDirty = mem.NewBitmap(d.store.NumPages())
+	} else {
+		d.epochDirty.ClearAll()
+	}
+	return d.epoch
+}
+
+// DirtyEpoch returns the current epoch counter (0 when epoch tracking has
+// never been armed).
+func (d *Domain) DirtyEpoch() uint64 { return d.epoch }
+
+// DirtySince returns a copy of the pages dirtied since epoch tracking was
+// last armed, provided the caller's epoch matches the live one. A stale or
+// never-armed epoch returns (nil, false): the caller cannot trust the bitmap
+// and must treat every page as potentially dirty.
+func (d *Domain) DirtySince(epoch uint64) (*mem.Bitmap, bool) {
+	if d.epochDirty == nil || epoch == 0 || epoch != d.epoch {
+		return nil, false
+	}
+	return d.epochDirty.Clone(), true
+}
 
 // Pause suspends the domain's vCPUs. Pausing an already-paused domain is a
 // no-op, as in Xen (pause counts are not modelled; migration pauses once).

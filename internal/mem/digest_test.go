@@ -1,0 +1,45 @@
+package mem
+
+import "testing"
+
+func TestPageDigestKnownVectors(t *testing.T) {
+	// FNV-1a reference vectors.
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 14695981039346656037},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, c := range cases {
+		if got := PageDigest([]byte(c.in)); got != c.want {
+			t.Errorf("PageDigest(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPageDigestDistinguishesPayloads(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []byte{1, 2, 3, 4, 5, 6, 7, 9}
+	if PageDigest(a) == PageDigest(b) {
+		t.Fatal("single-bit payload change did not change the digest")
+	}
+	if PageDigest(a) != PageDigest(append([]byte(nil), a...)) {
+		t.Fatal("digest is not a pure function of payload bytes")
+	}
+}
+
+func TestMixDigestOrderAndPFNSensitive(t *testing.T) {
+	da, db := PageDigest([]byte("aaaa")), PageDigest([]byte("bbbb"))
+	ab := MixDigest(MixDigest(0, 1, da), 2, db)
+	ba := MixDigest(MixDigest(0, 2, db), 1, da)
+	if ab == ba {
+		t.Fatal("rolling digest is order-insensitive; audit trail would miss reordering")
+	}
+	// Same payloads delivered to swapped PFNs must differ too.
+	swapped := MixDigest(MixDigest(0, 2, da), 1, db)
+	if ab == swapped {
+		t.Fatal("rolling digest ignores which PFN received which payload")
+	}
+}

@@ -168,6 +168,33 @@ type Config struct {
 	// degradation switch. The zero value plus FillDefaults is the paper-
 	// plausible policy (retry for a few seconds, then abort cleanly).
 	Recovery Recovery
+
+	// Integrity tunes the end-to-end page-integrity plane: every transfer is
+	// digested at both ends and switchover audits the destination's table
+	// against the source's expectation, repairing mismatches by bounded
+	// re-fetch. On by default (zero value); Disable exists for ablation and
+	// for the chaos harness's planted-bug mode.
+	Integrity Integrity
+}
+
+// Integrity is the end-to-end verification policy.
+type Integrity struct {
+	// Disable turns the switchover digest audit (and post-copy per-fetch
+	// verification) off. Transfers are still digested — the ResumeToken
+	// needs the table — but mismatches go undetected, exactly the failure
+	// mode the chaos search plants to prove it can find invariant bugs.
+	Disable bool
+	// MaxRepairRounds bounds the audit's repair loop: each round re-fetches
+	// every mismatched page and re-audits. Exhausting the budget aborts the
+	// run with ErrIntegrity (default 3).
+	MaxRepairRounds int
+}
+
+// fillDefaults populates the unset integrity knobs.
+func (i *Integrity) fillDefaults() {
+	if i.MaxRepairRounds == 0 {
+		i.MaxRepairRounds = 3
+	}
 }
 
 // Recovery is the engine's failure policy. Backoff is exponential with
@@ -196,6 +223,12 @@ type Recovery struct {
 	// considered when Config.Faults is set, so fault-free runs keep the
 	// strict timeout contract either way.
 	DisableDegrade bool
+	// EnableResume keeps the destination's partially-received image alive
+	// across a failed run instead of discarding it, so the ResumeToken
+	// minted by the abort can seed a cheaper Source.Resume. A destination
+	// that crashed (ErrDestinationLost) is still discarded — its image
+	// cannot be trusted and resume degrades to a full first copy.
+	EnableResume bool
 }
 
 // fillDefaults populates the unset recovery knobs.
@@ -262,6 +295,7 @@ func (c *Config) FillDefaults() {
 		c.HybridWarmIterations = 3
 	}
 	c.Recovery.fillDefaults()
+	c.Integrity.fillDefaults()
 }
 
 // IterationStats describes one migration iteration — the boxes of Figure 8
@@ -335,6 +369,57 @@ type Report struct {
 	// a mid-flight degradation, or a clean abort. Fault-free runs leave it
 	// nil, so existing reports are unchanged byte for byte.
 	Recovery *RecoveryStats
+
+	// Integrity is the switchover digest audit's account: pages audited,
+	// mismatches found and repaired. Set whenever the audit ran (nil when
+	// the sink carries no digests, the audit is disabled, or the run aborted
+	// before switchover).
+	Integrity *IntegrityStats
+
+	// Resume is set on runs started by Source.Resume: how much of the
+	// token's destination state was trusted and how much had to move again.
+	Resume *ResumeStats
+}
+
+// IntegrityStats is the Report's account of the end-to-end digest audit.
+type IntegrityStats struct {
+	// PagesAudited is how many destination pages the switchover audit
+	// checked against the source's expectation.
+	PagesAudited uint64
+	// AuditRounds is how many audit passes ran (1 on a clean run; one extra
+	// per repair round).
+	AuditRounds int
+	// Mismatches counts digest mismatches detected across all rounds.
+	Mismatches uint64
+	// Repairs counts pages re-fetched to heal a mismatch; RepairBytes their
+	// wire traffic (also folded into the stop-and-copy iteration, so totals
+	// still reconcile).
+	Repairs     uint64
+	RepairBytes uint64
+	// RollingDigest is the destination's receive-sequence summary at the
+	// time the audit passed.
+	RollingDigest uint64
+}
+
+// ResumeStats is the Report's account of what a resumed run reused.
+type ResumeStats struct {
+	// TrustedPages were proven intact at the destination (received, digest
+	// match, not dirtied since the token's epoch) and not re-sent.
+	TrustedPages uint64
+	// RefetchPages were queued for transfer because the token could not
+	// vouch for them (dirtied since the epoch, digest mismatch, or never
+	// received); the ledger tags their sends resume-refetch.
+	RefetchPages uint64
+	// SavedBytes is the raw first-copy volume the trusted pages avoided.
+	SavedBytes uint64
+	// FullFirstCopy is true when the token could not be trusted at all
+	// (stale generation, crashed destination, lost dirty epoch) and the run
+	// degraded to a from-scratch first copy.
+	FullFirstCopy bool
+	// Reason explains the trust decision in one phrase.
+	Reason string
+	// TokenEpoch is the dirty epoch the token carried.
+	TokenEpoch uint64
 }
 
 // RecoveryStats is the Report's account of the robustness layer's work.
@@ -348,9 +433,13 @@ type RecoveryStats struct {
 	// falling back to vanilla semantics after a failed handshake).
 	Degraded *Degradation
 	// Aborted is true when the run failed and rolled back: source resumed,
-	// destination discarded.
+	// destination discarded (or, with Recovery.EnableResume, kept for a
+	// later Resume).
 	Aborted     bool
 	AbortReason string
+	// Token is the resume credential minted by the abort (EnableResume
+	// runs, and cancellations, which always leave the destination intact).
+	Token *ResumeToken
 }
 
 // RetryRecord is one backed-off re-attempt of a failed stage operation.

@@ -23,6 +23,17 @@ type Destination struct {
 	faults    *faults.Injector
 	crashed   bool
 	discarded bool
+
+	// Integrity state: a per-PFN digest table over the payloads actually
+	// received (recomputed on receipt, so in-flight corruption lands here,
+	// not in the source's expectation), the set of PFNs ever received, a
+	// run-level rolling summary of the receive sequence, and a generation
+	// counter bumped by every Discard so a stale ResumeToken can detect that
+	// it describes a previous image.
+	received   *mem.Bitmap
+	digests    []uint64
+	rolling    uint64
+	generation uint64
 }
 
 // SetMetrics attaches a metrics registry to the destination's receive path
@@ -48,7 +59,31 @@ func (d *Destination) Discard() {
 	if n := d.Store.NumPages(); n > 0 {
 		d.Store = mem.NewVersionStore(n)
 	}
+	d.resetIntegrity()
 	d.metrics.Counter("dest.discards").Inc()
+}
+
+// resetIntegrity clears the digest table and bumps the image generation:
+// whatever a ResumeToken recorded about the previous image no longer applies.
+func (d *Destination) resetIntegrity() {
+	d.generation++
+	d.rolling = 0
+	if d.received != nil {
+		d.received.ClearAll()
+	}
+	for i := range d.digests {
+		d.digests[i] = 0
+	}
+}
+
+// ensureIntegrity sizes the digest table to the store (receive paths call it
+// so destinations built around caller-provided stores work too).
+func (d *Destination) ensureIntegrity() {
+	n := d.Store.NumPages()
+	if d.received == nil || d.received.Len() != n {
+		d.received = mem.NewBitmap(n)
+		d.digests = make([]uint64, n)
+	}
 }
 
 // Discarded reports whether the destination's image was rolled back by an
@@ -96,6 +131,13 @@ func (d *Destination) ReceivePage(p mem.PFN, payload []byte) error {
 	}
 	d.PagesReceived++
 	d.BytesReceived += uint64(len(payload))
+	if uint64(p) < d.Store.NumPages() {
+		d.ensureIntegrity()
+		dg := mem.PageDigest(payload)
+		d.digests[p] = dg
+		d.received.Set(p)
+		d.rolling = mem.MixDigest(d.rolling, p, dg)
+	}
 	d.metrics.Counter("dest.pages_received").Inc()
 	d.metrics.Counter("dest.bytes_received").Add(int64(len(payload)))
 	if d.tee != nil {
@@ -106,6 +148,38 @@ func (d *Destination) ReceivePage(p mem.PFN, payload []byte) error {
 	}
 	return nil
 }
+
+// PageDigestAt implements DigestSink: the digest of the payload last
+// received for p, or ok=false when p was never received into the current
+// image.
+func (d *Destination) PageDigestAt(p mem.PFN) (uint64, bool) {
+	if d.received == nil || uint64(p) >= d.received.Len() || !d.received.Test(p) {
+		return 0, false
+	}
+	return d.digests[p], true
+}
+
+// ReceivedPages returns the set of PFNs received into the current image.
+// Callers must treat the bitmap as read-only.
+func (d *Destination) ReceivedPages() *mem.Bitmap {
+	d.ensureIntegrity()
+	return d.received
+}
+
+// DigestSnapshot copies the per-PFN digest table (the ResumeToken payload).
+func (d *Destination) DigestSnapshot() []uint64 {
+	d.ensureIntegrity()
+	return append([]uint64(nil), d.digests...)
+}
+
+// RollingDigest returns the run-level rolling summary of the receive
+// sequence so far.
+func (d *Destination) RollingDigest() uint64 { return d.rolling }
+
+// Generation implements DigestSink: the image generation, bumped on every
+// Discard. A ResumeToken minted against generation g is worthless against
+// any other generation.
+func (d *Destination) Generation() uint64 { return d.generation }
 
 // VerifyMigration checks the migration correctness invariant (DESIGN.md §6):
 // every page the destination may legally observe must carry the source's

@@ -90,6 +90,13 @@ type Source struct {
 	// residentTrack, when non-nil, records every page the sink receives —
 	// the hybrid engine's warm phase uses it to seed post-copy residency.
 	residentTrack *mem.Bitmap
+	// integ is the run's integrity-plane state (nil when the sink carries no
+	// digests); pendingResume is the token a Source.Resume call is honouring;
+	// resumeRefetch marks pages whose next send the ledger tags
+	// resume-refetch.
+	integ         *integrityState
+	pendingResume *ResumeToken
+	resumeRefetch *mem.Bitmap
 }
 
 // Errors returned by the migration engines.
@@ -201,6 +208,7 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		transfer = s.proto.Begin()
 	}
 	s.bindStages(transfer)
+	s.beginIntegrity()
 
 	if f := s.Cfg.ThrottleFactor; f > 0 && f < 1 {
 		if th, ok := s.Exec.(Throttleable); ok {
@@ -218,6 +226,11 @@ func (s *Source) migratePreCopy() (*Report, error) {
 	n := s.Dom.NumPages()
 	toSend := mem.NewBitmap(n)
 	toSend.SetAll() // iteration 1: all pages
+	if s.pendingResume != nil {
+		// A resumed run's first iteration covers only the pages the token
+		// cannot prove intact at the destination.
+		s.planResume(s.pendingResume, toSend)
+	}
 	if s.proto != nil && s.degradeEnabled() {
 		// Track consent-skipped pages while a downgrade to vanilla is still
 		// possible: they are the pages a degraded run must transfer after
@@ -347,12 +360,20 @@ func (s *Source) migratePreCopy() (*Report, error) {
 	}
 	iter++
 	st := s.runIteration(iter, toSend, true)
+	if !s.aborted {
+		// End-to-end digest audit while the VM is still paused: repair
+		// traffic folds into the stop-and-copy iteration (and its downtime)
+		// before the stats are published anywhere.
+		s.auditIntegrity(&st, iter)
+		st.Duration = s.Clock.Now() - st.Start
+	}
 	s.report.Iterations = append(s.report.Iterations, st)
 	s.notifyIteration(st)
 	s.report.LastIterBytes = st.BytesOnWire
 	if s.aborted {
-		// A permanent failure during stop-and-copy (a crashed destination)
-		// aborts even here: the source resumes as if never paused.
+		// A permanent failure during stop-and-copy (a crashed destination,
+		// an unhealable integrity audit) aborts even here: the source
+		// resumes as if never paused.
 		pausedSpan.End()
 		return abort()
 	}
@@ -504,7 +525,7 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 			s.sentBytes += pp.wire
 			s.report.TotalPagesSent++
 			s.report.CPUTime += s.Cfg.PageCopyCost
-			s.Cfg.Ledger.PageSent(pp.pfn, index, pp.wire, sendClass)
+			s.Cfg.Ledger.PageSent(pp.pfn, index, pp.wire, s.sendClassFor(pp.pfn, sendClass))
 			if s.residentTrack != nil {
 				s.residentTrack.Set(pp.pfn)
 			}

@@ -106,8 +106,13 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 	resident := mem.NewBitmap(n)
 	iter := 0
 
-	if warm {
+	// A resumed lazy run skips the warm phase: the token's trusted pages
+	// seed residency directly and only the remainder is fetched (tagged
+	// resume-refetch in the ledger).
+	resumed := s.pendingResume != nil
+	if warm && !resumed {
 		s.bindStages(nil)
+		s.beginIntegrity()
 		if err := s.Dom.EnableLogDirty(); err != nil {
 			return nil, err
 		}
@@ -136,6 +141,10 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 		if s.sink == nil {
 			s.sink = s.Dest
 		}
+		s.beginIntegrity()
+		if resumed {
+			s.planResumeLazy(s.pendingResume, resident)
+		}
 	}
 
 	// Switchover: pause, move CPU/device state, resume at the destination.
@@ -143,12 +152,18 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindSuspend, "vm-suspend", nil)
 	pausedSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindVMPaused, "vm-paused")
 	pauseStart := s.Clock.Now()
-	if warm {
+	if warm && !resumed {
 		// Pages dirtied since their last send are stale at the destination:
 		// drop them from the resident set so the lazy phase refetches them.
 		dirty := mem.NewBitmap(n)
 		s.Dom.PeekAndClear(dirty)
 		resident.AndNot(dirty)
+	}
+	// Audit what we believe resident (warm sends, resume-trusted pages)
+	// against the destination's digest table while the VM is paused: a
+	// corrupted warm transfer is dropped here and refetched by the lazy phase.
+	s.auditResident(resident)
+	if warm {
 		pc.WarmPages = resident.Count()
 	}
 	var stateTime time.Duration
@@ -188,7 +203,7 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 				return err
 			}
 			d += s.Link.RoundTrip()
-			return s.sink.ReceivePage(p, s.Dom.Store().Export(p))
+			return s.lazyDeliver(p)
 		}
 		if err := op(); err != nil {
 			// The faulting vCPU is frozen: retry backoffs accumulate as
@@ -218,7 +233,7 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 		}
 		pc.Faults++
 		stallDebt += d
-		s.Cfg.Ledger.PageSent(p, lazyIter, wire, ledger.ClassFault)
+		s.Cfg.Ledger.PageSent(p, lazyIter, wire, s.sendClassFor(p, ledger.ClassFault))
 		s.Cfg.Metrics.Histogram("migration.fault_stall_ns").Observe(float64(d))
 	})
 	defer s.Dom.SetPageFaultHook(nil)
@@ -243,14 +258,14 @@ prefetch:
 					if err != nil {
 						return err
 					}
-					return s.sink.ReceivePage(cursor, s.Dom.Store().Export(cursor))
+					return s.lazyDeliver(cursor)
 				}
 				if err := s.withRetry("prefetch", push); err != nil {
 					s.fail(err)
 					break prefetch
 				}
 				resident.Set(cursor)
-				s.Cfg.Ledger.PageSent(cursor, lazyIter, wire, ledger.ClassPrefetch)
+				s.Cfg.Ledger.PageSent(cursor, lazyIter, wire, s.sendClassFor(cursor, ledger.ClassPrefetch))
 				pc.PrefetchPages++
 				pushed++
 				st.PagesSent++
@@ -272,16 +287,12 @@ prefetch:
 			cursor = 0 // demand faults may have left holes behind the cursor
 		}
 	}
-	if s.aborted {
-		// A demand fetch or prefetch failed permanently after switchover:
-		// the run rolls back to the source (whose domain retains every
-		// page) and the destination's partial image is discarded.
-		return s.abortRun(start)
-	}
-	pc.ResidentAt = s.Clock.Now() - start
-
 	// Fault fetches moved pages outside the iteration accounting; fold
-	// their traffic in for TotalBytes consistency.
+	// their traffic in for TotalBytes consistency. This sealing runs on the
+	// abort path too: an aborted lazy run's partial report must reconcile
+	// with the ledger (and carry the same abort metadata) exactly like an
+	// aborted pre-copy run, so the lazy-phase iteration cannot be dropped on
+	// the floor just because the run failed mid-fetch.
 	st.BytesOnWire += pc.Faults * wire
 	st.PagesSent += pc.Faults
 	s.report.TotalPagesSent += pc.Faults
@@ -290,11 +301,21 @@ prefetch:
 	s.report.Iterations = append(s.report.Iterations, st)
 	s.notifyIteration(st)
 	s.report.LastIterBytes = st.BytesOnWire
+	if s.aborted {
+		// A demand fetch or prefetch failed permanently after switchover:
+		// the run rolls back to the source (whose domain retains every
+		// page) and the destination's partial image is discarded (or kept
+		// for Resume when Recovery.EnableResume asks for it).
+		s.sealIntegrity()
+		return s.abortRun(start)
+	}
+	pc.ResidentAt = s.Clock.Now() - start
 	if m := s.Cfg.Metrics; m != nil {
 		m.Counter("migration.postcopy_faults").Add(int64(pc.Faults))
 		m.Counter("migration.postcopy_prefetch_pages").Add(int64(pc.PrefetchPages))
 	}
 
+	s.sealIntegrity()
 	s.report.FinalTransfer = mem.NewBitmap(n)
 	s.report.FinalTransfer.SetAll()
 	s.report.TotalTime = s.Clock.Now() - start

@@ -38,6 +38,7 @@ func (s *Source) beginRecovery() {
 	s.failure = nil
 	s.skippedEver = nil
 	s.degradePending = nil
+	s.resumeRefetch = nil
 	s.Cfg.Faults.Begin()
 }
 
@@ -130,13 +131,20 @@ func (s *Source) withRetry(stage string, op func() error) error {
 }
 
 // deliverPage pushes one page into the sink, retrying transient receive
-// failures with backoff.
+// failures with backoff. Each delivery attempt passes through the
+// corrupt-page-stream fault site, so what the sink digests may differ from
+// what the source expects — exactly the divergence the switchover audit
+// exists to catch. The expected digest is recorded on success.
 func (s *Source) deliverPage(p mem.PFN, payload []byte) error {
-	if err := s.sink.ReceivePage(p, payload); err != nil {
-		return s.retryAfter("page-receive", err, s.advance, func() error {
-			return s.sink.ReceivePage(p, payload)
-		})
+	deliver := func() error {
+		return s.sink.ReceivePage(p, s.wirePayload(p, payload))
 	}
+	if err := deliver(); err != nil {
+		if err = s.retryAfter("page-receive", err, s.advance, deliver); err != nil {
+			return err
+		}
+	}
+	s.recordExpected(p, payload)
 	return nil
 }
 
@@ -145,27 +153,36 @@ func (s *Source) deliverPage(p mem.PFN, payload []byte) error {
 // the source VM never stopped running and the destination keeps what it has
 // (a re-migration overwrites it). A permanent failure rolls back instead:
 // the source resumes if the failure struck while it was paused, the
-// destination's half-received memory is discarded, and the reason lands in
-// the report's recovery section.
+// destination's half-received memory is discarded — unless
+// Recovery.EnableResume asked to keep it for a later Resume and the
+// destination did not crash — and the reason lands in the report's recovery
+// section. Either way the abort mints a ResumeToken (snapshotted AFTER the
+// discard decision, so a discarded image yields a worthless token that
+// Resume correctly degrades on).
 func (s *Source) abortRun(start time.Duration) (*Report, error) {
 	if s.proto != nil {
 		s.proto.Aborted()
 	}
 	s.report.TotalTime = s.Clock.Now() - start
 	if s.failure == nil {
+		if s.Cfg.Recovery.EnableResume {
+			s.recovery().Token = s.mintResumeToken("cancelled")
+		}
 		return s.report, ErrCancelled
 	}
 	if s.Dom.Paused() {
 		s.Dom.Unpause()
 	}
-	if s.Dest != nil {
+	keep := s.Cfg.Recovery.EnableResume && !errors.Is(s.failure, ErrDestinationLost)
+	if s.Dest != nil && !keep {
 		s.Dest.Discard()
 	}
 	rec := s.recovery()
 	rec.Aborted = true
 	rec.AbortReason = s.failure.Error()
+	rec.Token = s.mintResumeToken(s.failure.Error())
 	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindAbort, "abort", nil,
-		obs.Str("reason", s.failure.Error()))
+		obs.Str("reason", s.failure.Error()), obs.Bool("destination_kept", keep))
 	if m := s.Cfg.Metrics; m != nil {
 		m.Counter("migration.aborts").Inc()
 	}

@@ -1,0 +1,320 @@
+package migration
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"javmm/internal/faults"
+	"javmm/internal/mem"
+	"javmm/internal/obs/ledger"
+)
+
+// resumeCfg is the base config of the resume tests: resumable aborts on.
+func resumeCfg(mode Mode) Config {
+	cfg := Config{Mode: mode}
+	cfg.Recovery.EnableResume = true
+	return cfg
+}
+
+// cleanRunBytes measures a from-scratch migration of an identical idle VM —
+// the baseline a resume must beat.
+func cleanRunBytes(t *testing.T, pages uint64, mode Mode) uint64 {
+	t.Helper()
+	r := newRig(pages, 100*1000*1000)
+	rep, err := r.source(Config{Mode: mode}, nil).Migrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.TotalBytes()
+}
+
+// An aborted run with EnableResume keeps the destination image and mints a
+// token; Resume transfers strictly less than a from-scratch run, re-dirtied
+// pages included, and the pair reconciles through the ledger.
+func TestAbortResumePreCopyConverges(t *testing.T) {
+	const pages = 2048
+	r := newRig(pages, 100*1000*1000)
+	// Receives 1..99 land, the 100th and everything after fail: the retry
+	// budget exhausts and the run aborts mid-first-copy.
+	inj := r.injector(t, faults.Plan{
+		{Site: faults.SiteDestReceive, Nth: 100, Count: 1 << 40},
+	})
+	r.dest.SetFaults(inj)
+	ledA := ledger.New()
+	cfgA := resumeCfg(ModeVanilla)
+	cfgA.Faults = inj
+	cfgA.Ledger = ledA
+	repA, err := r.source(cfgA, nil).Migrate()
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if r.dest.Discarded() {
+		t.Fatal("EnableResume abort still discarded the destination")
+	}
+	tok := repA.Recovery.Token
+	if tok == nil {
+		t.Fatal("aborted run minted no token")
+	}
+	if tok.Mode != ModeVanilla || tok.NumPages != pages || tok.Reason == "" {
+		t.Fatalf("token = %+v", tok)
+	}
+	// Ledger A still reconciles with the partial report.
+	if sum := ledA.Summary(); sum.TotalBytes != repA.TotalBytes() {
+		t.Fatalf("aborted ledger bytes %d != report %d", sum.TotalBytes, repA.TotalBytes())
+	}
+
+	// The guest keeps running between abort and resume: re-dirty some pages
+	// the destination already received, so the token cannot vouch for them.
+	proc := r.guest.NewProcess("writer")
+	warm := mem.VARange{Start: 0x2000000, End: 0x2000000 + 16*mem.PageSize}
+	if err := proc.Alloc(warm); err != nil {
+		t.Fatal(err)
+	}
+	proc.WriteRange(warm)
+
+	// Resume with the fault plane detached.
+	r.dest.SetFaults(nil)
+	ledB := ledger.New()
+	cfgB := resumeCfg(ModeVanilla)
+	cfgB.Ledger = ledB
+	repB, err := r.source(cfgB, nil).Resume(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := repB.Resume
+	if rs == nil {
+		t.Fatal("resumed run carries no resume section")
+	}
+	if rs.FullFirstCopy {
+		t.Fatalf("resume degraded to full first copy: %s", rs.Reason)
+	}
+	if rs.TrustedPages == 0 || rs.SavedBytes == 0 {
+		t.Fatalf("resume trusted nothing: %+v", rs)
+	}
+	if rs.TrustedPages+rs.RefetchPages != pages {
+		t.Fatalf("trusted %d + refetch %d != %d", rs.TrustedPages, rs.RefetchPages, pages)
+	}
+	r.verify(t, repB)
+
+	// Strictly fewer bytes than from scratch.
+	clean := cleanRunBytes(t, pages, ModeVanilla)
+	if repB.TotalBytes() >= clean {
+		t.Fatalf("resume moved %d bytes, from-scratch moves %d", repB.TotalBytes(), clean)
+	}
+
+	// The refetched pages are tagged resume-refetch, the pair reconciles.
+	sumB := ledB.Summary()
+	if got := sumB.SendsByReason[ledger.ReasonResumeRefetch].Count; got != rs.RefetchPages {
+		t.Fatalf("resume-refetch sends = %d, want %d", got, rs.RefetchPages)
+	}
+	if sumB.TotalBytes != repB.TotalBytes() || sumB.TotalSends != repB.TotalPagesSent {
+		t.Fatalf("resume ledger (%d bytes/%d sends) != report (%d/%d)",
+			sumB.TotalBytes, sumB.TotalSends, repB.TotalBytes(), repB.TotalPagesSent)
+	}
+}
+
+// A destination that crashed is always discarded — its image generation
+// changes and the token's digest table describes a dead image. Resume must
+// detect that and degrade to a full first copy (satellite: resume against a
+// crashed destination).
+func TestResumeAfterDestinationCrashDegradesToFullCopy(t *testing.T) {
+	const pages = 1024
+	r := newRig(pages, 100*1000*1000)
+	inj := r.injector(t, faults.Plan{
+		{Site: faults.SiteDestCrash, Nth: 200},
+	})
+	r.dest.SetFaults(inj)
+	cfgA := resumeCfg(ModeVanilla)
+	cfgA.Faults = inj
+	repA, err := r.source(cfgA, nil).Migrate()
+	if !errors.Is(err, ErrDestinationLost) {
+		t.Fatalf("err = %v, want ErrDestinationLost", err)
+	}
+	if !r.dest.Discarded() {
+		t.Fatal("crashed destination was not discarded")
+	}
+	tok := repA.Recovery.Token
+	if tok == nil {
+		t.Fatal("no token after destination crash")
+	}
+
+	r.dest.SetFaults(nil)
+	repB, err := r.source(resumeCfg(ModeVanilla), nil).Resume(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := repB.Resume
+	if rs == nil || !rs.FullFirstCopy {
+		t.Fatalf("resume against a crashed destination must be a full first copy, got %+v", rs)
+	}
+	if repB.TotalPagesSent < pages {
+		t.Fatalf("full first copy sent %d < %d pages", repB.TotalPagesSent, pages)
+	}
+	r.verify(t, repB)
+}
+
+// A stale token presented against a brand-new destination (regression for
+// the satellite case: stale token vs new destination) finds no provable
+// pages — generation aside, every per-page digest probe fails — and the run
+// degrades to a full first copy instead of trusting ghosts.
+func TestResumeStaleTokenAgainstNewDestination(t *testing.T) {
+	const pages = 1024
+	r := newRig(pages, 100*1000*1000)
+	inj := r.injector(t, faults.Plan{
+		{Site: faults.SiteDestReceive, Nth: 50, Count: 1 << 40},
+	})
+	r.dest.SetFaults(inj)
+	cfgA := resumeCfg(ModeVanilla)
+	cfgA.Faults = inj
+	repA, err := r.source(cfgA, nil).Migrate()
+	if err == nil {
+		t.Fatal("expected abort")
+	}
+	tok := repA.Recovery.Token
+
+	// The original destination disappears; a fresh empty one takes its place.
+	r.dest = NewDestination(pages)
+	repB, err := r.source(resumeCfg(ModeVanilla), nil).Resume(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := repB.Resume; rs == nil || !rs.FullFirstCopy {
+		t.Fatalf("stale token against a new destination must degrade, got %+v", repB.Resume)
+	}
+	r.verify(t, repB)
+}
+
+// A cancelled run (CancelAfter) with EnableResume also mints a token, and the
+// resumed run completes in the same mode with less traffic.
+func TestResumeAfterCancel(t *testing.T) {
+	const pages = 4096
+	r := newRig(pages, 20*1000*1000)
+	cfgA := resumeCfg(ModeVanilla)
+	cfgA.CancelAfter = 100 * time.Millisecond
+	repA, err := r.source(cfgA, nil).Migrate()
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	tok := repA.Recovery.Token
+	if tok == nil {
+		t.Fatal("cancelled resumable run minted no token")
+	}
+	repB, err := r.source(resumeCfg(ModeVanilla), nil).Resume(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.Resume == nil || repB.Resume.FullFirstCopy {
+		t.Fatalf("resume after cancel degraded: %+v", repB.Resume)
+	}
+	if repB.TotalBytes() >= cleanRunBytes(t, pages, ModeVanilla) {
+		t.Fatal("resume after cancel saved nothing")
+	}
+	r.verify(t, repB)
+}
+
+// Resume input validation: nil token, geometry mismatch.
+func TestResumeRejectsBadTokens(t *testing.T) {
+	r := newRig(128, 100*1000*1000)
+	src := r.source(resumeCfg(ModeVanilla), nil)
+	if _, err := src.Resume(nil); err == nil {
+		t.Fatal("nil token accepted")
+	}
+	if _, err := src.Resume(&ResumeToken{Mode: ModeVanilla, NumPages: 64}); err == nil {
+		t.Fatal("wrong-geometry token accepted")
+	}
+}
+
+// A resumed lazy run skips the warm phase and seeds residency from the
+// token: only the pages the token cannot vouch for are fetched.
+func TestResumeLazyModes(t *testing.T) {
+	for _, mode := range []Mode{ModePostCopy, ModeHybrid} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const pages = 1024
+			r := newRig(pages, 100*1000*1000)
+			inj := r.injector(t, faults.Plan{
+				{Site: faults.SiteDestReceive, Nth: 300, Count: 1 << 40},
+			})
+			r.dest.SetFaults(inj)
+			cfgA := resumeCfg(mode)
+			cfgA.Faults = inj
+			repA, err := r.source(cfgA, nil).Migrate()
+			if err == nil {
+				t.Fatal("expected abort")
+			}
+			tok := repA.Recovery.Token
+			if tok == nil {
+				t.Fatal("no token")
+			}
+			if len(repA.Iterations) == 0 {
+				t.Fatal("aborted lazy run sealed no iteration stats")
+			}
+
+			r.dest.SetFaults(nil)
+			ledB := ledger.New()
+			cfgB := resumeCfg(mode)
+			cfgB.Ledger = ledB
+			repB, err := r.source(cfgB, nil).Resume(tok)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs := repB.Resume
+			if rs == nil || rs.FullFirstCopy || rs.TrustedPages == 0 {
+				t.Fatalf("lazy resume trusted nothing: %+v", rs)
+			}
+			if repB.Mode != mode {
+				t.Fatalf("resumed in %v, want %v", repB.Mode, mode)
+			}
+			// Only the untrusted remainder moved.
+			if repB.TotalPagesSent >= pages {
+				t.Fatalf("lazy resume moved %d pages of %d", repB.TotalPagesSent, pages)
+			}
+			if got := ledB.Summary().SendsByReason[ledger.ReasonResumeRefetch].Count; got == 0 {
+				t.Fatal("lazy resume recorded no resume-refetch sends")
+			}
+		})
+	}
+}
+
+// Satellite: abort metadata parity across all four modes. Wherever the abort
+// strikes — pre-copy live loop, post-copy demand-fetch phase — the partial
+// report must carry the same shape of metadata: recovery section with reason,
+// sealed iteration stats, and a ledger that reconciles byte-for-byte.
+func TestAbortMetadataParityAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModeVanilla, ModeAppAssisted, ModePostCopy, ModeHybrid} {
+		t.Run(mode.String(), func(t *testing.T) {
+			r := newRig(2048, 100*1000*1000)
+			inj := r.injector(t, faults.Plan{
+				{Site: faults.SiteDestReceive, Nth: 100, Count: 1 << 40},
+			})
+			r.dest.SetFaults(inj)
+			led := ledger.New()
+			cfg := Config{Mode: mode, Faults: inj, Ledger: led}
+			rep, err := r.source(cfg, nil).Migrate()
+			if !errors.Is(err, ErrRetriesExhausted) {
+				t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+			}
+			if rep == nil {
+				t.Fatal("no partial report")
+			}
+			rec := rep.Recovery
+			if rec == nil || !rec.Aborted || rec.AbortReason == "" {
+				t.Fatalf("recovery metadata missing or incomplete: %+v", rec)
+			}
+			if len(rec.Retries) == 0 {
+				t.Fatal("no retry records for an exhausted-retries abort")
+			}
+			if len(rep.Iterations) == 0 {
+				t.Fatalf("%v: aborted run sealed no iteration stats", mode)
+			}
+			sum := led.Summary()
+			if sum.TotalBytes != rep.TotalBytes() || sum.TotalSends != rep.TotalPagesSent {
+				t.Fatalf("%v: aborted ledger (%d bytes/%d sends) != report (%d/%d)",
+					mode, sum.TotalBytes, sum.TotalSends, rep.TotalBytes(), rep.TotalPagesSent)
+			}
+			if !r.dest.Discarded() {
+				t.Fatal("abort without EnableResume must discard the destination")
+			}
+		})
+	}
+}

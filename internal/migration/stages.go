@@ -252,6 +252,31 @@ type PageSink interface {
 	ReceivePage(p mem.PFN, payload []byte) error
 }
 
+// DigestSink is the optional integrity extension of PageSink: a sink that
+// recomputes a content digest for every received payload and can answer what
+// it holds. Destination implements it; when the active sink does, the engine
+// runs the switchover digest audit and abortRun can mint a trustworthy
+// ResumeToken. A sink without digests silently disables both (the engine
+// cannot verify what it cannot ask about).
+type DigestSink interface {
+	PageSink
+	// PageDigestAt returns the digest of the payload last received for p
+	// (ok=false when p was never received into the current image).
+	PageDigestAt(p mem.PFN) (uint64, bool)
+	// ReceivedPages is the set of PFNs received into the current image
+	// (read-only for callers).
+	ReceivedPages() *mem.Bitmap
+	// DigestSnapshot copies the per-PFN digest table.
+	DigestSnapshot() []uint64
+	// RollingDigest is the run-level summary of the receive sequence.
+	RollingDigest() uint64
+	// Generation identifies the image: it changes whenever the sink's state
+	// is torn down (Destination bumps it on Discard).
+	Generation() uint64
+}
+
+var _ DigestSink = (*Destination)(nil)
+
 // bindStages resolves the active stage set for one run: explicit Source
 // overrides win, otherwise defaults are derived from Cfg. transfer is the
 // suspension protocol's bitmap (nil when there is none). Must run after

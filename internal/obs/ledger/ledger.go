@@ -17,6 +17,8 @@
 //	demand-fault    fetched post-switchover because the guest touched it
 //	hybrid-refetch  prefetched post-switchover after a warm-phase send went
 //	                stale (ModeHybrid's re-dirtied tail)
+//	resume-refetch  re-sent by a resumed run because the ResumeToken could not
+//	                prove the destination's copy intact
 //
 // Like obs.Tracer and obs.Metrics, a nil *Ledger is a valid no-op sink and
 // the ledger is single-threaded, keyed entirely to the deterministic
@@ -48,6 +50,10 @@ const (
 	// ClassPrefetch: the post-copy engine's background pre-paging pushed
 	// the page.
 	ClassPrefetch
+	// ClassResume: a resumed run re-fetched the page because the token could
+	// not prove the destination's copy intact (dirtied since the abort epoch,
+	// digest mismatch, or never sent).
+	ClassResume
 )
 
 // SendReason classifies why one page send happened — the attribution
@@ -61,6 +67,7 @@ const (
 	ReasonFinalIter
 	ReasonDemandFault
 	ReasonHybridRefetch
+	ReasonResumeRefetch
 
 	numSendReasons
 )
@@ -78,6 +85,8 @@ func (r SendReason) String() string {
 		return "demand-fault"
 	case ReasonHybridRefetch:
 		return "hybrid-refetch"
+	case ReasonResumeRefetch:
+		return "resume-refetch"
 	default:
 		return "unknown"
 	}
@@ -86,7 +95,7 @@ func (r SendReason) String() string {
 // SendReasons returns every reason in presentation order.
 func SendReasons() []SendReason {
 	return []SendReason{ReasonFirstCopy, ReasonReDirtied, ReasonFinalIter,
-		ReasonDemandFault, ReasonHybridRefetch}
+		ReasonDemandFault, ReasonHybridRefetch, ReasonResumeRefetch}
 }
 
 // SkipReason classifies why the engine left a considered page behind.
@@ -185,6 +194,8 @@ func classify(class SendClass, rec pageRec) SendReason {
 		return ReasonFinalIter
 	case ClassFault:
 		return ReasonDemandFault
+	case ClassResume:
+		return ReasonResumeRefetch
 	case ClassPrefetch:
 		if rec.sends > 0 {
 			return ReasonHybridRefetch

@@ -82,6 +82,12 @@ const (
 	// KindAbort marks a failed migration's clean abort: source resumed,
 	// destination discarded.
 	KindAbort Kind = "migration.abort"
+	// KindIntegrityAudit spans the switchover digest audit (and marks
+	// per-fetch digest mismatches detected in the lazy engine).
+	KindIntegrityAudit Kind = "migration.integrity_audit"
+	// KindResumePlan marks a resumed run's trust decision: how much of the
+	// ResumeToken's destination state was kept and why.
+	KindResumePlan Kind = "migration.resume_plan"
 
 	// KindSpanError marks a span misuse the tracer detected and refused: a
 	// double close, or a close that would interleave with a more deeply

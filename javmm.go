@@ -141,6 +141,21 @@ type (
 	// Degradation records a mid-flight downgrade of an assisted run to
 	// vanilla pre-copy semantics (paper §4.2).
 	Degradation = migration.Degradation
+	// IntegrityConfig tunes the end-to-end page-digest verification plane
+	// (EngineConfig.Integrity).
+	IntegrityConfig = migration.Integrity
+	// IntegrityStats is the Report's account of the digest audit
+	// (Report.Integrity; nil when the sink carries no digests or the plane
+	// is disabled).
+	IntegrityStats = migration.IntegrityStats
+	// ResumeToken is the credential an aborted run mints
+	// (Report.Recovery.Token, with EngineConfig.Recovery.EnableResume set);
+	// feed it to Resume to continue the migration without paying the full
+	// first copy again.
+	ResumeToken = migration.ResumeToken
+	// ResumeStats is a resumed run's account of how much of its token was
+	// honoured (Report.Resume).
+	ResumeStats = migration.ResumeStats
 )
 
 // Fault-injection sites, re-exported from the faults package.
@@ -162,6 +177,9 @@ const (
 	FaultDestCrash = faults.SiteDestCrash
 	// FaultPostCopyFetch fails one post-copy demand fetch.
 	FaultPostCopyFetch = faults.SitePostCopyFetch
+	// FaultCorruptPageStream flips a bit in a page payload in flight; the
+	// digest audit detects and repairs it (or aborts cleanly).
+	FaultCorruptPageStream = faults.SiteCorruptPage
 )
 
 // Errors surfaced by aborted migrations, re-exported for errors.Is checks.
@@ -171,7 +189,18 @@ var (
 	// ErrRetriesExhausted wraps the last transient error once the retry
 	// budget or stage deadline is exhausted.
 	ErrRetriesExhausted = migration.ErrRetriesExhausted
+	// ErrIntegrity reports a switchover digest audit that could not be
+	// healed within the repair budget.
+	ErrIntegrity = migration.ErrIntegrity
+	// ErrCancelled reports a run aborted by EngineConfig.CancelAfter or
+	// ShouldCancel; with EnableResume set the abort still mints a token.
+	ErrCancelled = migration.ErrCancelled
 )
+
+// ReasonResumeRefetch tags the sends a resumed run paid for because its
+// token could not prove the page intact at the destination; the full send
+// taxonomy is enumerated by SendReasons.
+const ReasonResumeRefetch = ledger.ReasonResumeRefetch
 
 // NewFaultInjector compiles a fault plan against the VM's virtual clock.
 func NewFaultInjector(c *Clock, plan FaultPlan) (*FaultInjector, error) {
@@ -188,6 +217,11 @@ func ParseFaultPlan(specs []string) (FaultPlan, error) { return faults.ParsePlan
 
 // FaultSites enumerates every injection site in presentation order.
 func FaultSites() []FaultSite { return faults.Sites() }
+
+// RandomFaultPlan derives a valid random fault plan (1..budget rules) from a
+// seed — the chaos search's plan generator, also handy for ad-hoc fuzzing.
+// The same seed always yields the same plan.
+func RandomFaultPlan(seed int64, budget int) FaultPlan { return faults.RandomPlan(seed, budget) }
 
 // Migration modes.
 const (
@@ -349,10 +383,44 @@ type Result struct {
 	Destination *migration.Destination
 }
 
+// ResumeToken returns the resume credential the run minted on abort, or nil
+// for a completed run (or one without Engine.Recovery.EnableResume).
+func (r *Result) ResumeToken() *ResumeToken {
+	if r == nil || r.Report == nil || r.Report.Recovery == nil {
+		return nil
+	}
+	return r.Report.Recovery.Token
+}
+
 // Migrate live-migrates the VM over a simulated link and returns the
 // combined result. The VM keeps running (at "the destination") afterwards
 // and can be migrated again.
 func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
+	return runMigration(vm, opts, nil, nil)
+}
+
+// Resume continues an aborted migration from the token its abort minted
+// (requires the aborted run to have set Engine.Recovery.EnableResume). The
+// same destination image is reused; the engine re-validates everything the
+// token claims and transfers only the pages it cannot prove intact —
+// degrading to a full first copy against a destination that crashed or was
+// discarded. Pass fresh options: a nil Faults detaches the aborted run's
+// injector from every layer, so the resume does not replay the same faults
+// unless explicitly asked to.
+func Resume(vm *VM, prior *Result, opts MigrateOptions) (*Result, error) {
+	if prior == nil || prior.Report == nil || prior.Report.Recovery == nil ||
+		prior.Report.Recovery.Token == nil {
+		return nil, fmt.Errorf("javmm: prior result carries no resume token (set Engine.Recovery.EnableResume)")
+	}
+	tok := prior.Report.Recovery.Token
+	opts.Mode = tok.Mode
+	return runMigration(vm, opts, prior.Destination, tok)
+}
+
+// runMigration is the shared plumbing behind Migrate and Resume: wire the
+// link, destination, fault plane and observability onto a fresh Source, run
+// it, and fold the guest-side observations into the Result.
+func runMigration(vm *VM, opts MigrateOptions, dest *migration.Destination, tok *migration.ResumeToken) (*Result, error) {
 	if opts.Bandwidth == 0 {
 		opts.Bandwidth = GigabitEthernet
 	}
@@ -383,7 +451,9 @@ func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
 	link := netsim.NewLink(vm.Clock, opts.Bandwidth, opts.Latency)
 	link.SetMetrics(cfg.Metrics)
 	link.SetFaults(opts.Faults)
-	dest := migration.NewDestination(vm.Dom.NumPages())
+	if dest == nil {
+		dest = migration.NewDestination(vm.Dom.NumPages())
+	}
 	dest.SetMetrics(cfg.Metrics)
 	dest.SetFaults(opts.Faults)
 	vm.Guest.LKM.SetFaults(opts.Faults)
@@ -397,7 +467,13 @@ func Migrate(vm *VM, opts MigrateOptions) (*Result, error) {
 		Dest:  dest,
 		Cfg:   cfg,
 	}
-	report, err := src.Migrate()
+	var report *migration.Report
+	var err error
+	if tok != nil {
+		report, err = src.Resume(tok)
+	} else {
+		report, err = src.Migrate()
+	}
 	if err != nil {
 		// A fault-aborted run still produced a partial report (recovery
 		// section, abort reason) and a discarded destination; surface both

@@ -57,6 +57,9 @@ type faultCase struct {
 	// degradesAssisted marks the plan that downgrades ModeJAVMM runs to
 	// vanilla semantics (other modes complete unaffected).
 	degradesAssisted bool
+	// wantRepairs marks plans that corrupt page payloads in flight: a
+	// completed run must account a repair for every digest mismatch.
+	wantRepairs bool
 }
 
 // matrixCases covers every injection site at least once.
@@ -71,6 +74,8 @@ func matrixCases() []faultCase {
 		{name: "handshake", specs: []string{"lkm.handshake"}, degradesAssisted: true},
 		{name: "dest-receive", specs: []string{"dest.receive#100,count=3"}},
 		{name: "postcopy-fetch", specs: []string{"postcopy.fetch#1,count=2"}},
+		{name: "corrupt-stream", specs: []string{"corrupt-page-stream#40,count=3"},
+			wantRepairs: true},
 		{name: "dest-crash", specs: []string{"dest.crash@3s"}, abort: true},
 		{name: "long-partition", specs: []string{"link.partition@2s,for=120s"}, abort: true},
 	}
@@ -167,6 +172,21 @@ func TestModeFaultMatrix(t *testing.T) {
 				}
 				if got := res.EffectiveMode(); got != wantEffective {
 					t.Fatalf("effective mode %v, want %v", got, wantEffective)
+				}
+				if fc.wantRepairs {
+					ic := res.Report.Integrity
+					if ic == nil {
+						t.Fatal("corrupting run carries no integrity section")
+					}
+					// A corrupted page that is re-dirtied and re-sent before
+					// the audit converges without a recorded mismatch; every
+					// mismatch the audit does catch must have been repaired.
+					if ic.Repairs != ic.Mismatches {
+						t.Fatalf("completed with %d repairs for %d mismatches", ic.Repairs, ic.Mismatches)
+					}
+					if len(inj.Events()) == 0 {
+						t.Fatal("corruption never fired")
+					}
 				}
 			})
 		}
@@ -345,6 +365,7 @@ func TestFaultSiteCatalog(t *testing.T) {
 		javmm.FaultNetlinkLoss, javmm.FaultNetlinkDelay,
 		javmm.FaultLKMHandshake, javmm.FaultDestReceive,
 		javmm.FaultDestCrash, javmm.FaultPostCopyFetch,
+		javmm.FaultCorruptPageStream,
 	}
 	got := javmm.FaultSites()
 	if !reflect.DeepEqual(got, want) {

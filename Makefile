@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench bench-smoke bench-json
 
 all: build
 
@@ -34,3 +34,18 @@ check: fmt vet build test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke runs every Go benchmark exactly once — a compile-and-execute
+# check, not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# bench-json records a perf-plane snapshot with the trajectory harness and
+# compares it against the committed baseline. Deterministic drift and missing
+# entries fail even in report-only mode; timing regressions are advisory here
+# (CI hardware is too noisy for a hard wall-time gate).
+BENCH_BASELINE ?= BENCH_0001.json
+bench-json:
+	mkdir -p bench-artifacts
+	$(GO) run ./cmd/javmm-bench -label ci -out bench-artifacts/bench.json
+	$(GO) run ./cmd/javmm-bench -compare -report-only $(BENCH_BASELINE) bench-artifacts/bench.json

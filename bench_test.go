@@ -12,6 +12,7 @@ import (
 
 	"javmm/internal/experiments"
 	"javmm/internal/migration"
+	"javmm/internal/obs/perf"
 	"javmm/internal/workload"
 )
 
@@ -293,5 +294,40 @@ func BenchmarkEngine_JavmmDerby(b *testing.B) {
 		}
 		b.ReportMetric(r.Report.TotalTime.Seconds(), "virtual-s")
 		b.ReportMetric(r.WorkloadDowntime.Seconds(), "virtual-downtime-s")
+	}
+}
+
+// BenchmarkEngine_JavmmDerbyStageProfile is BenchmarkEngine_JavmmDerby with
+// the real-clock stage profiler attached, reporting where the simulator's own
+// CPU time goes as stage-share custom metrics. Comparing its ns/op against
+// the unprofiled benchmark bounds the profiler's overhead; the engine's
+// transparency contract (TestPerfProfilerTransparent) guarantees the virtual
+// results are unchanged.
+func BenchmarkEngine_JavmmDerbyStageProfile(b *testing.B) {
+	prof, err := workload.Lookup("derby")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stages := perf.NewProfiler(perf.WithAllocs())
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMigration(experiments.RunOpts{
+			Profile: prof, Mode: migration.ModeAppAssisted, Seed: int64(i),
+			Warmup:       300 * time.Second,
+			EngineConfig: &migration.Config{Perf: stages},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Report.TotalTime.Seconds(), "virtual-s")
+	}
+	var total int64
+	snap := stages.Snapshot()
+	for _, st := range snap {
+		total += st.SelfNs
+	}
+	for _, st := range snap {
+		if total > 0 {
+			b.ReportMetric(float64(st.SelfNs)/float64(total)*100, st.Stage+"-share-%")
+		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"javmm"
 	"javmm/internal/experiments"
+	"javmm/internal/obs/perf"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 	flag.StringVar(&o.TracePath, "trace", "", "analyze an existing JSONL trace file")
 	flag.StringVar(&o.MetricsPath, "metrics", "", "analyze an existing metrics snapshot (JSON)")
 	flag.BoolVar(&o.Prom, "prom", false, "render the metrics snapshot in Prometheus text format")
+	flag.BoolVar(&o.JSON, "json", false, "with -run: emit the machine-readable analyze document (javmm-analyze/v1) instead of tables")
 	flag.StringVar(&o.Format, "format", "table", "output format: table or csv")
 	flag.IntVar(&o.TopN, "top", 10, "number of hottest pages to list")
 
@@ -68,6 +70,7 @@ type options struct {
 	TracePath   string
 	MetricsPath string
 	Prom        bool
+	JSON        bool
 	Format      string
 	TopN        int
 
@@ -98,6 +101,12 @@ func run(o options, out io.Writer) error {
 	}
 	if sources != 1 {
 		return fmt.Errorf("choose exactly one of -run, -trace or -metrics")
+	}
+	if o.JSON && !o.Run {
+		return fmt.Errorf("-json requires -run (traces and metrics files have their own machine formats)")
+	}
+	if o.JSON && o.Prom {
+		return fmt.Errorf("-json and -prom are mutually exclusive")
 	}
 	switch {
 	case o.Run:
@@ -186,6 +195,10 @@ func analyzeRun(o options, out io.Writer) error {
 	}
 	snap := metrics.Snapshot()
 
+	if o.JSON {
+		return emitAnalyzeJSON(o, out, prof.Name, res, a)
+	}
+
 	modeLabel := res.EffectiveMode().String()
 	if a.Degraded != nil {
 		modeLabel = fmt.Sprintf("%s (degraded from %s)", res.EffectiveMode(), a.Degraded.From)
@@ -224,6 +237,31 @@ func analyzeRun(o options, out io.Writer) error {
 		return javmm.WritePrometheus(out, snap)
 	}
 	return nil
+}
+
+// emitAnalyzeJSON renders the run as the javmm-analyze/v1 document: the same
+// deterministic metric block a bench scenario carries, plus the reconciled
+// downtime attribution as a component -> nanoseconds map. Trajectory tooling
+// can diff this against a BENCH_NNNN.json scenario directly.
+func emitAnalyzeJSON(o options, out io.Writer, workload string, res *javmm.Result, a *javmm.Attribution) error {
+	det := javmm.BenchDeterministic(res)
+	det.Workload = workload
+	det.Codec = "raw"
+	if o.Compress {
+		det.Codec = "compress"
+	}
+	doc := &perf.AnalyzeDoc{
+		Schema: perf.AnalyzeSchemaVersion,
+		Source: fmt.Sprintf("run:workload=%s,mode=%s,mem=%d,bandwidth=%d,warmup=%s,seed=%d",
+			workload, o.Mode, o.MemMiB, o.Bandwidth, o.Warmup, o.Seed),
+		Seed:          o.Seed,
+		Deterministic: det,
+		Components:    make(map[string]int64),
+	}
+	for _, c := range a.Components() {
+		doc.Components[c.Name] = c.Dur.Nanoseconds()
+	}
+	return perf.WriteAnalyzeDoc(out, doc)
 }
 
 // analyzeTrace summarizes a JSONL trace: event counts by kind and the

@@ -7,7 +7,10 @@ import (
 	"testing"
 	"time"
 
+	"io"
+
 	"javmm"
+	"javmm/internal/obs/perf"
 )
 
 // base returns the quick-test option set; cases tweak what they care about.
@@ -224,5 +227,74 @@ func TestRunModeAbortReported(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "run ABORTED") {
 		t.Fatalf("abort banner missing:\n%s", buf.String())
+	}
+}
+
+// TestJSONOutput covers the -json machine format: schema-versioned, shares
+// the bench Deterministic block, round-trips emit -> parse -> emit
+// byte-identically, and is itself deterministic across independent runs.
+func TestJSONOutput(t *testing.T) {
+	o := base()
+	o.JSON = true
+	var first bytes.Buffer
+	if err := run(o, &first); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := perf.ReadAnalyzeDoc(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("parsing -json output: %v", err)
+	}
+	if doc.Schema != perf.AnalyzeSchemaVersion {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	d := doc.Deterministic
+	if d.Mode != "javmm" || d.Workload != "derby" || d.Codec != "raw" {
+		t.Fatalf("labels = %s/%s/%s", d.Mode, d.Workload, d.Codec)
+	}
+	if d.PagesSent == 0 || d.TotalVirtualNs == 0 {
+		t.Fatalf("empty deterministic block: %+v", d)
+	}
+	if len(doc.Components) == 0 {
+		t.Fatal("no downtime components")
+	}
+	if _, ok := doc.Components["enforced-gc"]; !ok {
+		t.Fatalf("assisted run missing enforced-gc component: %v", doc.Components)
+	}
+	// Components must sum to the workload downtime exactly (the attribution
+	// reconciles, and the JSON carries the same numbers).
+	var sum int64
+	for _, ns := range doc.Components {
+		sum += ns
+	}
+	if sum != d.WorkloadDowntimeNs {
+		t.Fatalf("components sum %d != workload downtime %d", sum, d.WorkloadDowntimeNs)
+	}
+
+	// Round trip: parse -> re-emit is byte-identical.
+	var again bytes.Buffer
+	if err := perf.WriteAnalyzeDoc(&again, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), again.Bytes()) {
+		t.Fatal("emit -> parse -> emit did not round-trip byte-identically")
+	}
+
+	// Deterministic: an independent identical run emits identical bytes.
+	var second bytes.Buffer
+	if err := run(o, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("-json output not deterministic across identical runs")
+	}
+}
+
+func TestJSONRequiresRun(t *testing.T) {
+	o := base()
+	o.Run = false
+	o.MetricsPath = "whatever.json"
+	o.JSON = true
+	if err := run(o, io.Discard); err == nil || !strings.Contains(err.Error(), "-json requires -run") {
+		t.Fatalf("err = %v, want -json requires -run", err)
 	}
 }

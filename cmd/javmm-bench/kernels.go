@@ -1,0 +1,227 @@
+package main
+
+import (
+	"time"
+
+	"javmm/internal/guestos"
+	"javmm/internal/mem"
+	"javmm/internal/migration"
+	"javmm/internal/obs/perf"
+)
+
+// benchSink absorbs kernel results so the compiler cannot eliminate the
+// measured work.
+var benchSink uint64
+
+// kernelSpec is one hot-loop microbenchmark: a per-iteration operation plus
+// seed-determined check values proving two runs did the same work. The check
+// values are computed once at construction, independently of the timing
+// loop, so machine-dependent calibration never leaks into the deterministic
+// section.
+type kernelSpec struct {
+	name string
+	det  map[string]int64
+	op   func()
+}
+
+// seededPage fills a deterministic pseudo-random buffer from (seed, id).
+func seededPage(seed int64, id uint64, size int) []byte {
+	buf := make([]byte, size)
+	x := uint64(seed)*0x9E3779B97F4A7C15 + id + 1
+	for i := range buf {
+		x = x*6364136223846793005 + 1442695040888963407
+		buf[i] = byte(x >> 56)
+	}
+	return buf
+}
+
+// kernels builds the full microbenchmark set: the digest primitives and
+// dirty-bitmap scans every migration iteration leans on, plus one kernel per
+// wire-codec chain (built through the same Config.NewWireCodec constructor
+// the engine uses).
+func kernels(seed int64) []kernelSpec {
+	var ks []kernelSpec
+
+	// --- digest primitives (internal/mem/digest.go) ---
+	page4k := seededPage(seed, 0, mem.PageSize)
+	ks = append(ks, kernelSpec{
+		name: "kernel/mem/page-digest-4k",
+		det:  map[string]int64{"digest": int64(mem.PageDigest(page4k))},
+		op:   func() { benchSink += mem.PageDigest(page4k) },
+	})
+	word := seededPage(seed, 1, 8)
+	ks = append(ks, kernelSpec{
+		name: "kernel/mem/page-digest-8b",
+		det:  map[string]int64{"digest": int64(mem.PageDigest(word))},
+		op:   func() { benchSink += mem.PageDigest(word) },
+	})
+	// One op folds 1024 page digests into a rolling value, the shape of the
+	// destination's rolling-digest update across a transfer.
+	const mixPages = 1024
+	mixDigests := make([]uint64, mixPages)
+	for i := range mixDigests {
+		mixDigests[i] = mem.PageDigest(seededPage(seed, uint64(i)+2, 16))
+	}
+	mixFold := func() uint64 {
+		var rolling uint64
+		for i, d := range mixDigests {
+			rolling = mem.MixDigest(rolling, mem.PFN(i), d)
+		}
+		return rolling
+	}
+	ks = append(ks, kernelSpec{
+		name: "kernel/mem/mix-digest",
+		det:  map[string]int64{"rolling": int64(mixFold()), "pages": mixPages},
+		op:   func() { benchSink += mixFold() },
+	})
+
+	// --- dirty-bitmap scans (internal/mem/bitmap.go) ---
+	const bmBits = 1 << 16
+	dense := mem.NewBitmap(bmBits)
+	for p := mem.PFN(0); p < bmBits; p += 2 {
+		dense.Set(p)
+	}
+	sparse := mem.NewBitmap(bmBits)
+	for p := mem.PFN(0); p < bmBits; p += 64 {
+		sparse.Set(p)
+	}
+	rangeCount := func(b *mem.Bitmap) uint64 {
+		var n uint64
+		b.Range(func(mem.PFN) bool { n++; return true })
+		return n
+	}
+	nextSetWalk := func(b *mem.Bitmap) uint64 {
+		var n uint64
+		for p := b.NextSet(0); p != mem.NoPFN; p = b.NextSet(p + 1) {
+			n++
+		}
+		return n
+	}
+	ks = append(ks,
+		kernelSpec{
+			name: "kernel/mem/bitmap-scan-dense",
+			det:  map[string]int64{"count": int64(rangeCount(dense)), "bits": bmBits},
+			op:   func() { benchSink += rangeCount(dense) },
+		},
+		kernelSpec{
+			name: "kernel/mem/bitmap-scan-sparse",
+			det:  map[string]int64{"count": int64(rangeCount(sparse)), "bits": bmBits},
+			op:   func() { benchSink += rangeCount(sparse) },
+		},
+		kernelSpec{
+			name: "kernel/mem/bitmap-next-set",
+			det:  map[string]int64{"count": int64(nextSetWalk(dense))},
+			op:   func() { benchSink += nextSetWalk(dense) },
+		},
+		kernelSpec{
+			name: "kernel/mem/bitmap-count",
+			det:  map[string]int64{"count": int64(dense.Count())},
+			op:   func() { benchSink += dense.Count() },
+		},
+	)
+	scratch := mem.NewBitmap(bmBits)
+	andNot := func() uint64 {
+		scratch.CopyFrom(dense)
+		scratch.AndNot(sparse)
+		return scratch.Count()
+	}
+	ks = append(ks, kernelSpec{
+		name: "kernel/mem/bitmap-andnot",
+		det:  map[string]int64{"count": int64(andNot())},
+		op:   func() { benchSink += andNot() },
+	})
+
+	// --- wire-codec chains (internal/migration, via Config.NewWireCodec) ---
+	hintFor := func(p mem.PFN) uint8 {
+		switch p % 4 {
+		case 0:
+			return guestos.HintDefault
+		case 1:
+			return guestos.HintFast
+		case 2:
+			return guestos.HintStrong
+		default:
+			return guestos.HintNone
+		}
+	}
+	codecCases := []struct {
+		name string
+		cfg  migration.Config
+		hint func(mem.PFN) uint8
+	}{
+		{"kernel/codec/raw", migration.Config{}, nil},
+		{"kernel/codec/compress", migration.Config{Compress: true}, nil},
+		{"kernel/codec/hinted", migration.Config{Compress: true}, hintFor},
+		{"kernel/codec/delta", migration.Config{Compress: true, DeltaCompression: true}, nil},
+	}
+	const codecPages = 256
+	for _, cc := range codecCases {
+		cc.cfg.FillDefaults()
+		// Deterministic check: a fresh chain encodes every page twice (first
+		// send, then resend — the pass that exercises the delta cache); the
+		// summed wire bytes pin the chain's behaviour.
+		detCodec, _ := cc.cfg.NewWireCodec(codecPages, cc.hint, nil)
+		var wire uint64
+		for p := mem.PFN(0); p < codecPages; p++ {
+			w1, _ := detCodec.Encode(p, mem.PageSize)
+			w2, _ := detCodec.Encode(p, mem.PageSize)
+			wire += w1 + w2
+		}
+		// Timing op: a long-lived chain encoding pages round-robin, the
+		// steady-state (cache-warm for delta) shape of a live iteration.
+		opCodec, _ := cc.cfg.NewWireCodec(codecPages, cc.hint, nil)
+		var next mem.PFN
+		ks = append(ks, kernelSpec{
+			name: cc.name,
+			det:  map[string]int64{"wire_bytes": int64(wire), "pages": codecPages},
+			op: func() {
+				w, _ := opCodec.Encode(next, mem.PageSize)
+				benchSink += w
+				next = (next + 1) % codecPages
+			},
+		})
+	}
+	return ks
+}
+
+// measureKernel calibrates an iteration count that fills roughly the target
+// wall budget, then takes `runs` timed measurements at that fixed count and
+// reports per-op medians.
+func measureKernel(k kernelSpec, runs int, target time.Duration) perf.Kernel {
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			k.op()
+		}
+		if el := time.Since(start); el >= target || iters >= 1<<28 {
+			break
+		}
+		iters *= 2
+	}
+	ns := make([]int64, 0, runs)
+	allocB := make([]int64, 0, runs)
+	allocN := make([]int64, 0, runs)
+	for r := 0; r < runs; r++ {
+		before := readAllocs()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			k.op()
+		}
+		el := time.Since(start)
+		d := readAllocs().sub(before)
+		ns = append(ns, int64(el)/int64(iters))
+		allocB = append(allocB, d.bytes/int64(iters))
+		allocN = append(allocN, d.objects/int64(iters))
+	}
+	return perf.Kernel{
+		Name:          k.name,
+		Deterministic: k.det,
+		Timing: perf.Timing{
+			Runs:            runs,
+			NsPerOp:         median(ns),
+			AllocBytesPerOp: median(allocB),
+			AllocsPerOp:     median(allocN),
+		},
+	}
+}

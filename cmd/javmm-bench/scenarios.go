@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"runtime/metrics"
+	"sort"
+	"time"
+
+	"javmm"
+	"javmm/internal/obs/perf"
+)
+
+// scenarioSpec names one cell of the end-to-end matrix.
+type scenarioSpec struct {
+	workload string
+	mode     string // xen | javmm | post-copy | hybrid
+	codec    string // raw | compress | delta
+}
+
+func (s scenarioSpec) name() string {
+	return fmt.Sprintf("e2e/%s/%s/%s", s.workload, s.mode, s.codec)
+}
+
+// scenarioMatrix is the fixed matrix every snapshot covers: all four modes
+// over two workloads with opposite heap profiles (derby: huge young
+// generation, the paper's best case; crypto: small young generation, the
+// worst), plus the compression and delta codec chains on the flagship
+// javmm/derby cell. Quick mode keeps one cell per distinct engine path so
+// smoke tests stay fast.
+func scenarioMatrix(quick bool) []scenarioSpec {
+	if quick {
+		return []scenarioSpec{
+			{"derby", "xen", "raw"},
+			{"derby", "javmm", "raw"},
+			{"derby", "javmm", "compress"},
+		}
+	}
+	var specs []scenarioSpec
+	for _, mode := range []string{"xen", "javmm", "post-copy", "hybrid"} {
+		for _, wl := range []string{"derby", "crypto"} {
+			specs = append(specs, scenarioSpec{wl, mode, "raw"})
+		}
+	}
+	specs = append(specs,
+		scenarioSpec{"derby", "javmm", "compress"},
+		scenarioSpec{"derby", "javmm", "delta"},
+	)
+	return specs
+}
+
+// runScenario measures one matrix cell: first an instrumented accounting run
+// (stage profiler attached) that yields the deterministic block and the
+// per-stage breakdown, then o.Runs uninstrumented timing runs whose medians
+// become the timing block. Every timing run's deterministic block must equal
+// the accounting run's — one half of that equation has a profiler attached,
+// so the check asserts seed-determinism and profiler transparency at once.
+func runScenario(spec scenarioSpec, o options) (perf.Scenario, error) {
+	sc := perf.Scenario{Name: spec.name()}
+
+	// Accounting run.
+	prof := javmm.NewStageProfiler()
+	res, wall, _, err := migrateOnce(spec, o, prof)
+	if err != nil {
+		return sc, err
+	}
+	det := javmm.BenchDeterministic(res)
+	det.Workload = spec.workload
+	det.Codec = spec.codec
+	sc.Deterministic = det
+	for _, st := range prof.Snapshot() {
+		share := 0.0
+		if wall > 0 {
+			share = float64(st.SelfNs) / float64(wall)
+		}
+		sc.Stages = append(sc.Stages, perf.StageShare{
+			Stage:      st.Stage,
+			Calls:      st.Calls,
+			SelfNs:     st.SelfNs,
+			TotalNs:    st.TotalNs,
+			AllocBytes: st.SelfAllocBytes,
+			Share:      share,
+		})
+	}
+
+	// Timing runs, no instrumentation attached.
+	ns := make([]int64, 0, o.Runs)
+	allocB := make([]int64, 0, o.Runs)
+	allocN := make([]int64, 0, o.Runs)
+	for i := 0; i < o.Runs; i++ {
+		tres, twall, ad, err := migrateOnce(spec, o, nil)
+		if err != nil {
+			return sc, fmt.Errorf("timing run %d: %w", i+1, err)
+		}
+		tdet := javmm.BenchDeterministic(tres)
+		tdet.Workload = spec.workload
+		tdet.Codec = spec.codec
+		if tdet != det {
+			return sc, fmt.Errorf("timing run %d diverged from accounting run:\naccounting: %+v\ntiming:     %+v",
+				i+1, det, tdet)
+		}
+		ns = append(ns, int64(twall))
+		allocB = append(allocB, ad.bytes)
+		allocN = append(allocN, ad.objects)
+	}
+	sc.Timing = perf.Timing{
+		Runs:            o.Runs,
+		NsPerOp:         median(ns),
+		AllocBytesPerOp: median(allocB),
+		AllocsPerOp:     median(allocN),
+	}
+	if n := median(ns); n > 0 && det.PagesSent > 0 {
+		sc.Timing.PagesPerSec = float64(det.PagesSent) / (float64(n) / 1e9)
+	}
+	return sc, nil
+}
+
+// migrateOnce boots a fresh VM for the cell, warms it up, and migrates it,
+// measuring only the Migrate call itself (wall clock plus heap-allocation
+// deltas from runtime/metrics). prof, when non-nil, is attached as
+// EngineConfig.Perf.
+func migrateOnce(spec scenarioSpec, o options, prof *javmm.StageProfiler) (*javmm.Result, time.Duration, allocDelta, error) {
+	mode, err := javmm.ParseMode(spec.mode)
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	wl, err := javmm.Workload(spec.workload)
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	vm, err := javmm.BootVM(javmm.BootConfig{
+		MemBytes: o.MemMiB << 20,
+		VCPUs:    4,
+		Profile:  wl,
+		Assisted: mode == javmm.ModeJAVMM,
+		Seed:     o.Seed,
+	})
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	vm.Driver.Run(o.Warmup)
+	if vm.Driver.Err != nil {
+		return nil, 0, allocDelta{}, vm.Driver.Err
+	}
+
+	engine := javmm.EngineConfig{Perf: prof}
+	switch spec.codec {
+	case "raw":
+	case "compress":
+		engine.Compress = true
+	case "delta":
+		engine.Compress = true
+		engine.DeltaCompression = true
+	default:
+		return nil, 0, allocDelta{}, fmt.Errorf("unknown codec %q", spec.codec)
+	}
+
+	before := readAllocs()
+	start := time.Now()
+	res, err := javmm.Migrate(vm, javmm.MigrateOptions{Mode: mode, Engine: engine})
+	wall := time.Since(start)
+	delta := readAllocs().sub(before)
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	if res.VerifyErr != nil {
+		return nil, 0, allocDelta{}, fmt.Errorf("destination verification failed: %w", res.VerifyErr)
+	}
+	return res, wall, delta, nil
+}
+
+// allocDelta is a heap-allocation reading (monotonic totals or a difference
+// of two readings) from runtime/metrics.
+type allocDelta struct {
+	bytes   int64
+	objects int64
+}
+
+var allocSamples = []metrics.Sample{
+	{Name: "/gc/heap/allocs:bytes"},
+	{Name: "/gc/heap/allocs:objects"},
+}
+
+// readAllocs samples the monotonic heap-allocation counters. These only grow,
+// so a before/after difference is valid across intervening GCs.
+func readAllocs() allocDelta {
+	metrics.Read(allocSamples)
+	return allocDelta{
+		bytes:   int64(allocSamples[0].Value.Uint64()),
+		objects: int64(allocSamples[1].Value.Uint64()),
+	}
+}
+
+func (a allocDelta) sub(b allocDelta) allocDelta {
+	return allocDelta{bytes: a.bytes - b.bytes, objects: a.objects - b.objects}
+}
+
+// median returns the middle value of xs (the lower of the two middles for
+// even lengths); 0 for an empty slice.
+func median(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}

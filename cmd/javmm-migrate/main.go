@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,6 +49,9 @@ func main() {
 	flag.Int64Var(&o.FaultSeed, "fault-seed", 1, "seed for the retry backoff jitter")
 	flag.BoolVar(&o.Resume, "resume", false, "on a clean abort, keep the destination image and resume the migration from the minted token (faults detached)")
 	flag.BoolVar(&o.Verify, "verify", true, "end-to-end page-digest audit: detect and repair in-flight corruption at switchover (-verify=false ablates it)")
+	flag.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file (stages carry pprof labels)")
+	flag.StringVar(&o.MemProfile, "memprofile", "", "write a heap profile at the end of the run to this file")
+	flag.BoolVar(&o.StageProfile, "stage-profile", false, "print the real-clock per-stage wall/allocation table after migration")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "javmm-migrate:", err)
@@ -57,28 +62,42 @@ func main() {
 // options collects every CLI knob; run is pure in it so tests drive the full
 // command without a process boundary.
 type options struct {
-	Workload    string
-	Mode        string
-	Collector   string
-	MemMiB      uint64
-	VCPUs       int
-	Bandwidth   uint64
-	Warmup      time.Duration
-	YoungMiB    uint64
-	Seed        int64
-	Compress    bool
-	Verbose     bool
-	TracePath   string
-	TraceFormat string // "chrome" or "jsonl"
-	Metrics     bool
-	MetricsOut  string
-	Faults      []string // -fault rule specs
-	FaultSeed   int64
-	Resume      bool
-	Verify      bool
+	Workload     string
+	Mode         string
+	Collector    string
+	MemMiB       uint64
+	VCPUs        int
+	Bandwidth    uint64
+	Warmup       time.Duration
+	YoungMiB     uint64
+	Seed         int64
+	Compress     bool
+	Verbose      bool
+	TracePath    string
+	TraceFormat  string // "chrome" or "jsonl"
+	Metrics      bool
+	MetricsOut   string
+	Faults       []string // -fault rule specs
+	FaultSeed    int64
+	Resume       bool
+	Verify       bool
+	CPUProfile   string
+	MemProfile   string
+	StageProfile bool
 }
 
 func run(o options, out io.Writer) error {
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	prof, err := javmm.Workload(o.Workload)
 	if err != nil {
 		return err
@@ -120,6 +139,14 @@ func run(o options, out io.Writer) error {
 		vm.Heap.YoungCommitted()>>20, vm.Heap.OldUsed()>>20, len(vm.Heap.GCHistory()))
 
 	engine := javmm.EngineConfig{Compress: o.Compress}
+	// The stage profiler feeds the -stage-profile table; under -cpuprofile it
+	// is attached for its pprof goroutine labels alone, so samples group by
+	// engine stage in `go tool pprof`.
+	var stages *javmm.StageProfiler
+	if o.StageProfile || o.CPUProfile != "" {
+		stages = javmm.NewStageProfiler()
+		engine.Perf = stages
+	}
 	if o.Verbose {
 		fmt.Fprintf(out, "\n%-5s %-10s %-10s %-12s %-12s %-12s\n",
 			"iter", "start", "duration", "sent", "skip-dirty", "skip-bitmap")
@@ -257,7 +284,54 @@ func run(o options, out io.Writer) error {
 			printMetrics(out, snap)
 		}
 	}
+	if o.StageProfile {
+		printStageProfile(out, stages)
+	}
+	if o.MemProfile != "" {
+		f, err := os.Create(o.MemProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  heap profile        %s\n", o.MemProfile)
+	}
 	return nil
+}
+
+// printStageProfile renders the real-clock per-stage account: where the
+// simulator itself spent wall time and heap allocation, self-attributed (a
+// stage's row excludes the stages it called into).
+func printStageProfile(out io.Writer, stages *javmm.StageProfiler) {
+	snap := stages.Snapshot()
+	if len(snap) == 0 {
+		fmt.Fprintf(out, "\nstage profile: no stages recorded\n")
+		return
+	}
+	var totalSelf int64
+	for _, s := range snap {
+		totalSelf += s.SelfNs
+	}
+	fmt.Fprintf(out, "\nstage profile (real clock, self-attributed):\n")
+	fmt.Fprintf(out, "  %-22s %12s %12s %12s %12s %7s\n",
+		"stage", "calls", "self", "total", "self-alloc", "share")
+	for _, s := range snap {
+		share := 0.0
+		if totalSelf > 0 {
+			share = float64(s.SelfNs) / float64(totalSelf) * 100
+		}
+		fmt.Fprintf(out, "  %-22s %12d %12v %12v %12s %6.1f%%\n",
+			s.Stage, s.Calls,
+			time.Duration(s.SelfNs).Round(time.Microsecond),
+			time.Duration(s.TotalNs).Round(time.Microsecond),
+			mb(s.SelfAllocBytes), share)
+	}
 }
 
 // writeMetrics exports the snapshot as JSON (readable back with

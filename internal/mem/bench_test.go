@@ -90,3 +90,66 @@ func BenchmarkByteStoreWrite(b *testing.B) {
 		s.Write(PFN(i) & (1<<12 - 1))
 	}
 }
+
+func BenchmarkBitmapRangeDense(b *testing.B) {
+	bm := NewBitmap(1 << 19)
+	for p := PFN(0); p < 1<<19; p += 2 {
+		bm.Set(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		bm.Range(func(PFN) bool { n++; return true })
+	}
+}
+
+func BenchmarkBitmapNextSet(b *testing.B) {
+	bm := NewBitmap(1 << 19)
+	for p := PFN(0); p < 1<<19; p += 7 {
+		bm.Set(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		for p := bm.NextSet(0); p != NoPFN; p = bm.NextSet(p + 1) {
+			n++
+		}
+	}
+}
+
+// The digest primitives run once per page crossing the link (and once per
+// audited page at switchover), so their per-call cost scales every
+// integrity-enabled migration.
+
+func BenchmarkPageDigest4K(b *testing.B) {
+	page := make([]byte, PageSize)
+	for i := range page {
+		page[i] = byte(i * 31)
+	}
+	b.SetBytes(PageSize)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += PageDigest(page)
+	}
+	benchDigestSink = sink
+}
+
+func BenchmarkPageDigest8B(b *testing.B) {
+	word := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += PageDigest(word)
+	}
+	benchDigestSink = sink
+}
+
+func BenchmarkMixDigest(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = MixDigest(sink, PFN(i), uint64(i)*0x9E3779B97F4A7C15)
+	}
+	benchDigestSink = sink
+}
+
+// benchDigestSink defeats dead-code elimination of the digest benchmarks.
+var benchDigestSink uint64

@@ -1,0 +1,60 @@
+package migration
+
+import (
+	"testing"
+
+	"javmm/internal/guestos"
+	"javmm/internal/mem"
+)
+
+// Wire-codec chain benchmarks: one Encode per page crossing the link, so
+// chain overhead multiplies directly into migration CPU cost. Each chain is
+// built through Config.NewWireCodec — the exact constructor bindStages uses.
+
+// benchWireSink defeats dead-code elimination of the codec benchmarks.
+var benchWireSink uint64
+
+func benchCodec(b *testing.B, cfg Config, hintFor func(mem.PFN) uint8) {
+	b.Helper()
+	cfg.FillDefaults()
+	const pages = 1024
+	codec, _ := cfg.NewWireCodec(pages, hintFor, nil)
+	// Warm the delta cache so the steady state (resends) is what's measured.
+	for p := mem.PFN(0); p < pages; p++ {
+		codec.Encode(p, mem.PageSize)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := codec.Encode(mem.PFN(i)%pages, mem.PageSize)
+		benchWireSink += w
+	}
+}
+
+func BenchmarkWireCodecRaw(b *testing.B) {
+	benchCodec(b, Config{}, nil)
+}
+
+func BenchmarkWireCodecCompress(b *testing.B) {
+	benchCodec(b, Config{Compress: true}, nil)
+}
+
+func BenchmarkWireCodecHinted(b *testing.B) {
+	hintFor := func(p mem.PFN) uint8 {
+		switch p % 4 {
+		case 0:
+			return guestos.HintDefault
+		case 1:
+			return guestos.HintFast
+		case 2:
+			return guestos.HintStrong
+		default:
+			return guestos.HintNone
+		}
+	}
+	benchCodec(b, Config{Compress: true}, hintFor)
+}
+
+func BenchmarkWireCodecDelta(b *testing.B) {
+	benchCodec(b, Config{Compress: true, DeltaCompression: true}, nil)
+}

@@ -7,6 +7,7 @@ import (
 	"javmm/internal/mem"
 	"javmm/internal/obs"
 	"javmm/internal/obs/ledger"
+	"javmm/internal/obs/perf"
 )
 
 // GuestExecutor runs guest activity for a span of virtual time. The
@@ -138,6 +139,14 @@ type Config struct {
 	// so the ledger always describes the most recent run; its totals
 	// reconcile exactly with the Report (attrib.Build checks this).
 	Ledger *ledger.Ledger
+
+	// Perf, if non-nil, is the real-clock stage profiler: every bound stage
+	// is wrapped so its wall time and allocations are attributed to the
+	// perf.Stage taxonomy (see perfstages.go). Unlike Tracer/Metrics/Ledger,
+	// which run on the virtual clock and are part of the deterministic
+	// contract, Perf measures the simulator itself and MUST NOT change any
+	// report — the bench harness asserts that transparency every run.
+	Perf *perf.Profiler
 
 	// SkipFreePages enables the OS-assisted baseline of Koto et al.
 	// (paper §1/§2): pages the guest kernel holds on its free list are not

@@ -9,6 +9,7 @@ import (
 	"javmm/internal/mem"
 	"javmm/internal/obs"
 	"javmm/internal/obs/ledger"
+	"javmm/internal/obs/perf"
 )
 
 // The end-to-end integrity plane. Every page payload crossing the link is
@@ -110,6 +111,8 @@ func (s *Source) verifyFetch(p mem.PFN) error {
 	if ig == nil || s.Cfg.Integrity.Disable {
 		return nil
 	}
+	s.Cfg.Perf.Enter(perf.StageDigestAudit)
+	defer s.Cfg.Perf.Exit()
 	ig.stats.PagesAudited++
 	got, ok := ig.dsink.PageDigestAt(p)
 	if !ok || got != ig.expect[p] {
@@ -162,6 +165,8 @@ func (s *Source) auditResident(resident *mem.Bitmap) {
 	if ig == nil || s.Cfg.Integrity.Disable || resident.Count() == 0 {
 		return
 	}
+	s.Cfg.Perf.Enter(perf.StageDigestAudit)
+	defer s.Cfg.Perf.Exit()
 	ig.stats.AuditRounds++
 	var bad []mem.PFN
 	resident.Range(func(p mem.PFN) bool {
@@ -199,6 +204,10 @@ func (s *Source) auditIntegrity(st *IterationStats, iter int) {
 	if ig == nil || s.Cfg.Integrity.Disable {
 		return
 	}
+	// Repair traffic re-enters the codec and sink stages from inside this
+	// one; self-time attribution keeps the accounts disjoint.
+	s.Cfg.Perf.Enter(perf.StageDigestAudit)
+	defer s.Cfg.Perf.Exit()
 	stats := &ig.stats
 	stats.PagesAudited += ig.sent.Count()
 	span := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindIntegrityAudit, "integrity-audit",

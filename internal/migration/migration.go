@@ -205,6 +205,9 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		if s.proto == nil {
 			s.proto = s.LKM.Protocol()
 		}
+		// Wrap before Begin so the whole handshake, first call included, is
+		// attributed to the suspension-protocol stage.
+		s.proto = profileProto(s.proto, s.Cfg.Perf)
 		transfer = s.proto.Begin()
 	}
 	s.bindStages(transfer)

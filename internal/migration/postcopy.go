@@ -7,6 +7,7 @@ import (
 	"javmm/internal/mem"
 	"javmm/internal/obs"
 	"javmm/internal/obs/ledger"
+	"javmm/internal/obs/perf"
 )
 
 // The lazy (post-switchover) engine: move the VM first, bring its memory
@@ -141,6 +142,7 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 		if s.sink == nil {
 			s.sink = s.Dest
 		}
+		s.sink = profileSink(s.sink, s.Cfg.Perf)
 		s.beginIntegrity()
 		if resumed {
 			s.planResumeLazy(s.pendingResume, resident)
@@ -192,6 +194,8 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 	lazyIter := iter + 1 // the ledger iteration index of the whole lazy phase
 
 	fetch := func(p mem.PFN) (time.Duration, error) {
+		s.Cfg.Perf.Enter(perf.StageLazyFetch)
+		defer s.Cfg.Perf.Exit()
 		var d, backoffStall time.Duration
 		op := func() error {
 			if s.Cfg.Faults.Fire(faults.SitePostCopyFetch) {
@@ -253,6 +257,8 @@ prefetch:
 			if !resident.Test(cursor) {
 				var d time.Duration
 				push := func() error {
+					s.Cfg.Perf.Enter(perf.StageLazyFetch)
+					defer s.Cfg.Perf.Exit()
 					var err error
 					d, err = s.Link.SendErr(wire)
 					if err != nil {

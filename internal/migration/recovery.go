@@ -215,7 +215,7 @@ func (s *Source) degradeToVanilla(reason string) {
 	// held applications and resets, exactly as on an abort.
 	s.proto.Aborted()
 	s.proto = nil
-	s.skip = transferAll{}
+	s.skip = profileSkip(transferAll{}, s.Cfg.Perf)
 	s.degradePending = s.skippedEver
 	s.skippedEver = nil
 }

@@ -277,10 +277,44 @@ type DigestSink interface {
 
 var _ DigestSink = (*Destination)(nil)
 
+// NewWireCodec builds the default codec chain Cfg describes for a VM of n
+// pages: raw, optionally compressed, refined by per-page hints (hintFor may
+// be nil, disabling the hint layer), with delta resend caching outermost.
+// resends, when non-nil, receives the running delta-resend count (the engine
+// points it into the live Report). The second return is the daemon-side
+// delta cache cost in bytes (zero without DeltaCompression). Call after
+// FillDefaults. Exposed so the bench harness can measure each codec chain in
+// isolation with exactly the construction the engine uses.
+func (c *Config) NewWireCodec(n uint64, hintFor func(mem.PFN) uint8, resends *uint64) (WireCodec, uint64) {
+	var codec WireCodec = rawCodec{}
+	if c.Compress {
+		codec = compressCodec{ratio: c.CompressionRatio, cost: c.CompressCostPerPage}
+	}
+	if c.HintedCompression && hintFor != nil {
+		codec = &hintedCodec{hintFor: hintFor, next: codec}
+	}
+	var cacheBytes uint64
+	if c.DeltaCompression {
+		if resends == nil {
+			resends = new(uint64)
+		}
+		codec = &deltaCodec{
+			sentOnce: mem.NewBitmap(n),
+			ratio:    c.DeltaRatio,
+			cost:     c.DeltaCostPerPage,
+			resends:  resends,
+			next:     codec,
+		}
+		cacheBytes = n * mem.PageSize // one cached copy per page
+	}
+	return codec, cacheBytes
+}
+
 // bindStages resolves the active stage set for one run: explicit Source
 // overrides win, otherwise defaults are derived from Cfg. transfer is the
 // suspension protocol's bitmap (nil when there is none). Must run after
-// FillDefaults and report initialization.
+// FillDefaults and report initialization. With Cfg.Perf set, every bound
+// stage is additionally wrapped in its real-clock profiling decorator.
 func (s *Source) bindStages(transfer *mem.Bitmap) {
 	s.sink = s.Sink
 	if s.sink == nil {
@@ -301,25 +335,11 @@ func (s *Source) bindStages(transfer *mem.Bitmap) {
 
 	s.codec = s.Codec
 	if s.codec == nil {
-		var c WireCodec = rawCodec{}
-		if s.Cfg.Compress {
-			c = compressCodec{ratio: s.Cfg.CompressionRatio, cost: s.Cfg.CompressCostPerPage}
+		codec, cacheBytes := s.Cfg.NewWireCodec(s.Dom.NumPages(), s.HintFor, &s.report.DeltaResends)
+		s.codec = codec
+		if cacheBytes > 0 {
+			s.report.DeltaCacheBytes = cacheBytes
 		}
-		if s.Cfg.HintedCompression && s.HintFor != nil {
-			c = &hintedCodec{hintFor: s.HintFor, next: c}
-		}
-		if s.Cfg.DeltaCompression {
-			n := s.Dom.NumPages()
-			c = &deltaCodec{
-				sentOnce: mem.NewBitmap(n),
-				ratio:    s.Cfg.DeltaRatio,
-				cost:     s.Cfg.DeltaCostPerPage,
-				resends:  &s.report.DeltaResends,
-				next:     c,
-			}
-			s.report.DeltaCacheBytes = n * mem.PageSize // one cached copy per page
-		}
-		s.codec = c
 	}
 
 	s.stop = s.Stop
@@ -329,5 +349,12 @@ func (s *Source) bindStages(transfer *mem.Bitmap) {
 			threshold:     s.Cfg.DirtyPageThreshold,
 			trafficFactor: s.Cfg.MaxTrafficFactor,
 		}
+	}
+
+	if p := s.Cfg.Perf; p != nil {
+		s.skip = profileSkip(s.skip, p)
+		s.codec = profiledCodec{next: s.codec, p: p}
+		s.stop = profiledStop{next: s.stop, p: p}
+		s.sink = profileSink(s.sink, p)
 	}
 }

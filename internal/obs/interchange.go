@@ -127,7 +127,14 @@ func ReadMetricsJSON(r io.Reader) (MetricsSnapshot, error) {
 // prefixed javmm_ and sanitized (dots become underscores). Counters map to
 // counter metrics; gauges to a gauge plus a _timeweighted_mean companion;
 // histograms to a summary with exact quantiles plus _min and _max gauges.
+//
+// Emission order is name-sorted per section regardless of the snapshot's
+// slice order: Metrics.Snapshot sorts already, but snapshots also arrive
+// from JSON files and hand construction, and the byte-identical-output
+// guarantee (the trajectory tooling diffs this text) must not depend on the
+// producer.
 func WritePrometheus(w io.Writer, s MetricsSnapshot) error {
+	s = s.sortedCopy()
 	bw := bufio.NewWriter(w)
 	for _, c := range s.Counters {
 		n := promName(c.Name)

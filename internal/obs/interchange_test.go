@@ -208,3 +208,61 @@ func TestWritePrometheusFormat(t *testing.T) {
 		t.Fatal("prometheus output not deterministic")
 	}
 }
+
+// TestWritePrometheusOrderStable pins the byte-identical-output guarantee
+// against unsorted producers: a hand-built snapshot with sections in
+// adversarial (reverse and shuffled) order must render exactly the same
+// bytes as its sorted twin, with name-sorted emission per section — and the
+// input snapshot must not be mutated.
+func TestWritePrometheusOrderStable(t *testing.T) {
+	sorted := MetricsSnapshot{
+		Counters: []CounterSample{
+			{Name: "a.first", Value: 1},
+			{Name: "b.second", Value: 2},
+			{Name: "c.third", Value: 3},
+		},
+		Gauges: []GaugeSample{
+			{Name: "g.alpha", Value: 1.5},
+			{Name: "g.beta", Value: 2.5},
+		},
+		Histograms: []HistogramSample{
+			{Name: "h.one", Count: 1},
+			{Name: "h.two", Count: 2},
+		},
+	}
+	shuffled := MetricsSnapshot{
+		Counters: []CounterSample{
+			{Name: "c.third", Value: 3},
+			{Name: "a.first", Value: 1},
+			{Name: "b.second", Value: 2},
+		},
+		Gauges: []GaugeSample{
+			{Name: "g.beta", Value: 2.5},
+			{Name: "g.alpha", Value: 1.5},
+		},
+		Histograms: []HistogramSample{
+			{Name: "h.two", Count: 2},
+			{Name: "h.one", Count: 1},
+		},
+	}
+	var want, got bytes.Buffer
+	if err := WritePrometheus(&want, sorted); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&got, shuffled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("emission depends on producer order:\nsorted:\n%s\nshuffled:\n%s", &want, &got)
+	}
+	// Emission normalized without mutating the caller's snapshot.
+	if shuffled.Counters[0].Name != "c.third" {
+		t.Fatal("WritePrometheus mutated its input snapshot")
+	}
+	// And the output really is name-sorted.
+	iA := bytes.Index(got.Bytes(), []byte("javmm_a_first"))
+	iC := bytes.Index(got.Bytes(), []byte("javmm_c_third"))
+	if iA < 0 || iC < 0 || iA > iC {
+		t.Fatalf("output not name-sorted:\n%s", &got)
+	}
+}

@@ -317,6 +317,21 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	return s
 }
 
+// sortedCopy returns the snapshot with each section re-sorted by name into
+// fresh slices, leaving the receiver untouched. Snapshot already sorts, but
+// snapshots that arrive from JSON or literal construction carry no ordering
+// guarantee; deterministic emitters normalize through this first.
+func (s MetricsSnapshot) sortedCopy() MetricsSnapshot {
+	out := MetricsSnapshot{At: s.At}
+	out.Counters = append([]CounterSample(nil), s.Counters...)
+	out.Gauges = append([]GaugeSample(nil), s.Gauges...)
+	out.Histograms = append([]HistogramSample(nil), s.Histograms...)
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
+}
+
 // Counter returns the named counter's value from the snapshot, and whether
 // it was present.
 func (s MetricsSnapshot) Counter(name string) (int64, bool) {

@@ -1,0 +1,294 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Comparator semantics, used by `javmm-bench -compare old new` and the CI
+// trajectory gate:
+//
+//   - Deterministic metrics are compared for exact equality. Any difference
+//     is a Drift — a behavior change smuggled in as a perf change — and is
+//     ALWAYS fatal, even in report-only mode. CI machines can't make timing
+//     promises, but they can make this one.
+//   - Timing metrics are compared as relative change against per-metric
+//     thresholds. Exceeding a threshold is a Regression: fatal by default,
+//     advisory in report-only mode (the CI default, since baseline numbers
+//     come from a different machine).
+//   - Entries present in old but missing from new are Missing and fatal: a
+//     shrinking matrix silently hides regressions.
+
+// Thresholds holds the maximum tolerated relative increase per timing
+// metric (0.15 = +15%). PagesPerSec is a throughput, so its threshold
+// bounds relative *decrease*.
+type Thresholds struct {
+	NsPerOp         float64
+	AllocBytesPerOp float64
+	AllocsPerOp     float64
+	PagesPerSec     float64
+	// MinNsPerOp is a noise floor: ns_per_op changes where both sides are
+	// below it are never judged. Sub-ten-nanosecond kernels quantize to
+	// integer nanoseconds, so a 2ns -> 3ns wobble would read as +50%.
+	MinNsPerOp int64
+}
+
+// DefaultThresholds are deliberately below the 20% bound the acceptance
+// gate injects: timing noise on a quiet machine is single-digit percent,
+// allocation counts are near-exact.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		NsPerOp:         0.15,
+		AllocBytesPerOp: 0.10,
+		AllocsPerOp:     0.10,
+		PagesPerSec:     0.15,
+		MinNsPerOp:      100,
+	}
+}
+
+// Delta is one timing-metric change between snapshots.
+type Delta struct {
+	// Entry is the scenario or kernel name; Metric the timing field.
+	Entry  string
+	Metric string
+	Old    float64
+	New    float64
+	// Rel is the relative change, signed so that positive is worse
+	// (slower, more allocation, less throughput).
+	Rel float64
+	// Limit is the threshold Rel was judged against.
+	Limit float64
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%+.1f%%, limit %.0f%%)",
+		d.Entry, d.Metric, d.Old, d.New, d.Rel*100, d.Limit*100)
+}
+
+// Drift is one deterministic-metric difference between snapshots.
+type Drift struct {
+	Entry string
+	Field string
+	Old   string
+	New   string
+}
+
+func (d Drift) String() string {
+	return fmt.Sprintf("%s %s: %q -> %q", d.Entry, d.Field, d.Old, d.New)
+}
+
+// CompareReport is the full outcome of diffing two snapshots.
+type CompareReport struct {
+	// Drift lists deterministic-metric differences (always fatal).
+	Drift []Drift
+	// Missing lists entries in old absent from new (always fatal).
+	Missing []string
+	// Regressions lists timing deltas past their threshold.
+	Regressions []Delta
+	// Improvements lists timing deltas past the threshold in the good
+	// direction (informational).
+	Improvements []Delta
+	// New lists entries in new absent from old (informational).
+	New []string
+}
+
+// OK reports whether the comparison passes. With reportOnly, timing
+// regressions are tolerated; deterministic drift and missing entries never
+// are.
+func (r *CompareReport) OK(reportOnly bool) bool {
+	if len(r.Drift) > 0 || len(r.Missing) > 0 {
+		return false
+	}
+	return reportOnly || len(r.Regressions) == 0
+}
+
+// Compare diffs new against old. Both snapshots must carry the same schema
+// (enforced at read time) and seed; a seed mismatch is reported as drift on
+// the snapshot itself.
+func Compare(old, new *Snapshot, th Thresholds) *CompareReport {
+	old.Normalize()
+	new.Normalize()
+	r := &CompareReport{}
+	if old.Seed != new.Seed {
+		r.Drift = append(r.Drift, Drift{
+			Entry: "snapshot", Field: "seed",
+			Old: fmt.Sprint(old.Seed), New: fmt.Sprint(new.Seed),
+		})
+	}
+
+	newScen := make(map[string]*Scenario, len(new.Scenarios))
+	for i := range new.Scenarios {
+		newScen[new.Scenarios[i].Name] = &new.Scenarios[i]
+	}
+	oldScen := make(map[string]bool, len(old.Scenarios))
+	for i := range old.Scenarios {
+		sc := &old.Scenarios[i]
+		oldScen[sc.Name] = true
+		ns, ok := newScen[sc.Name]
+		if !ok {
+			r.Missing = append(r.Missing, sc.Name)
+			continue
+		}
+		r.Drift = append(r.Drift, diffDeterministic(sc.Name, sc.Deterministic, ns.Deterministic)...)
+		r.judgeTiming(sc.Name, sc.Timing, ns.Timing, th)
+	}
+	for i := range new.Scenarios {
+		if !oldScen[new.Scenarios[i].Name] {
+			r.New = append(r.New, new.Scenarios[i].Name)
+		}
+	}
+
+	newKern := make(map[string]*Kernel, len(new.Kernels))
+	for i := range new.Kernels {
+		newKern[new.Kernels[i].Name] = &new.Kernels[i]
+	}
+	oldKern := make(map[string]bool, len(old.Kernels))
+	for i := range old.Kernels {
+		k := &old.Kernels[i]
+		oldKern[k.Name] = true
+		nk, ok := newKern[k.Name]
+		if !ok {
+			r.Missing = append(r.Missing, k.Name)
+			continue
+		}
+		r.Drift = append(r.Drift, diffKernelDet(k.Name, k.Deterministic, nk.Deterministic)...)
+		r.judgeTiming(k.Name, k.Timing, nk.Timing, th)
+	}
+	for i := range new.Kernels {
+		if !oldKern[new.Kernels[i].Name] {
+			r.New = append(r.New, new.Kernels[i].Name)
+		}
+	}
+	sort.Strings(r.Missing)
+	sort.Strings(r.New)
+	return r
+}
+
+// diffDeterministic compares every field of the deterministic block.
+func diffDeterministic(entry string, o, n Deterministic) []Drift {
+	var out []Drift
+	add := func(field string, ov, nv any) {
+		if ov != nv {
+			out = append(out, Drift{Entry: entry, Field: field,
+				Old: fmt.Sprint(ov), New: fmt.Sprint(nv)})
+		}
+	}
+	add("mode", o.Mode, n.Mode)
+	add("workload", o.Workload, n.Workload)
+	add("codec", o.Codec, n.Codec)
+	add("total_virtual_ns", o.TotalVirtualNs, n.TotalVirtualNs)
+	add("vm_downtime_ns", o.VMDowntimeNs, n.VMDowntimeNs)
+	add("workload_downtime_ns", o.WorkloadDowntimeNs, n.WorkloadDowntimeNs)
+	add("iterations", o.Iterations, n.Iterations)
+	add("pages_sent", o.PagesSent, n.PagesSent)
+	add("pages_skipped", o.PagesSkipped, n.PagesSkipped)
+	add("bytes_on_wire", o.BytesOnWire, n.BytesOnWire)
+	add("post_copy_faults", o.PostCopyFaults, n.PostCopyFaults)
+	add("enforced_gc", o.EnforcedGC, n.EnforcedGC)
+	add("rolling_digest", o.RollingDigest, n.RollingDigest)
+	return out
+}
+
+// diffKernelDet compares kernel check values key by key.
+func diffKernelDet(entry string, o, n map[string]int64) []Drift {
+	var out []Drift
+	keys := make([]string, 0, len(o)+len(n))
+	seen := make(map[string]bool)
+	for k := range o {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range n {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ov, ook := o[k]
+		nv, nok := n[k]
+		if ook != nok || ov != nv {
+			d := Drift{Entry: entry, Field: k}
+			if ook {
+				d.Old = fmt.Sprint(ov)
+			} else {
+				d.Old = "<absent>"
+			}
+			if nok {
+				d.New = fmt.Sprint(nv)
+			} else {
+				d.New = "<absent>"
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// judgeTiming classifies each timing metric's relative change.
+func (r *CompareReport) judgeTiming(entry string, o, n Timing, th Thresholds) {
+	judge := func(metric string, ov, nv, limit float64, higherIsWorse bool) {
+		if ov == 0 || limit <= 0 {
+			return
+		}
+		rel := (nv - ov) / ov
+		if !higherIsWorse {
+			rel = -rel
+		}
+		d := Delta{Entry: entry, Metric: metric, Old: ov, New: nv, Rel: rel, Limit: limit}
+		switch {
+		case rel > limit:
+			r.Regressions = append(r.Regressions, d)
+		case rel < -limit:
+			r.Improvements = append(r.Improvements, d)
+		}
+	}
+	if o.NsPerOp >= th.MinNsPerOp || n.NsPerOp >= th.MinNsPerOp {
+		judge("ns_per_op", float64(o.NsPerOp), float64(n.NsPerOp), th.NsPerOp, true)
+	}
+	judge("alloc_bytes_per_op", float64(o.AllocBytesPerOp), float64(n.AllocBytesPerOp), th.AllocBytesPerOp, true)
+	judge("allocs_per_op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), th.AllocsPerOp, true)
+	judge("pages_per_sec", o.PagesPerSec, n.PagesPerSec, th.PagesPerSec, false)
+}
+
+// WriteReport renders the comparison for humans, sections in severity order.
+func WriteReport(w io.Writer, r *CompareReport, reportOnly bool) {
+	if len(r.Drift) > 0 {
+		fmt.Fprintf(w, "DETERMINISTIC DRIFT (%d) — fatal:\n", len(r.Drift))
+		for _, d := range r.Drift {
+			fmt.Fprintf(w, "  %s\n", d)
+		}
+	}
+	if len(r.Missing) > 0 {
+		fmt.Fprintf(w, "MISSING ENTRIES (%d) — fatal:\n", len(r.Missing))
+		for _, m := range r.Missing {
+			fmt.Fprintf(w, "  %s\n", m)
+		}
+	}
+	if len(r.Regressions) > 0 {
+		verdict := "fatal"
+		if reportOnly {
+			verdict = "report-only"
+		}
+		fmt.Fprintf(w, "TIMING REGRESSIONS (%d) — %s:\n", len(r.Regressions), verdict)
+		for _, d := range r.Regressions {
+			fmt.Fprintf(w, "  %s\n", d)
+		}
+	}
+	if len(r.Improvements) > 0 {
+		fmt.Fprintf(w, "improvements (%d):\n", len(r.Improvements))
+		for _, d := range r.Improvements {
+			fmt.Fprintf(w, "  %s\n", d)
+		}
+	}
+	if len(r.New) > 0 {
+		fmt.Fprintf(w, "new entries (%d):\n", len(r.New))
+		for _, n := range r.New {
+			fmt.Fprintf(w, "  %s\n", n)
+		}
+	}
+	if r.OK(reportOnly) && len(r.Drift)+len(r.Missing)+len(r.Regressions) == 0 {
+		fmt.Fprintln(w, "comparison clean: no drift, no regressions")
+	}
+}

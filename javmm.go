@@ -45,6 +45,7 @@ import (
 	"javmm/internal/obs"
 	"javmm/internal/obs/attrib"
 	"javmm/internal/obs/ledger"
+	"javmm/internal/obs/perf"
 	"javmm/internal/replication"
 	"javmm/internal/simclock"
 	"javmm/internal/workload"
@@ -512,6 +513,64 @@ func runMigration(vm *VM, opts MigrateOptions, dest *migration.Destination, tok 
 			func(p mem.PFN) bool { return vm.Guest.Frames.Allocated(p) })
 	}
 	return res, nil
+}
+
+// The real-clock performance-observability plane (internal/obs/perf). Unlike
+// Tracer/Metrics/Ledger — which run on the virtual clock and are part of the
+// deterministic contract — the stage profiler measures the simulator itself:
+// wall time and heap allocation per engine stage. Attach one via
+// EngineConfig.Perf; it never changes a run's Report.
+type (
+	// StageProfiler attributes the simulator's own wall time and heap
+	// allocations to the engine's stage taxonomy (skip policy, wire codec,
+	// stop policy, suspension protocol, page sink, lazy fetch, digest
+	// audit).
+	StageProfiler = perf.Profiler
+	// StageStats is one stage's accumulated account (calls, self/total
+	// wall time, self-attributed allocation).
+	StageStats = perf.StageStats
+	// DeterministicMetrics is the seed-determined metric block shared by
+	// javmm-bench snapshots and javmm-analyze -json: a pure function of
+	// (seed, config) under the virtual clock, byte-identical across
+	// machines.
+	DeterministicMetrics = perf.Deterministic
+)
+
+// NewStageProfiler returns a stage profiler with allocation accounting and
+// pprof goroutine labels enabled — the configuration the bench harness's
+// accounting run uses. For minimum overhead build one directly with
+// perf.NewProfiler and no options.
+func NewStageProfiler() *StageProfiler {
+	return perf.NewProfiler(perf.WithAllocs(), perf.WithPprofLabels())
+}
+
+// BenchDeterministic projects a migration result onto the deterministic
+// metric block of the perf plane's snapshot schema. Mode is the run's
+// effective mode; the Workload and Codec labels are left for the caller,
+// which knows what it booted and configured.
+func BenchDeterministic(res *Result) DeterministicMetrics {
+	d := DeterministicMetrics{
+		Mode:               res.EffectiveMode().String(),
+		TotalVirtualNs:     int64(res.TotalTime),
+		VMDowntimeNs:       int64(res.VMDowntime),
+		WorkloadDowntimeNs: int64(res.WorkloadDowntime),
+		Iterations:         len(res.Iterations),
+		PagesSent:          int64(res.TotalPagesSent),
+		BytesOnWire:        int64(res.TotalBytes()),
+		EnforcedGC:         res.EnforcedGC > 0,
+	}
+	var skipped uint64
+	for _, it := range res.Iterations {
+		skipped += it.PagesSkippedDirty + it.PagesSkippedBitmap + it.PagesSkippedFree
+	}
+	d.PagesSkipped = int64(skipped)
+	if pc := res.PostCopy; pc != nil {
+		d.PostCopyFaults = int64(pc.Faults)
+	}
+	if ic := res.Integrity; ic != nil {
+		d.RollingDigest = fmt.Sprintf("%016x", ic.RollingDigest)
+	}
+	return d
 }
 
 // PostCopyStats describes a post-copy migration's demand-fault behaviour.

@@ -307,3 +307,27 @@ func TestAttributionReconcilesAllModes(t *testing.T) {
 		})
 	}
 }
+
+// TestPrometheusGoldenAcrossRuns is the exposition-format stability gate:
+// two fully independent migrations at the same seed must render
+// byte-identical Prometheus text. This is what lets the trajectory tooling
+// (and any scrape-diffing CI job) treat the exposition output as a golden
+// artifact.
+func TestPrometheusGoldenAcrossRuns(t *testing.T) {
+	render := func() []byte {
+		_, _, metrics := traceRun(t, javmm.ModeJAVMM, 7)
+		var buf bytes.Buffer
+		if err := javmm.WritePrometheus(&buf, metrics.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	second := render()
+	if len(first) == 0 {
+		t.Fatal("empty prometheus exposition")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two independent runs rendered different exposition text:\nrun1:\n%s\nrun2:\n%s", first, second)
+	}
+}

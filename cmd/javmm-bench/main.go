@@ -118,6 +118,21 @@ func run(o options, out io.Writer) error {
 			float64(sc.Timing.NsPerOp)/1e6, sc.Deterministic.PagesSent)
 		snap.Scenarios = append(snap.Scenarios, sc)
 	}
+	for _, spec := range fleetMatrix(o.Quick) {
+		fmt.Fprintf(out, "fleet    %s/%s/%dvm%*s ", spec.workload, spec.mode, spec.vms,
+			17-len(spec.workload)-len(spec.mode), "")
+		scs, err := runFleetScenario(spec, o)
+		if err != nil {
+			return fmt.Errorf("fleet %s/%s/%dvm: %w", spec.workload, spec.mode, spec.vms, err)
+		}
+		var pages int64
+		for _, sc := range scs {
+			pages += sc.Deterministic.PagesSent
+		}
+		fmt.Fprintf(out, "%8.2f ms/op  %6d pages sent\n",
+			float64(scs[0].Timing.NsPerOp)/1e6, pages)
+		snap.Scenarios = append(snap.Scenarios, scs...)
+	}
 	for _, k := range kernels(o.Seed) {
 		fmt.Fprintf(out, "kernel   %-28s ", k.name)
 		kr := measureKernel(k, o.Runs, kernelTarget(o.Quick))

@@ -48,6 +48,155 @@ func scenarioMatrix(quick bool) []scenarioSpec {
 	return specs
 }
 
+// fleetSpec names one multi-VM contention cell: N VMs of one workload
+// migrating concurrently over a shared gigabit backbone.
+type fleetSpec struct {
+	workload string
+	mode     string
+	vms      int
+}
+
+func (s fleetSpec) name(vm int) string {
+	return fmt.Sprintf("fleet/%s/%s/%dvm/vm%d", s.workload, s.mode, s.vms, vm)
+}
+
+// fleetMatrix is the contention coverage: the flagship javmm/derby cell at
+// the acceptance scale of four VMs on one link. Quick mode halves the fleet.
+// The xen fleet is deliberately absent — vanilla pre-copy under 4-way
+// contention runs minutes of virtual time per repetition, and X15 already
+// covers its shape.
+func fleetMatrix(quick bool) []fleetSpec {
+	if quick {
+		return []fleetSpec{{"derby", "javmm", 2}}
+	}
+	return []fleetSpec{{"derby", "javmm", 4}}
+}
+
+// runFleetScenario measures one contention cell under the same protocol as
+// runScenario: an accounting run (stage profiler attached) pins each VM's
+// deterministic block, then o.Runs uninstrumented timing runs must reproduce
+// every one of them exactly while their fleet wall-clock medians become the
+// (shared) timing block. One scenario is emitted per VM so per-VM drift
+// stays visible in the comparator. All engines share one profiler — stage
+// calls never span a cooperative yield, so the stack stays consistent — and
+// the resulting fleet-wide breakdown is attached to every VM's scenario,
+// matching the shared timing.
+func runFleetScenario(spec fleetSpec, o options) ([]perf.Scenario, error) {
+	prof := javmm.NewStageProfiler()
+	dets, awall, _, err := fleetOnce(spec, o, prof)
+	if err != nil {
+		return nil, err
+	}
+	var stages []perf.StageShare
+	for _, st := range prof.Snapshot() {
+		share := 0.0
+		if awall > 0 {
+			share = float64(st.SelfNs) / float64(awall)
+		}
+		stages = append(stages, perf.StageShare{
+			Stage:      st.Stage,
+			Calls:      st.Calls,
+			SelfNs:     st.SelfNs,
+			TotalNs:    st.TotalNs,
+			AllocBytes: st.SelfAllocBytes,
+			Share:      share,
+		})
+	}
+	scs := make([]perf.Scenario, len(dets))
+	for i, det := range dets {
+		scs[i] = perf.Scenario{Name: spec.name(i), Deterministic: det, Stages: stages}
+	}
+
+	ns := make([]int64, 0, o.Runs)
+	allocB := make([]int64, 0, o.Runs)
+	allocN := make([]int64, 0, o.Runs)
+	for r := 0; r < o.Runs; r++ {
+		tdets, wall, ad, err := fleetOnce(spec, o, nil)
+		if err != nil {
+			return nil, fmt.Errorf("timing run %d: %w", r+1, err)
+		}
+		for i := range dets {
+			if tdets[i] != dets[i] {
+				return nil, fmt.Errorf("timing run %d vm%d diverged from accounting run:\naccounting: %+v\ntiming:     %+v",
+					r+1, i, dets[i], tdets[i])
+			}
+		}
+		ns = append(ns, int64(wall))
+		allocB = append(allocB, ad.bytes)
+		allocN = append(allocN, ad.objects)
+	}
+	// The fleet migrates as one unit, so every VM's scenario carries the
+	// whole fleet's wall time and allocation; PagesPerSec is still per-VM.
+	timing := perf.Timing{
+		Runs:            o.Runs,
+		NsPerOp:         median(ns),
+		AllocBytesPerOp: median(allocB),
+		AllocsPerOp:     median(allocN),
+	}
+	for i := range scs {
+		t := timing
+		if t.NsPerOp > 0 && scs[i].Deterministic.PagesSent > 0 {
+			t.PagesPerSec = float64(scs[i].Deterministic.PagesSent) / (float64(t.NsPerOp) / 1e9)
+		}
+		scs[i].Timing = t
+	}
+	return scs, nil
+}
+
+// fleetOnce runs the whole fleet once and projects each VM's outcome onto
+// the deterministic block. prof, when non-nil, is attached to every engine
+// as EngineConfig.Perf (safe: the cooperative scheduler runs one process at
+// a time and no instrumented stage advances the clock).
+func fleetOnce(spec fleetSpec, o options, prof *javmm.StageProfiler) ([]perf.Deterministic, time.Duration, allocDelta, error) {
+	mode, err := javmm.ParseMode(spec.mode)
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	wl, err := javmm.Workload(spec.workload)
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	profiles := make([]javmm.Profile, spec.vms)
+	for i := range profiles {
+		profiles[i] = wl
+	}
+	before := readAllocs()
+	start := time.Now()
+	res, err := javmm.MigrateMany(javmm.FleetOptions{
+		Mode:     mode,
+		Profiles: profiles,
+		Seed:     o.Seed,
+		MemBytes: o.MemMiB << 20,
+		Warmup:   o.Warmup,
+		Stagger:  500 * time.Millisecond,
+		Engine:   javmm.EngineConfig{Perf: prof},
+	})
+	wall := time.Since(start)
+	delta := readAllocs().sub(before)
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	dets := make([]perf.Deterministic, len(res.VMs))
+	for i := range res.VMs {
+		vm := &res.VMs[i]
+		if vm.Err != nil {
+			return nil, 0, allocDelta{}, fmt.Errorf("%s: %w", vm.Name, vm.Err)
+		}
+		if vm.VerifyErr != nil {
+			return nil, 0, allocDelta{}, fmt.Errorf("%s: destination verification failed: %w", vm.Name, vm.VerifyErr)
+		}
+		det := javmm.BenchDeterministic(&javmm.Result{
+			Report:           vm.Report,
+			WorkloadDowntime: vm.WorkloadDowntime,
+			EnforcedGC:       vm.EnforcedGC,
+		})
+		det.Workload = spec.workload
+		det.Codec = "raw"
+		dets[i] = det
+	}
+	return dets, wall, delta, nil
+}
+
 // runScenario measures one matrix cell: first an instrumented accounting run
 // (stage profiler attached) that yields the deterministic block and the
 // per-stage breakdown, then o.Runs uninstrumented timing runs whose medians

@@ -35,6 +35,8 @@ func main() {
 	flag.DurationVar(&o.Warmup, "warmup", 300*time.Second, "virtual warmup before migration")
 	flag.Uint64Var(&o.YoungMiB, "young", 0, "override max young generation in MiB (0 = workload default)")
 	flag.Int64Var(&o.Seed, "seed", 1, "deterministic seed")
+	flag.IntVar(&o.Peers, "peers", 1, "migrate N VMs of this workload concurrently over one shared link")
+	flag.DurationVar(&o.Stagger, "stagger", 500*time.Millisecond, "with -peers: delay between consecutive engine starts")
 	flag.BoolVar(&o.Compress, "compress", false, "compress unskipped pages (§6 extension)")
 	flag.StringVar(&o.Collector, "collector", "parallel", "garbage collector: parallel or g1")
 	flag.BoolVar(&o.Verbose, "v", false, "print per-iteration details")
@@ -71,6 +73,8 @@ type options struct {
 	Warmup       time.Duration
 	YoungMiB     uint64
 	Seed         int64
+	Peers        int
+	Stagger      time.Duration
 	Compress     bool
 	Verbose      bool
 	TracePath    string
@@ -114,6 +118,9 @@ func run(o options, out io.Writer) error {
 	}
 	if o.TraceFormat != "chrome" && o.TraceFormat != "jsonl" {
 		return fmt.Errorf("unknown trace format %q (want chrome or jsonl)", o.TraceFormat)
+	}
+	if o.Peers > 1 {
+		return runFleet(o, prof, mode, out)
 	}
 
 	vm, err := javmm.BootVM(javmm.BootConfig{
@@ -303,6 +310,77 @@ func run(o options, out io.Writer) error {
 		fmt.Fprintf(out, "  heap profile        %s\n", o.MemProfile)
 	}
 	return nil
+}
+
+// runFleet is the -peers path: N VMs of the same workload migrate
+// concurrently over one shared backbone link, on one deterministic clock.
+func runFleet(o options, prof javmm.Profile, mode javmm.Mode, out io.Writer) error {
+	if len(o.Faults) > 0 || o.Resume || o.TracePath != "" {
+		return fmt.Errorf("-peers does not compose with -fault, -resume or -trace (single-VM features)")
+	}
+	profiles := make([]javmm.Profile, o.Peers)
+	for i := range profiles {
+		profiles[i] = prof
+	}
+	fmt.Fprintf(out, "migrating %d %s VMs (%d MiB each, mode %s) over one shared %.0f MB/s link, engines staggered %v...\n",
+		o.Peers, prof.Name, o.MemMiB, mode, float64(o.Bandwidth)/1e6, o.Stagger)
+	res, err := javmm.MigrateMany(javmm.FleetOptions{
+		Mode:           mode,
+		Profiles:       profiles,
+		Seed:           o.Seed,
+		MemBytes:       o.MemMiB << 20,
+		Bandwidth:      o.Bandwidth,
+		Warmup:         o.Warmup,
+		Stagger:        o.Stagger,
+		Engine:         javmm.EngineConfig{Compress: o.Compress},
+		CollectMetrics: o.Metrics || o.MetricsOut != "",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n%-14s %-10s %-10s %-10s %-12s %-12s %-10s\n",
+		"vm", "start", "end", "total", "downtime", "wl-downtime", "traffic")
+	var firstErr error
+	for i := range res.VMs {
+		vm := &res.VMs[i]
+		if vm.Err != nil {
+			fmt.Fprintf(out, "%-14s FAILED: %v\n", vm.Name, vm.Err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", vm.Name, vm.Err)
+			}
+			continue
+		}
+		fmt.Fprintf(out, "%-14s %-10v %-10v %-10v %-12v %-12v %-10s\n",
+			vm.Name,
+			vm.StartAt.Round(time.Millisecond),
+			vm.EndAt.Round(time.Millisecond),
+			vm.Report.TotalTime.Round(time.Millisecond),
+			vm.Report.VMDowntime.Round(time.Millisecond),
+			vm.WorkloadDowntime.Round(time.Millisecond),
+			mb(vm.Report.TotalBytes()))
+		if vm.VerifyErr != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: destination verification FAILED: %w", vm.Name, vm.VerifyErr)
+		}
+	}
+	fmt.Fprintf(out, "\nfleet makespan %v (first engine start to last completion)\n",
+		res.MakeSpan.Round(time.Millisecond))
+	for _, lu := range res.Fabric.Links {
+		fmt.Fprintf(out, "  link %-10s %s in %d transfers, busy %v, peak %d concurrent\n",
+			lu.Name, mb(lu.BytesSent), lu.Transfers, lu.Busy.Round(time.Millisecond), lu.MaxConcurrent)
+	}
+	if m := res.Metrics; m != nil {
+		snap := m.Snapshot()
+		if o.MetricsOut != "" {
+			if err := writeMetrics(o.MetricsOut, snap); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  metrics snapshot    %s\n", o.MetricsOut)
+		}
+		if o.Metrics {
+			printMetrics(out, snap)
+		}
+	}
+	return firstErr
 }
 
 // printStageProfile renders the real-clock per-stage account: where the

@@ -1,4 +1,4 @@
-// Multiapp: several applications assisting one migration.
+// Multiapp: several applications assisting migrations that run concurrently.
 //
 // The framework's LKM coordinates concurrent skip-over areas from multiple
 // applications (§6, "Support large and multiple applications"): it multicasts
@@ -6,10 +6,13 @@
 // for ALL apps with skip-over areas to become suspension-ready before asking
 // the daemon to pause the VM.
 //
-// This example runs a Java workload (serial) and a memcached-like cache side
-// by side in one 2 GiB VM. Under JAVMM-mode migration the JVM skips its young
-// generation while the cache app skips its cold tail — both coordinated by
-// the same LKM.
+// This example boots TWO such VMs — each running a Java workload (serial)
+// and a memcached-like cache side by side in 2 GiB — and migrates both at
+// the same time over one shared gigabit backbone (MigrateMany): the engines
+// split the link under fair-share arbitration while, inside each guest, the
+// JVM skips its young generation and the cache app skips its cold tail.
+// Everything interleaves on one deterministic clock, so the run is exactly
+// reproducible.
 //
 //	go run ./examples/multiapp
 package main
@@ -33,50 +36,57 @@ func main() {
 
 	for _, mode := range []javmm.Mode{javmm.ModeXen, javmm.ModeJAVMM} {
 		assisted := mode == javmm.ModeJAVMM
-		vm, err := javmm.BootVM(javmm.BootConfig{
-			Profile:  serial,
-			Assisted: assisted,
-			Seed:     3,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		cache, err := javmm.AttachCacheApp(vm, 0x200000000, 512<<20, assisted)
-		if err != nil {
-			log.Fatal(err)
-		}
-
-		// Both applications share the guest CPUs, round-robin.
-		both := javmm.Multiplex(vm.Driver, cache)
-		both.Run(180 * time.Second)
-		if vm.Driver.Err != nil {
-			log.Fatal(vm.Driver.Err)
-		}
-
-		res, err := javmm.Migrate(vm, javmm.MigrateOptions{
+		res, err := javmm.MigrateMany(javmm.FleetOptions{
 			Mode:     mode,
-			Executor: both,
+			Profiles: []javmm.Profile{serial, serial},
+			Seed:     3,
+			Warmup:   180 * time.Second,
+			Stagger:  500 * time.Millisecond,
+			// Each VM gets a cache app beside the JVM; the returned
+			// Multiplex round-robins the guest CPUs between them and
+			// replaces the bare driver in the VM's guest process.
+			Attach: func(i int, vm *javmm.VM) (javmm.GuestExecutor, error) {
+				cache, err := javmm.AttachCacheApp(vm, 0x200000000, 512<<20, assisted)
+				if err != nil {
+					return nil, err
+				}
+				return javmm.Multiplex(vm.Driver, cache), nil
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		// The cache's purged cold tail keeps its transfer bits cleared, so
-		// verification already treats it as skipped-by-consent.
-		if res.VerifyErr != nil {
-			log.Fatalf("%s: %v", mode, res.VerifyErr)
-		}
 
-		fmt.Printf("%-6s  time %6.2fs  traffic %5.2f GB  downtime %5.0f ms  young skipped + cold cache skipped = %s\n",
-			mode, res.TotalTime.Seconds(), float64(res.TotalBytes())/1e9,
-			res.WorkloadDowntime.Seconds()*1000,
-			skippedVolume(res))
+		for i := range res.VMs {
+			vm := &res.VMs[i]
+			if vm.Err != nil {
+				log.Fatalf("%s %s: %v", mode, vm.Name, vm.Err)
+			}
+			// The cache's purged cold tail keeps its transfer bits cleared,
+			// so verification already treats it as skipped-by-consent.
+			if vm.VerifyErr != nil {
+				log.Fatalf("%s %s: %v", mode, vm.Name, vm.VerifyErr)
+			}
+			fmt.Printf("%-6s %-10s  time %6.2fs  traffic %5.2f GB  downtime %5.0f ms  young + cold cache skipped = %s\n",
+				mode, vm.Name, vm.Report.TotalTime.Seconds(),
+				float64(vm.Report.TotalBytes())/1e9,
+				vm.WorkloadDowntime.Seconds()*1000,
+				skippedVolume(vm))
+		}
+		var backbone string
+		for _, lu := range res.Fabric.Links {
+			backbone = fmt.Sprintf("%.2f GB in %d transfers, peak %d concurrent",
+				float64(lu.BytesSent)/1e9, lu.Transfers, lu.MaxConcurrent)
+		}
+		fmt.Printf("%-6s fleet makespan %6.2fs, shared backbone carried %s\n\n",
+			mode, res.MakeSpan.Seconds(), backbone)
 	}
 }
 
 // skippedVolume sums the bitmap-skipped page volume across iterations.
-func skippedVolume(res *javmm.Result) string {
+func skippedVolume(vm *javmm.FleetVMResult) string {
 	var pages uint64
-	for _, it := range res.Iterations {
+	for _, it := range vm.Report.Iterations {
 		pages += it.PagesSkippedBitmap
 	}
 	return fmt.Sprintf("%.2f GB", float64(pages*4096)/1e9)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -706,4 +707,49 @@ func TestRunMigrationFaultAbortRequiresOptIn(t *testing.T) {
 	if run.Attribution == nil {
 		t.Fatal("aborted run has no attribution")
 	}
+}
+
+func TestAblationContentionShapes(t *testing.T) {
+	// A short warmup keeps the 1+2+4-VM fleet sweep affordable under -race;
+	// the shape assertions only need the ordering, not paper-scale numbers.
+	tab, err := AblationContention(Options{Warmup: 15 * time.Second, Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 modes x 3 fleet sizes)", len(tab.Rows))
+	}
+	// Splitting a fixed link N ways must stretch the fleet makespan
+	// monotonically within each mode (column 3).
+	for _, mode := range []int{0, 3} {
+		for i := mode; i < mode+2; i++ {
+			a, b := tab.Rows[i][3], tab.Rows[i+1][3]
+			da, errA := parseTableDur(a)
+			db, errB := parseTableDur(b)
+			if errA != nil || errB != nil {
+				t.Fatalf("unparseable makespans %q / %q", a, b)
+			}
+			if db <= da {
+				t.Fatalf("makespan did not grow with fleet size: %v -> %v (%v)", a, b, tab.Rows[i+1][0])
+			}
+		}
+	}
+}
+
+// parseTableDur reverses fmtDur's rendering far enough for ordering checks.
+func parseTableDur(s string) (float64, error) {
+	var v float64
+	var unit string
+	if _, err := fmt.Sscanf(s, "%f %s", &v, &unit); err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "ms":
+		return v / 1000, nil
+	case "s":
+		return v, nil
+	case "min":
+		return v * 60, nil
+	}
+	return 0, fmt.Errorf("unknown unit %q", unit)
 }

@@ -1,0 +1,310 @@
+// Package fleet runs N live migrations concurrently on one deterministic
+// virtual clock, contending for a shared network fabric.
+//
+// Each VM gets two cooperative scheduler processes: a guest process that
+// keeps the workload executing (and dirtying memory) in small quanta, and an
+// engine process that sleeps until its start time and then drives a full
+// migration. Bulk transfers go through fabric ports, so concurrent engines
+// split the backbone bandwidth under progressive fair-share arbitration;
+// everything else — pre-copy rounds, the suspension handshake, stop-and-copy
+// — interleaves through the scheduler at timer granularity. Same options,
+// same result, bit for bit, regardless of goroutine scheduling (DESIGN.md
+// §15).
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"javmm/internal/mem"
+	"javmm/internal/migration"
+	"javmm/internal/netsim"
+	"javmm/internal/obs"
+	"javmm/internal/simclock"
+	"javmm/internal/workload"
+)
+
+// Options parameterizes a fleet run.
+type Options struct {
+	// Mode is the migration algorithm every engine runs.
+	Mode migration.Mode
+	// Profiles boots one VM per entry (VM i runs Profiles[i]).
+	Profiles []workload.Profile
+	// Seed is the base workload seed; VM i boots with Seed + i.
+	Seed int64
+	// MemBytes is the per-VM memory (default 2 GiB).
+	MemBytes uint64
+
+	// Bandwidth is the shared backbone's payload bandwidth in bytes/sec
+	// (default gigabit-effective) and Latency its one-way latency (default
+	// 100 µs). Every migration crosses this one link.
+	Bandwidth uint64
+	Latency   time.Duration
+	// NICBandwidth, when non-zero, additionally caps each source host's NIC,
+	// so a single engine cannot saturate the backbone even alone.
+	NICBandwidth uint64
+
+	// Warmup is how long the guests run before the first engine starts
+	// (default 60 s); engine i starts at Warmup + i*Stagger.
+	Warmup  time.Duration
+	Stagger time.Duration
+	// GuestQuantum is the guest processes' pause-check granularity
+	// (default 1 ms, the workload driver's own tick).
+	GuestQuantum time.Duration
+
+	// Attach, when non-nil, runs once per booted VM (in boot order, before
+	// any virtual time passes) to attach extra applications — e.g. a cache
+	// app beside the JVM. The returned executor (typically a Multiplex of
+	// the VM's driver and the app) replaces the bare workload driver in
+	// that VM's guest process; returning nil keeps the driver.
+	Attach func(i int, vm *workload.VM) (migration.GuestExecutor, error)
+
+	// Engine overrides engine defaults; Mode above wins over Engine.Mode.
+	Engine migration.Config
+	// CollectMetrics attaches one obs registry — Run builds it on the
+	// fleet's shared clock and returns it as Result.Metrics — to every VM,
+	// engine, destination and the fabric. One registry serves the whole
+	// fleet, so per-VM counters aggregate; the per-link fabric gauges
+	// (fabric.<name>.*) stay distinguishable.
+	CollectMetrics bool
+	// SkipVerify disables the per-VM post-migration consistency check.
+	SkipVerify bool
+}
+
+func (o *Options) fillDefaults() error {
+	if len(o.Profiles) == 0 {
+		return fmt.Errorf("fleet: no profiles (nothing to migrate)")
+	}
+	if o.MemBytes == 0 {
+		o.MemBytes = 2 << 30
+	}
+	if o.Bandwidth == 0 {
+		o.Bandwidth = netsim.GigabitEffective
+	}
+	if o.Latency == 0 {
+		o.Latency = 100 * time.Microsecond
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 60 * time.Second
+	}
+	if o.GuestQuantum == 0 {
+		o.GuestQuantum = time.Millisecond
+	}
+	return nil
+}
+
+// VMResult is one VM's migration outcome, mirroring the single-run Result.
+type VMResult struct {
+	// Name is the VM's domain name ("<profile>-<i>").
+	Name   string
+	Report *migration.Report
+	// WorkloadDowntime is stop-and-copy plus resumption, plus — for an
+	// effective app-assisted run — the enforced GC and final bitmap update.
+	WorkloadDowntime time.Duration
+	// EnforcedGC is the pre-suspension collection's duration (zero unless
+	// app-assisted).
+	EnforcedGC time.Duration
+	// VerifyErr is the destination-consistency outcome, checked at the
+	// engine's completion instant, before any other process resumes
+	// dirtying this VM's memory.
+	VerifyErr error
+	// Err is the migration error, if the engine aborted.
+	Err error
+	// StartAt/EndAt are the engine's bounds on the shared clock.
+	StartAt, EndAt time.Duration
+
+	dest *migration.Destination
+}
+
+// Destination returns the destination image the VM migrated into.
+func (r *VMResult) Destination() *migration.Destination { return r.dest }
+
+// Result is a whole fleet run: per-VM outcomes in boot order plus the merged
+// fabric accounting.
+type Result struct {
+	VMs    []VMResult
+	Fabric netsim.FabricReport
+	// MakeSpan is the virtual time from the first engine's start to the
+	// last engine's completion — the fleet-level total migration time.
+	MakeSpan time.Duration
+	// Metrics is the fleet-wide registry (nil unless
+	// Options.CollectMetrics).
+	Metrics *obs.Metrics
+}
+
+// Run boots the fleet onto one clock, wires every engine through one shared
+// fabric link, and drives all of it to completion under the cooperative
+// scheduler. Engine failures land in the per-VM Err field; Run itself only
+// errors on assembly problems.
+func Run(opts Options) (*Result, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	n := len(opts.Profiles)
+	clock := simclock.New()
+	sched := simclock.NewScheduler(clock)
+	var metrics *obs.Metrics
+	if opts.CollectMetrics {
+		metrics = obs.NewMetrics(clock)
+	}
+
+	fabric := netsim.NewFabric(clock)
+	fabric.SetMetrics(metrics)
+	hosts := make([]string, 0, n+1)
+	for i := range opts.Profiles {
+		h := fmt.Sprintf("src%d", i)
+		fabric.AddHost(h, opts.NICBandwidth)
+		hosts = append(hosts, h)
+	}
+	fabric.AddHost("dst", 0)
+	fabric.AddLink("backbone", opts.Bandwidth, opts.Latency, append(hosts, "dst")...)
+
+	vms := make([]*workload.VM, n)
+	srcs := make([]*migration.Source, n)
+	execs := make([]migration.GuestExecutor, n)
+	for i, prof := range opts.Profiles {
+		vm, err := workload.Boot(workload.BootConfig{
+			Name:     fmt.Sprintf("%s-%d", prof.Name, i),
+			MemBytes: opts.MemBytes,
+			Profile:  prof,
+			Assisted: opts.Mode == migration.ModeAppAssisted,
+			Seed:     opts.Seed + int64(i),
+			Clock:    clock,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: booting VM %d: %w", i, err)
+		}
+		if metrics != nil {
+			vm.AttachObs(nil, metrics)
+		}
+		execs[i] = vm.Driver
+		if opts.Attach != nil {
+			e, err := opts.Attach(i, vm)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: attaching to VM %d: %w", i, err)
+			}
+			if e != nil {
+				execs[i] = e
+			}
+		}
+		port, err := fabric.Dial(hosts[i], "dst")
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		port.SetMetrics(metrics)
+		dest := migration.NewDestination(vm.Dom.NumPages())
+		dest.SetMetrics(metrics)
+
+		cfg := opts.Engine
+		cfg.Mode = opts.Mode
+		if metrics != nil {
+			cfg.Metrics = metrics
+		}
+		guest := vm.Guest
+		srcs[i] = &migration.Source{
+			Dom:   vm.Dom,
+			LKM:   guest.LKM,
+			Link:  port,
+			Clock: clock,
+			// Exec stays nil: the engine's advance() falls through to
+			// Clock.Advance, a cooperative sleep, and the VM's own guest
+			// process executes the workload meanwhile.
+			Dest: dest,
+			Cfg:  cfg,
+			GuestFree: func(p mem.PFN) bool {
+				return !guest.Frames.Allocated(p)
+			},
+			HintFor: guest.LKM.HintFor,
+		}
+		vms[i] = vm
+	}
+
+	res := &Result{VMs: make([]VMResult, n)}
+	for i := range res.VMs {
+		res.VMs[i].Name = vms[i].Dom.Name()
+		res.VMs[i].dest = srcs[i].Dest
+	}
+
+	// remaining gates the guest processes: they keep the workloads running —
+	// and contending for the fabric's attention via dirtied memory — until
+	// the LAST engine completes, so late migrations see realistic load.
+	// Cooperative scheduling (one process active at a time, channel-handoff
+	// ordered) makes the shared counter race-free.
+	remaining := n
+	for i := range vms {
+		vm := vms[i]
+		exec := execs[i]
+		q := opts.GuestQuantum
+		sched.Go(vm.Dom.Name()+"/guest", func() {
+			for remaining > 0 {
+				if vm.Dom.Paused() {
+					// Stop-and-copy (or post-copy pause): the guest is
+					// frozen; idle this quantum without executing.
+					clock.Advance(q)
+				} else {
+					exec.Run(q)
+				}
+			}
+		})
+	}
+	for i := range vms {
+		i := i
+		vm := vms[i]
+		src := srcs[i]
+		startAt := opts.Warmup + time.Duration(i)*opts.Stagger
+		sched.Go(vm.Dom.Name()+"/engine", func() {
+			defer func() { remaining-- }()
+			if d := startAt - clock.Now(); d > 0 {
+				clock.Advance(d)
+			}
+			r := &res.VMs[i]
+			r.StartAt = clock.Now()
+			report, err := src.Migrate()
+			r.EndAt = clock.Now()
+			r.Report = report
+			if err != nil {
+				r.Err = err
+				return
+			}
+			if werr := vm.Driver.Err; werr != nil {
+				r.Err = fmt.Errorf("fleet: workload failed during migration: %w", werr)
+				return
+			}
+			hist := vm.Heap.GCHistory()
+			for j := len(hist) - 1; j >= 0; j-- {
+				if st := hist[j]; st.Enforced {
+					r.EnforcedGC = st.Duration
+					break
+				}
+			}
+			r.WorkloadDowntime = report.VMDowntime
+			if report.EffectiveMode() == migration.ModeAppAssisted {
+				r.WorkloadDowntime += r.EnforcedGC + report.FinalUpdate
+			}
+			// Verify NOW, while this process still holds the baton: no other
+			// process has run since the engine finished, so the source store
+			// is exactly what stop-and-copy shipped.
+			if !opts.SkipVerify && report.PostCopy == nil {
+				r.VerifyErr = migration.VerifyMigration(
+					vm.Dom.Store(), src.Dest.Store, report.FinalTransfer,
+					func(p mem.PFN) bool { return vm.Guest.Frames.Allocated(p) })
+			}
+		})
+	}
+	sched.Run()
+
+	var first, last time.Duration
+	for i := range res.VMs {
+		r := &res.VMs[i]
+		if i == 0 || r.StartAt < first {
+			first = r.StartAt
+		}
+		if r.EndAt > last {
+			last = r.EndAt
+		}
+	}
+	res.MakeSpan = last - first
+	res.Fabric = fabric.Report()
+	res.Metrics = metrics
+	return res, nil
+}

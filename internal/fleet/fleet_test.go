@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"javmm/internal/migration"
+	"javmm/internal/workload"
+)
+
+func profiles(t *testing.T, names ...string) []workload.Profile {
+	t.Helper()
+	out := make([]workload.Profile, len(names))
+	for i, n := range names {
+		p, err := workload.Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// fleetOpts is the canonical 4-VM contended run the acceptance criterion
+// names: four VMs on one shared gigabit backbone, staggered starts.
+func fleetOpts(t *testing.T, mode migration.Mode) Options {
+	return Options{
+		Mode:     mode,
+		Profiles: profiles(t, "compress", "crypto", "derby", "xml"),
+		Seed:     7,
+		Warmup:   10 * time.Second,
+		Stagger:  500 * time.Millisecond,
+	}
+}
+
+// Acceptance: a 4-VM run over one shared link is deterministic — the same
+// options produce identical per-VM Reports and an identical merged fabric
+// report, run to run, under -race.
+func TestFleetDeterministic(t *testing.T) {
+	for _, mode := range []migration.Mode{migration.ModeVanilla, migration.ModeAppAssisted} {
+		t.Run(mode.String(), func(t *testing.T) {
+			r1, err := Run(fleetOpts(t, mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Run(fleetOpts(t, mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range r1.VMs {
+				a, b := r1.VMs[i], r2.VMs[i]
+				if a.Err != nil || b.Err != nil {
+					t.Fatalf("VM %s errored: %v / %v", a.Name, a.Err, b.Err)
+				}
+				if a.VerifyErr != nil {
+					t.Fatalf("VM %s failed verification: %v", a.Name, a.VerifyErr)
+				}
+				if !reflect.DeepEqual(a.Report, b.Report) {
+					t.Fatalf("VM %s reports diverge between runs:\n%+v\n%+v", a.Name, a.Report, b.Report)
+				}
+				if a.StartAt != b.StartAt || a.EndAt != b.EndAt {
+					t.Fatalf("VM %s engine window diverges: [%v,%v] vs [%v,%v]",
+						a.Name, a.StartAt, a.EndAt, b.StartAt, b.EndAt)
+				}
+			}
+			if !reflect.DeepEqual(r1.Fabric, r2.Fabric) {
+				t.Fatalf("fabric reports diverge:\n%+v\n%+v", r1.Fabric, r2.Fabric)
+			}
+			if r1.MakeSpan != r2.MakeSpan {
+				t.Fatalf("makespan diverges: %v vs %v", r1.MakeSpan, r2.MakeSpan)
+			}
+		})
+	}
+}
+
+// Contention sanity: the same VM migrating alongside three peers on one
+// backbone takes longer than migrating alone on it, and the backbone's byte
+// accounting covers every engine's bulk traffic.
+func TestFleetContentionSlowsMigration(t *testing.T) {
+	solo, err := Run(Options{
+		Mode:     migration.ModeVanilla,
+		Profiles: profiles(t, "compress"),
+		Seed:     7,
+		Warmup:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := Run(fleetOpts(t, migration.ModeVanilla))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloTime := solo.VMs[0].Report.TotalTime
+	crowdTime := crowd.VMs[0].Report.TotalTime
+	if crowdTime <= soloTime {
+		t.Fatalf("contended migration (%v) not slower than solo (%v)", crowdTime, soloTime)
+	}
+
+	var backbone uint64
+	for _, lu := range crowd.Fabric.Links {
+		if lu.Name == "backbone" {
+			backbone = lu.BytesSent
+		}
+	}
+	var engines uint64
+	for _, vm := range crowd.VMs {
+		engines += vm.Report.TotalBytes()
+	}
+	// The backbone carries the engines' bulk traffic; control round-trips and
+	// (post-copy) demand fetches ride the port's latency model instead, so
+	// the trunk total can only be <= the engines' wire total — and for
+	// pre-copy modes, equal.
+	if backbone != engines {
+		t.Fatalf("backbone carried %d bytes, engines report %d on the wire", backbone, engines)
+	}
+	if crowd.MakeSpan <= 0 {
+		t.Fatalf("makespan %v, want > 0", crowd.MakeSpan)
+	}
+}
+
+// Every mode drives to completion under the scheduler, including the
+// post-copy and hybrid engines' switchover/prefetch paths.
+func TestFleetAllModes(t *testing.T) {
+	for _, mode := range []migration.Mode{
+		migration.ModeVanilla, migration.ModeAppAssisted,
+		migration.ModePostCopy, migration.ModeHybrid,
+	} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res, err := Run(Options{
+				Mode:     mode,
+				Profiles: profiles(t, "compress", "crypto"),
+				Seed:     3,
+				Warmup:   10 * time.Second,
+				Stagger:  250 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, vm := range res.VMs {
+				if vm.Err != nil {
+					t.Fatalf("VM %s: %v", vm.Name, vm.Err)
+				}
+				if vm.VerifyErr != nil {
+					t.Fatalf("VM %s verification: %v", vm.Name, vm.VerifyErr)
+				}
+				if vm.Report == nil || vm.Report.TotalTime <= 0 {
+					t.Fatalf("VM %s produced no usable report", vm.Name)
+				}
+			}
+		})
+	}
+}
+
+// Options validation: an empty fleet is an error, not a silent no-op.
+func TestFleetEmpty(t *testing.T) {
+	if _, err := Run(Options{Mode: migration.ModeVanilla}); err == nil {
+		t.Fatal("empty fleet ran")
+	}
+}

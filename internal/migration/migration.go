@@ -461,6 +461,26 @@ func (s *Source) advance(d time.Duration) {
 	s.Clock.Advance(d)
 }
 
+// sendBulk moves n payload bytes over the link. On a plain link it is
+// SendErr: the caller owns the clock and pays the returned duration itself
+// (elapsed=false), which keeps every single-migration run byte-identical.
+// On an arbitrated fabric port the transfer contends with every other tenant
+// of its path: sendBulk blocks until completion — cooperatively under a
+// scheduler, so other engines and guests run meanwhile — and returns the
+// contended duration with elapsed=true, the clock having already moved.
+func (s *Source) sendBulk(n uint64) (d time.Duration, elapsed bool, err error) {
+	if !s.Link.Arbitrated() {
+		d, err = s.Link.SendErr(n)
+		return d, false, err
+	}
+	tr, err := s.Link.Transfer(n)
+	if err != nil {
+		return 0, false, err
+	}
+	d, err = tr.Wait()
+	return d, true, err
+}
+
 // runIteration scans the to-send set once, pushing transferable pages to the
 // sink in chunks and interleaving guest execution. The skip policy and wire
 // codec bound for this run decide what moves and at what cost.
@@ -507,9 +527,10 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 		cs := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindChunk, "chunk",
 			obs.Int("pages", len(chunk)), obs.Uint64("wire_bytes", chunkWire))
 		var d time.Duration
+		var elapsed bool
 		send := func() error {
 			var err error
-			d, err = s.Link.SendErr(chunkWire)
+			d, elapsed, err = s.sendBulk(chunkWire)
 			return err
 		}
 		if err := send(); err != nil {
@@ -541,7 +562,9 @@ func (s *Source) runIteration(index int, toSend *mem.Bitmap, last bool) Iteratio
 		}
 		chunk = chunk[:0]
 		chunkWire = 0
-		s.advance(d)
+		if !elapsed {
+			s.advance(d)
+		}
 		cs.End()
 		// Cancellation is honoured at chunk boundaries during live
 		// iterations; stop-and-copy always runs to completion.

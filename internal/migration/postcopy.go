@@ -169,9 +169,10 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 		pc.WarmPages = resident.Count()
 	}
 	var stateTime time.Duration
+	var stateElapsed bool
 	sendState := func() error {
 		var err error
-		stateTime, err = s.Link.SendErr(cpuStateBytes)
+		stateTime, stateElapsed, err = s.sendBulk(cpuStateBytes)
 		return err
 	}
 	if err := s.withRetry("switchover", sendState); err != nil {
@@ -180,7 +181,9 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 		pausedSpan.End()
 		return s.abortRun(start)
 	}
-	s.Clock.Advance(stateTime)
+	if !stateElapsed {
+		s.Clock.Advance(stateTime)
+	}
 	s.Clock.Advance(s.Cfg.ResumptionTime)
 	s.report.Resumption = s.Cfg.ResumptionTime
 	s.report.VMDowntime = s.Clock.Now() - pauseStart
@@ -256,11 +259,12 @@ prefetch:
 			}
 			if !resident.Test(cursor) {
 				var d time.Duration
+				var elapsed bool
 				push := func() error {
 					s.Cfg.Perf.Enter(perf.StageLazyFetch)
 					defer s.Cfg.Perf.Exit()
 					var err error
-					d, err = s.Link.SendErr(wire)
+					d, elapsed, err = s.sendBulk(wire)
 					if err != nil {
 						return err
 					}
@@ -278,8 +282,12 @@ prefetch:
 				st.BytesOnWire += wire
 				s.report.TotalPagesSent++
 				s.report.CPUTime += s.Cfg.PageCopyCost
-				// The guest runs while the push is in flight...
-				s.advance(d)
+				// The guest runs while the push is in flight (on an
+				// arbitrated port the wait itself already elapsed that
+				// time, with other processes running)...
+				if !elapsed {
+					s.advance(d)
+				}
 				// ...and pays off any fault stalls it accumulated.
 				if stallDebt > 0 {
 					s.Clock.Advance(stallDebt)

@@ -1,0 +1,329 @@
+package netsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"javmm/internal/faults"
+	"javmm/internal/simclock"
+)
+
+// Satellite: Modulator return values are validated for the whole illegal
+// range. NaN is the case the old "f <= 0 || f > 1" check let through
+// silently — every comparison with NaN is false — so it is pinned here
+// alongside the ordinary out-of-range values.
+func TestModulatorValidationPinned(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		factor float64
+		panics bool
+	}{
+		{"full", 1.0, false},
+		{"half", 0.5, false},
+		{"zero", 0.0, true},
+		{"negative", -0.25, true},
+		{"above-one", 1.5, true},
+		{"nan", math.NaN(), true},
+		{"inf", math.Inf(1), true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewLink(simclock.New(), 1000, 0)
+			l.Modulator = func(time.Duration) float64 { return tc.factor }
+			defer func() {
+				if got := recover() != nil; got != tc.panics {
+					t.Fatalf("factor %v: panic=%v, want %v", tc.factor, got, tc.panics)
+				}
+			}()
+			l.Bandwidth()
+		})
+	}
+}
+
+// sharedPair builds the canonical contention topology: two sources, one
+// destination-side shared link of bw bytes/sec everyone crosses.
+func sharedPair(bw uint64) (*simclock.Clock, *Fabric, *Link, *Link) {
+	clock := simclock.New()
+	f := NewFabric(clock)
+	f.AddHost("src0", 0)
+	f.AddHost("src1", 0)
+	f.AddHost("dst", 0)
+	f.AddLink("backbone", bw, 0, "src0", "src1", "dst")
+	a, err := f.Dial("src0", "dst")
+	if err != nil {
+		panic(err)
+	}
+	b, err := f.Dial("src1", "dst")
+	if err != nil {
+		panic(err)
+	}
+	return clock, f, a, b
+}
+
+// A lone transfer on a fabric port costs exactly what the legacy Link
+// charges: the trivial single-tenant fabric is cost-identical.
+func TestFabricSingleTenantMatchesLink(t *testing.T) {
+	clock, _, a, _ := sharedPair(1000)
+	tr, err := a.Transfer(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tr.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * time.Second; d != want {
+		t.Fatalf("uncontended transfer took %v, want %v", d, want)
+	}
+	if clock.Now() != 2*time.Second {
+		t.Fatalf("clock at %v, want 2s", clock.Now())
+	}
+	if a.BytesSent() != 2000 || a.Sends() != 1 || a.Busy() != 2*time.Second {
+		t.Fatalf("port accounting = %d bytes / %d sends / %v busy", a.BytesSent(), a.Sends(), a.Busy())
+	}
+}
+
+// Satellite: two equal transfers admitted together on one shared link each
+// observe ~half the bandwidth — both finish at 2x the solo time.
+func TestFabricFairShareHalves(t *testing.T) {
+	clock, _, a, b := sharedPair(1000)
+	ta, _ := a.Transfer(1000)
+	tb, _ := b.Transfer(1000)
+	da, _ := ta.Wait()
+	db, _ := tb.Wait()
+	// Solo: 1s each. Contended the whole way: 2s each.
+	if da != 2*time.Second || db != 2*time.Second {
+		t.Fatalf("contended durations %v / %v, want 2s each", da, db)
+	}
+	if clock.Now() != 2*time.Second {
+		t.Fatalf("clock at %v, want 2s", clock.Now())
+	}
+	// Observed per-transfer rate is ~half the link: 1000 bytes in 2s.
+	if rate := float64(ta.Bytes()) / da.Seconds(); rate < 480 || rate > 520 {
+		t.Fatalf("observed rate %.0f B/s, want ~500", rate)
+	}
+}
+
+// Progressive fair share: a transfer's cost integrates over contender-set
+// changes. B arrives halfway through A's solo run; A gets full bandwidth
+// before, half after.
+func TestFabricProgressiveShare(t *testing.T) {
+	clock, _, a, b := sharedPair(1000)
+	ta, _ := a.Transfer(1000) // solo: 1s
+	clock.Advance(500 * time.Millisecond)
+	tb, _ := b.Transfer(1000)
+	da, _ := ta.Wait()
+	db, _ := tb.Wait()
+	// A: 500ms at 1000 B/s (500 B) + 500 B at 500 B/s (1s) = 1.5s total.
+	if da != 1500*time.Millisecond {
+		t.Fatalf("A took %v, want 1.5s", da)
+	}
+	// B: 1s at 500 B/s (500 B) until A finishes, then 500 B at full = 1.5s.
+	if db != 1500*time.Millisecond {
+		t.Fatalf("B took %v, want 1.5s", db)
+	}
+}
+
+// Satellite: byte conservation — the shared link's bytesSent equals the sum
+// of per-transfer (and per-port) bytes, with no float residue.
+func TestFabricByteConservation(t *testing.T) {
+	_, f, a, b := sharedPair(117_000_000)
+	sizes := []uint64{4096, 1 << 20, 3 << 20, 12345, 999999, 4096 * 7}
+	var want uint64
+	var trs []*Transfer
+	for i, n := range sizes {
+		port := a
+		if i%2 == 1 {
+			port = b
+		}
+		tr, err := port.Transfer(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += n
+		trs = append(trs, tr)
+	}
+	for _, tr := range trs {
+		if _, err := tr.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.Report()
+	if len(rep.Links) != 1 {
+		t.Fatalf("report has %d links, want 1", len(rep.Links))
+	}
+	bk := rep.Links[0]
+	if bk.Name != "backbone" || bk.BytesSent != want {
+		t.Fatalf("backbone carried %d bytes, want %d", bk.BytesSent, want)
+	}
+	if got := a.BytesSent() + b.BytesSent(); got != want {
+		t.Fatalf("ports account %d bytes, want %d", got, want)
+	}
+	if bk.Transfers != uint64(len(sizes)) {
+		t.Fatalf("backbone transfers = %d, want %d", bk.Transfers, len(sizes))
+	}
+	if bk.MaxConcurrent != len(sizes) {
+		t.Fatalf("max concurrent = %d, want %d", bk.MaxConcurrent, len(sizes))
+	}
+}
+
+// Satellite: a fault-injected partition on the shared link stalls every
+// tenant; both finish late by the partition length (within the stall-recheck
+// quantum).
+func TestFabricSharedPartitionStallsAllTenants(t *testing.T) {
+	clock, f, a, b := sharedPair(1000)
+	inj, err := faults.NewInjector(clock, faults.Plan{{
+		Site: faults.SiteLinkPartition,
+		At:   200 * time.Millisecond,
+		For:  600 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Begin() // windows are relative to arming
+	f.SetLinkFaults("backbone", inj)
+	ta, _ := a.Transfer(500) // contended: 1s, partition adds 600ms
+	tb, _ := b.Transfer(500)
+	da, _ := ta.Wait()
+	db, _ := tb.Wait()
+	want := 1600 * time.Millisecond
+	if da < want || da > want+2*stallRecheck {
+		t.Fatalf("A took %v, want ~%v (stalled by the partition)", da, want)
+	}
+	if db < want || db > want+2*stallRecheck {
+		t.Fatalf("B took %v, want ~%v (stalled by the partition)", db, want)
+	}
+}
+
+// A port-level partition gates admission with the SendErr retry contract.
+func TestFabricPortPartitionGatesAdmission(t *testing.T) {
+	clock, _, a, _ := sharedPair(1000)
+	inj, err := faults.NewInjector(clock, faults.Plan{{
+		Site: faults.SiteLinkPartition,
+		At:   0,
+		For:  100 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Begin()
+	a.SetFaults(inj)
+	if _, err := a.Transfer(100); err != ErrPartitioned {
+		t.Fatalf("admission during partition: err = %v, want ErrPartitioned", err)
+	}
+	if a.FailedSends() != 1 {
+		t.Fatalf("failedSends = %d, want 1", a.FailedSends())
+	}
+	clock.Advance(150 * time.Millisecond)
+	tr, err := a.Transfer(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Under a scheduler, N processes transferring concurrently settle to the
+// same durations as the caller-driven drive, and repeated runs are
+// byte-identical.
+func TestFabricUnderSchedulerDeterministic(t *testing.T) {
+	run := func() ([]time.Duration, FabricReport) {
+		clock := simclock.New()
+		sched := simclock.NewScheduler(clock)
+		f := NewFabric(clock)
+		f.AddHost("dst", 0)
+		ports := make([]*Link, 3)
+		for i := range ports {
+			f.AddHost([]string{"s0", "s1", "s2"}[i], 0)
+		}
+		f.AddLink("backbone", 1000, 0, "s0", "s1", "s2", "dst")
+		for i := range ports {
+			p, err := f.Dial([]string{"s0", "s1", "s2"}[i], "dst")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ports[i] = p
+		}
+		durs := make([]time.Duration, 3)
+		for i := range ports {
+			i := i
+			sched.Go([]string{"s0", "s1", "s2"}[i], func() {
+				clock.Advance(time.Duration(i) * 250 * time.Millisecond)
+				tr, err := ports[i].Transfer(1000)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				durs[i], _ = tr.Wait()
+			})
+		}
+		sched.Run()
+		return durs, f.Report()
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if !reflect.DeepEqual(d1, d2) || !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("two scheduled runs diverged:\n%v %+v\n%v %+v", d1, r1, d2, r2)
+	}
+	// Staggered arrivals: s0 runs solo for 250ms, then shares. Everyone's
+	// duration must be at least the solo cost and the set must be ordered
+	// (earlier arrivals see less lifetime contention here).
+	for i, d := range d1 {
+		if d < time.Second {
+			t.Fatalf("transfer %d took %v, less than the solo cost", i, d)
+		}
+	}
+	var total uint64
+	for _, lu := range r1.Links {
+		if lu.Name == "backbone" {
+			total = lu.BytesSent
+		}
+	}
+	if total != 3000 {
+		t.Fatalf("backbone carried %d bytes, want 3000", total)
+	}
+}
+
+// NIC caps participate in arbitration: two transfers from one NIC-capped
+// host split the NIC even when the backbone is fat.
+func TestFabricNICCapArbitrates(t *testing.T) {
+	clock := simclock.New()
+	f := NewFabric(clock)
+	f.AddHost("src", 1000) // NIC is the bottleneck
+	f.AddHost("d0", 0)
+	f.AddHost("d1", 0)
+	f.AddLink("backbone", 1_000_000, 0, "src", "d0", "d1")
+	p0, err := f.Dial("src", "d0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := f.Dial("src", "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, _ := p0.Transfer(1000)
+	t1, _ := p1.Transfer(1000)
+	d0, _ := t0.Wait()
+	d1, _ := t1.Wait()
+	if d0 != 2*time.Second || d1 != 2*time.Second {
+		t.Fatalf("NIC-capped pair took %v / %v, want 2s each", d0, d1)
+	}
+	if clock.Now() != 2*time.Second {
+		t.Fatalf("clock at %v, want 2s", clock.Now())
+	}
+}
+
+// Dial surfaces unroutable pairs and unknown hosts as errors.
+func TestFabricDialErrors(t *testing.T) {
+	f := NewFabric(simclock.New())
+	f.AddHost("a", 0)
+	f.AddHost("b", 0)
+	if _, err := f.Dial("a", "zzz"); err == nil {
+		t.Fatal("Dial to unknown host succeeded")
+	}
+	if _, err := f.Dial("a", "b"); err == nil {
+		t.Fatal("Dial with no connecting link succeeded")
+	}
+}

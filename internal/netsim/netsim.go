@@ -56,6 +56,11 @@ type Link struct {
 
 	metrics *obs.Metrics
 	faults  *faults.Injector
+
+	// fabric/path are set only on ports minted by Fabric.Dial; a plain
+	// NewLink link never arbitrates and keeps the legacy cost model exactly.
+	fabric *Fabric
+	path   []*trunk
 }
 
 // SetMetrics attaches a metrics registry: Send accounts net.bytes_sent,
@@ -88,11 +93,7 @@ func NewGigabit(clock *simclock.Clock) *Link {
 func (l *Link) Bandwidth() uint64 {
 	bw := l.bandwidth
 	if l.Modulator != nil {
-		f := l.Modulator(l.clock.Now())
-		if f <= 0 || f > 1 {
-			panic(fmt.Sprintf("netsim: modulator factor %v out of (0,1]", f))
-		}
-		bw = uint64(float64(bw) * f)
+		bw = uint64(float64(bw) * checkModFactor(l.Modulator(l.clock.Now())))
 	}
 	if f := l.faults.BandwidthFactor(); f < 1 {
 		bw = uint64(float64(bw) * f)
@@ -101,6 +102,17 @@ func (l *Link) Bandwidth() uint64 {
 		bw = 1
 	}
 	return bw
+}
+
+// checkModFactor validates a Modulator return value. The legal range is
+// (0, 1]; anything else — including NaN, which slips through naive "f <= 0
+// || f > 1" comparisons because every comparison with NaN is false — would
+// corrupt transfer-cost arithmetic silently, so it panics instead.
+func checkModFactor(f float64) float64 {
+	if !(f > 0 && f <= 1) { // NaN fails this too: !(false) = panic
+		panic(fmt.Sprintf("netsim: modulator factor %v out of (0,1]", f))
+	}
+	return f
 }
 
 // Latency returns the link's one-way latency.

@@ -1,0 +1,218 @@
+package simclock
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Scheduler runs cooperative processes against one Clock, deterministically.
+//
+// Exactly one process executes at any moment; control passes between the
+// scheduler and a process over unbuffered channels, so every handoff is a
+// happens-before edge and a scheduled run is race-free by construction. A
+// process that calls Clock.Advance (directly or through any code written
+// against the caller-driven contract) parks for that much virtual time while
+// other processes and timers run. Wakeups ride the clock's existing timer
+// queue, so everything that happens at one virtual instant — timer callbacks
+// and process resumptions alike — fires in registration (seq) order. The
+// result: a same-seed run is byte-identical regardless of goroutine
+// interleaving, because goroutines never actually interleave.
+//
+// The zero Scheduler is not usable; build one with NewScheduler, spawn
+// processes with Go, then call Run to drive everything to completion.
+type Scheduler struct {
+	clock   *Clock
+	procs   []*Proc // every spawned, not-yet-finished process
+	runq    []*Proc // runnable, in wakeup order
+	active  *Proc   // the process currently executing, if any
+	running bool
+}
+
+// NewScheduler attaches a new scheduler to the clock. A clock carries at most
+// one scheduler; attaching a second panics.
+func NewScheduler(c *Clock) *Scheduler {
+	if c.sched != nil {
+		panic("simclock: clock already has a scheduler")
+	}
+	s := &Scheduler{clock: c}
+	c.sched = s
+	return s
+}
+
+// Scheduler returns the scheduler attached to the clock, or nil.
+func (c *Clock) Scheduler() *Scheduler { return c.sched }
+
+// Clock returns the clock the scheduler drives.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// Active returns the process currently executing, or nil when control is
+// with the scheduler (or no Run is in progress).
+func (s *Scheduler) Active() *Proc { return s.active }
+
+// Proc is one cooperative process. It runs on its own goroutine but only
+// while it holds the scheduler's baton; between Park and Unpark (or during a
+// Sleep) the goroutine is blocked on a channel and consumes no CPU.
+type Proc struct {
+	name   string
+	sched  *Scheduler
+	resume chan struct{} // scheduler -> process: run
+	yield  chan struct{} // process -> scheduler: parked or finished
+	done   bool
+	queued bool // in runq (guards against double-Ready)
+	pan    any  // panic captured from the process body
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Go spawns fn as a new process. The process is runnable immediately but does
+// not execute until Run (or the next scheduling point) hands it the baton;
+// same-instant processes start in Go-call order.
+func (s *Scheduler) Go(name string, fn func()) *Proc {
+	p := &Proc{
+		name:   name,
+		sched:  s,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	s.procs = append(s.procs, p)
+	s.ready(p)
+	go func() {
+		<-p.resume
+		defer func() {
+			p.pan = recover()
+			p.done = true
+			s.active = nil
+			p.yield <- struct{}{}
+		}()
+		fn()
+	}()
+	return p
+}
+
+// Run drives the system until every process has finished: it resumes
+// runnable processes in wakeup order and, when none are runnable, fires the
+// single earliest timer (which may wake processes). Run panics if processes
+// remain but nothing can ever wake them, and re-raises (annotated) any panic
+// escaping a process body.
+func (s *Scheduler) Run() {
+	if s.running {
+		panic("simclock: re-entrant Scheduler.Run")
+	}
+	if s.active != nil {
+		panic("simclock: Scheduler.Run called from inside a process")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for {
+		if len(s.runq) > 0 {
+			p := s.runq[0]
+			s.runq = s.runq[1:]
+			p.queued = false
+			s.step(p)
+			continue
+		}
+		s.reap()
+		if len(s.procs) == 0 {
+			return
+		}
+		if !s.clock.fireNext() {
+			panic(fmt.Sprintf("simclock: deadlock: no runnable process and no pending timer; parked: %s",
+				strings.Join(s.names(), ", ")))
+		}
+	}
+}
+
+// step hands the baton to p and blocks until p parks or finishes.
+func (s *Scheduler) step(p *Proc) {
+	s.active = p
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.pan != nil {
+		panic(fmt.Sprintf("simclock: process %q panicked: %v", p.name, p.pan))
+	}
+}
+
+// reap drops finished processes from the live set.
+func (s *Scheduler) reap() {
+	live := s.procs[:0]
+	for _, p := range s.procs {
+		if !p.done {
+			live = append(live, p)
+		}
+	}
+	s.procs = live
+}
+
+func (s *Scheduler) names() []string {
+	var out []string
+	for _, p := range s.procs {
+		if !p.done {
+			out = append(out, p.name)
+		}
+	}
+	return out
+}
+
+// ready queues p for execution. Queuing an already-queued process is a no-op
+// so multiple wake sources cannot run a process twice for one park.
+func (s *Scheduler) ready(p *Proc) {
+	if p.done || p.queued {
+		return
+	}
+	p.queued = true
+	s.runq = append(s.runq, p)
+}
+
+// Ready marks a parked process runnable at the current virtual instant. It is
+// the wakeup half of Park; callers outside the package use it to build
+// condition-style waits (park until some event, then Ready from the event's
+// timer callback).
+func (s *Scheduler) Ready(p *Proc) { s.ready(p) }
+
+// Park yields the baton until another party calls Scheduler.Ready(p). It must
+// be called from the running process itself.
+func (p *Proc) Park() {
+	s := p.sched
+	if s.active != p {
+		panic(fmt.Sprintf("simclock: Park of %q from outside the process", p.name))
+	}
+	s.active = nil
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep parks the calling process for d of virtual time. The wakeup is a
+// clock timer, so it is ordered against every other same-instant event by
+// seq. Sleep(0) yields: the process re-queues behind everything already
+// scheduled at the current instant. Must be called from a running process;
+// Clock.Advance forwards here automatically, so most code never calls Sleep
+// explicitly.
+func (s *Scheduler) Sleep(d time.Duration) {
+	p := s.active
+	if p == nil {
+		panic("simclock: Sleep called from outside a process")
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: Sleep(%v): negative duration", d))
+	}
+	s.clock.AfterFunc(d, func(time.Duration) { s.ready(p) })
+	p.Park()
+}
+
+// Wait parks the calling process until pred() holds, re-checking every time
+// it is woken by recheck timers registered at interval. It is a convenience
+// for polling-style conditions; event-driven code should Park and Ready
+// explicitly.
+func (s *Scheduler) Wait(pred func() bool, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	for !pred() {
+		s.Sleep(interval)
+	}
+}

@@ -18,11 +18,16 @@ import (
 
 // Clock is a virtual clock. It only moves when Advance is called; there is no
 // background ticking. Clock is not safe for concurrent use: the simulator is
-// single-threaded by design (see DESIGN.md §6).
+// single-threaded by design (see DESIGN.md §6). With a Scheduler attached
+// (see sched.go) the same discipline holds — exactly one process runs at a
+// time — but Advance calls made from inside a process become cooperative
+// sleeps, so N processes interleave deterministically on one clock.
 type Clock struct {
-	now    time.Duration
-	timers []*Timer
-	seq    int
+	now       time.Duration
+	timers    []*Timer
+	seq       int
+	sched     *Scheduler
+	advancing bool
 }
 
 // New returns a clock positioned at time zero.
@@ -34,10 +39,34 @@ func (c *Clock) Now() time.Duration { return c.now }
 // Advance moves the clock forward by d, firing any timers that expire in the
 // interval in deadline order. Advancing by a negative duration panics: virtual
 // time, like real time, does not run backwards.
+//
+// When the caller is a scheduler process, Advance is a cooperative sleep:
+// the process parks for d of virtual time while the scheduler runs other
+// processes and timers, totally ordered by (deadline, seq). Code written
+// against the caller-driven contract therefore runs unchanged inside a
+// process.
 func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("simclock: Advance(%v): negative duration", d))
 	}
+	if s := c.sched; s != nil && s.active != nil {
+		s.Sleep(d)
+		return
+	}
+	c.advanceDirect(d)
+}
+
+// advanceDirect is the caller-driven Advance: fire expiring timers in
+// (deadline, seq) order, then set the clock to the target. A timer callback
+// that re-enters Advance would move time underneath the interrupted caller's
+// arithmetic, so re-entry panics; callbacks that need to advance time must
+// run as scheduler processes instead.
+func (c *Clock) advanceDirect(d time.Duration) {
+	if c.advancing {
+		panic("simclock: re-entrant Advance: a timer callback advanced the clock (run it as a scheduler process instead)")
+	}
+	c.advancing = true
+	defer func() { c.advancing = false }()
 	target := c.now + d
 	for {
 		t := c.nextTimer(target)
@@ -50,6 +79,27 @@ func (c *Clock) Advance(d time.Duration) {
 		t.fn(c.now)
 	}
 	c.now = target
+}
+
+// fireNext fires the single earliest pending timer, advancing the clock to
+// its deadline. It reports false when no timers are pending. The scheduler
+// drive loop uses it to move time forward exactly one event at a time, so
+// process wakeups and plain timers stay totally ordered by (deadline, seq).
+func (c *Clock) fireNext() bool {
+	if c.advancing {
+		panic("simclock: re-entrant Advance: a timer callback advanced the clock (run it as a scheduler process instead)")
+	}
+	t := c.nextTimer(1<<63 - 1)
+	if t == nil {
+		return false
+	}
+	c.advancing = true
+	c.now = t.when
+	c.remove(t)
+	t.fired = true
+	t.fn(c.now)
+	c.advancing = false
+	return true
 }
 
 // AdvanceTo moves the clock forward to the absolute virtual time t.

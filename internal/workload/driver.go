@@ -408,6 +408,11 @@ type BootConfig struct {
 	// AgentHints makes the agent label the old generation and code cache
 	// with compression hints (§6 hinted-compression extension, X2).
 	AgentHints bool
+	// Clock, when non-nil, is the virtual clock the VM runs on. Fleets boot
+	// N VMs onto one shared clock (with a simclock.Scheduler) so their
+	// migrations interleave deterministically; nil boots a private clock,
+	// the single-VM default.
+	Clock *simclock.Clock
 }
 
 // Collector names for BootConfig.Collector.
@@ -447,7 +452,10 @@ func Boot(cfg BootConfig) (*VM, error) {
 			cfg.Profile.Name, boot>>20, cfg.MemBytes>>20)
 	}
 
-	clock := simclock.New()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.New()
+	}
 	dom := hypervisor.NewDomain(cfg.Name, clock, mem.NewVersionStore(cfg.MemBytes/mem.PageSize), cfg.VCPUs)
 	g := guestos.NewGuest(dom, guestos.LKMConfig{Clock: clock, FinalUpdateRewalk: cfg.LKMRewalk})
 	proc := g.NewProcess("java-" + cfg.Profile.Name)

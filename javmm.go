@@ -36,6 +36,7 @@ import (
 
 	"javmm/internal/cacheapp"
 	"javmm/internal/faults"
+	"javmm/internal/fleet"
 	"javmm/internal/guestos"
 	"javmm/internal/hypervisor"
 	"javmm/internal/jvm"
@@ -157,6 +158,25 @@ type (
 	// ResumeStats is a resumed run's account of how much of its token was
 	// honoured (Report.Resume).
 	ResumeStats = migration.ResumeStats
+	// Scheduler is the deterministic cooperative process scheduler: N
+	// processes (guests, migration engines) interleave on one virtual clock
+	// with totally ordered wakeups, so concurrent runs are reproducible.
+	Scheduler = simclock.Scheduler
+	// Fabric is the shared network substrate for concurrent migrations:
+	// hosts, NICs and links whose bandwidth is arbitrated across tenants
+	// under progressive fair share.
+	Fabric = netsim.Fabric
+	// FabricReport is the fabric's merged per-link accounting.
+	FabricReport = netsim.FabricReport
+	// LinkUsage is one shared link's utilization account.
+	LinkUsage = netsim.LinkUsage
+	// FleetOptions parameterizes MigrateMany.
+	FleetOptions = fleet.Options
+	// FleetResult is a whole fleet run: per-VM outcomes plus the fabric
+	// report and the fleet-level makespan.
+	FleetResult = fleet.Result
+	// FleetVMResult is one VM's outcome within a fleet run.
+	FleetVMResult = fleet.VMResult
 )
 
 // Fault-injection sites, re-exported from the faults package.
@@ -255,6 +275,24 @@ const (
 	// TenGigabitEthernet models the §6 upgraded environment.
 	TenGigabitEthernet = netsim.TenGigabitEffective
 )
+
+// NewScheduler attaches a cooperative process scheduler to the clock; see
+// DESIGN.md §15. Library users composing their own multi-VM scenarios start
+// here — MigrateMany wraps the common case.
+func NewScheduler(c *Clock) *Scheduler { return simclock.NewScheduler(c) }
+
+// NewFabric returns an empty network fabric on the clock; add hosts and
+// shared links, then Dial ports whose transfers contend for bandwidth.
+func NewFabric(c *Clock) *Fabric { return netsim.NewFabric(c) }
+
+// MigrateMany live-migrates N VMs concurrently over one shared network
+// fabric, all on a single deterministic clock: each VM gets a guest process
+// that keeps its workload running and an engine process driving its
+// migration, and every bulk transfer contends for the shared backbone under
+// progressive fair-share arbitration. Per-VM outcomes come back in boot
+// order together with the merged fabric accounting. Same options in, same
+// result out — bit for bit, under the race detector too.
+func MigrateMany(opts FleetOptions) (*FleetResult, error) { return fleet.Run(opts) }
 
 // NewTracer returns a tracer recording against the given virtual clock.
 func NewTracer(c *Clock) *Tracer { return obs.New(c) }

@@ -4,12 +4,20 @@
 // (the attribution breakdown). It reconciles byte-for-byte with the
 // migration report, so the tables are an audit, not an estimate.
 //
-// Three sources, one of which must be chosen:
+// Sources, one of which must be chosen:
 //
 //	javmm-analyze -run -workload derby -mode javmm     # run and analyze
 //	javmm-analyze -trace out.jsonl                     # analyze a JSONL trace
 //	javmm-analyze -metrics metrics.json                # analyze a snapshot
 //	javmm-analyze -metrics metrics.json -prom          # Prometheus exposition
+//
+// Fleet mode analyzes N concurrent migrations over one shared fabric: run a
+// fleet live, or ingest the artifacts a `javmm-migrate -peers` run exported:
+//
+//	javmm-analyze -fleet 4 -workload derby -mode javmm # run and analyze a fleet
+//	javmm-analyze -fleet 4 -prom                       # labeled Prometheus page
+//	javmm-analyze -fleet-metrics fleet.json            # ingest a fleet snapshot
+//	javmm-analyze -fleet-sla sla.json                  # ingest a fleet SLA cost
 //
 // Output is byte-identical across same-seed runs; -format csv emits each
 // table as RFC-4180 CSV for plotting.
@@ -34,6 +42,10 @@ func main() {
 	flag.BoolVar(&o.Run, "run", false, "boot a VM, migrate it and analyze the run")
 	flag.StringVar(&o.TracePath, "trace", "", "analyze an existing JSONL trace file")
 	flag.StringVar(&o.MetricsPath, "metrics", "", "analyze an existing metrics snapshot (JSON)")
+	flag.IntVar(&o.Fleet, "fleet", 0, "run an N-VM fleet of -workload over one shared link and analyze it (fleet table, per-link utilization, SLA summary)")
+	flag.StringVar(&o.FleetMetricsPath, "fleet-metrics", "", "analyze a fleet metrics snapshot (JSON from javmm-migrate -peers -metrics-out)")
+	flag.StringVar(&o.FleetSLAPath, "fleet-sla", "", "analyze a fleet SLA cost file (JSON from javmm-migrate -peers -sla-out)")
+	flag.DurationVar(&o.Stagger, "stagger", 500*time.Millisecond, "with -fleet: delay between consecutive engine starts")
 	flag.BoolVar(&o.Prom, "prom", false, "render the metrics snapshot in Prometheus text format")
 	flag.BoolVar(&o.JSON, "json", false, "with -run: emit the machine-readable analyze document (javmm-analyze/v1) instead of tables")
 	flag.StringVar(&o.Format, "format", "table", "output format: table or csv")
@@ -66,13 +78,17 @@ func main() {
 // options collects every CLI knob; run is pure in it so tests drive the full
 // command without a process boundary.
 type options struct {
-	Run         bool
-	TracePath   string
-	MetricsPath string
-	Prom        bool
-	JSON        bool
-	Format      string
-	TopN        int
+	Run              bool
+	TracePath        string
+	MetricsPath      string
+	Fleet            int
+	FleetMetricsPath string
+	FleetSLAPath     string
+	Stagger          time.Duration
+	Prom             bool
+	JSON             bool
+	Format           string
+	TopN             int
 
 	Workload   string
 	Mode       string
@@ -94,13 +110,14 @@ func run(o options, out io.Writer) error {
 		return fmt.Errorf("unknown format %q (want table or csv)", o.Format)
 	}
 	sources := 0
-	for _, set := range []bool{o.Run, o.TracePath != "", o.MetricsPath != ""} {
+	for _, set := range []bool{o.Run, o.TracePath != "", o.MetricsPath != "",
+		o.Fleet > 0, o.FleetMetricsPath != "", o.FleetSLAPath != ""} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return fmt.Errorf("choose exactly one of -run, -trace or -metrics")
+		return fmt.Errorf("choose exactly one of -run, -trace, -metrics, -fleet, -fleet-metrics or -fleet-sla")
 	}
 	if o.JSON && !o.Run {
 		return fmt.Errorf("-json requires -run (traces and metrics files have their own machine formats)")
@@ -113,6 +130,12 @@ func run(o options, out io.Writer) error {
 		return analyzeRun(o, out)
 	case o.TracePath != "":
 		return analyzeTrace(o, out)
+	case o.Fleet > 0:
+		return analyzeFleet(o, out)
+	case o.FleetMetricsPath != "":
+		return analyzeFleetMetrics(o, out)
+	case o.FleetSLAPath != "":
+		return analyzeFleetSLA(o, out)
 	default:
 		return analyzeMetrics(o, out)
 	}
@@ -279,6 +302,234 @@ func analyzeTrace(o options, out io.Writer) error {
 	fmt.Fprintf(out, "trace: %s (%d events)\n\n", o.TracePath, len(events))
 	emit(o, out, kindTable(events))
 	emit(o, out, spanTable(events))
+	return nil
+}
+
+// analyzeFleet runs an N-VM fleet with the full observability plane attached
+// and prints the fleet view: per-VM outcomes, per-link utilization with byte
+// conservation, per-flow contention and the SLA cost summary. With -prom the
+// labeled Prometheus page (per-VM vm="..." series, fleet scope="fleet"
+// series) replaces the tables; -metrics-out and -trace-out export the fleet
+// snapshot and the merged time-ordered JSONL stream.
+func analyzeFleet(o options, out io.Writer) error {
+	prof, err := javmm.Workload(o.Workload)
+	if err != nil {
+		return err
+	}
+	mode, err := javmm.ParseMode(o.Mode)
+	if err != nil {
+		return err
+	}
+	profiles := make([]javmm.Profile, o.Fleet)
+	for i := range profiles {
+		profiles[i] = prof
+	}
+	m := javmm.DefaultSLA()
+	res, err := javmm.MigrateMany(javmm.FleetOptions{
+		Mode:      mode,
+		Profiles:  profiles,
+		Seed:      o.Seed,
+		MemBytes:  o.MemMiB << 20,
+		Bandwidth: o.Bandwidth,
+		Warmup:    o.Warmup,
+		Stagger:   o.Stagger,
+		Engine:    javmm.EngineConfig{Compress: o.Compress},
+		Collect:   true,
+		SLA:       &m,
+	})
+	if err != nil {
+		return err
+	}
+	for i := range res.VMs {
+		if e := res.VMs[i].Err; e != nil {
+			return fmt.Errorf("%s: %w", res.VMs[i].Name, e)
+		}
+		if e := res.VMs[i].VerifyErr; e != nil {
+			return fmt.Errorf("%s: destination verification FAILED: %w", res.VMs[i].Name, e)
+		}
+	}
+
+	if o.TraceOut != "" {
+		if err := writeFile(o.TraceOut, func(w io.Writer) error {
+			return javmm.WriteTraceJSONL(w, res.Obs.MergedEvents())
+		}); err != nil {
+			return err
+		}
+	}
+	if o.MetricsOut != "" {
+		if err := writeFile(o.MetricsOut, func(w io.Writer) error {
+			return javmm.WriteFleetSnapshotJSON(w, res.Obs.Snapshot())
+		}); err != nil {
+			return err
+		}
+	}
+	if o.Prom {
+		return res.Obs.WritePrometheus(out)
+	}
+
+	fmt.Fprintf(out, "fleet: %d×%s mode=%s mem=%dMiB seed=%d makespan=%v\n\n",
+		o.Fleet, prof.Name, mode, o.MemMiB, o.Seed, res.MakeSpan)
+	emit(o, out, fleetTable(res))
+	emit(o, out, linkTable(res.Fabric))
+	emit(o, out, flowTable(res.Fabric))
+	if res.SLA != nil {
+		if err := res.SLA.Reconcile(); err != nil {
+			return err
+		}
+		emit(o, out, slaTable(res.SLA))
+	}
+	return nil
+}
+
+// fleetTable is the per-VM outcome roll-up of a fleet run.
+func fleetTable(res *javmm.FleetResult) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Fleet (per-VM outcomes, boot order)",
+		Header: []string{"vm", "start", "end", "total", "downtime", "wl-downtime", "traffic", "sla cost"},
+	}
+	for i := range res.VMs {
+		vm := &res.VMs[i]
+		cost := "n/a"
+		if vm.SLACost != nil {
+			cost = fmt.Sprintf("%.4f", vm.SLACost.Total)
+		}
+		t.AddRow(vm.Name,
+			fmtDur(vm.StartAt),
+			fmtDur(vm.EndAt),
+			fmtDur(vm.Report.TotalTime),
+			fmtDur(vm.Report.VMDowntime),
+			fmtDur(vm.WorkloadDowntime),
+			fmtBytes(vm.Report.TotalBytes()),
+			cost)
+	}
+	return t
+}
+
+// linkTable is the per-link utilization audit: the settled-bytes integral
+// must match the bytes the engines shipped (byte conservation), and the
+// utilization is the time-weighted mean fraction of capacity in use.
+func linkTable(rep javmm.FabricReport) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Links (time-weighted utilization; settled bytes conserve sent bytes)",
+		Header: []string{"link", "bandwidth", "bytes", "transfers", "busy", "peak", "utilization", "conservation err"},
+	}
+	for _, lu := range rep.Links {
+		t.AddRow(lu.Name,
+			fmt.Sprintf("%.0f MB/s", float64(lu.Bandwidth)/1e6),
+			fmtBytes(lu.BytesSent),
+			fmt.Sprintf("%d", lu.Transfers),
+			fmtDur(lu.Busy),
+			fmt.Sprintf("%d", lu.MaxConcurrent),
+			fmt.Sprintf("%.1f%%", lu.Utilization*100),
+			fmt.Sprintf("%.1f B", lu.ConservationError()))
+	}
+	return t
+}
+
+// flowTable is the per-flow fair-share account: what contention cost each
+// migration beyond its uncontended ideal.
+func flowTable(rep javmm.FabricReport) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Flows (fair-share queueing beyond the uncontended ideal)",
+		Header: []string{"flow", "bytes", "transfers", "queueing", "stalled"},
+	}
+	for _, fu := range rep.Flows {
+		t.AddRow(fu.Name,
+			fmtBytes(fu.BytesSent),
+			fmt.Sprintf("%d", fu.Transfers),
+			fmtDur(fu.Queueing),
+			fmtDur(fu.Stall))
+	}
+	return t
+}
+
+// slaTable is the SLA cost summary: per-VM rows plus the fleet aggregate.
+func slaTable(f *javmm.FleetSLACost) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "SLA cost (downtime × penalty + throughput-dip integral)",
+		Header: []string{"vm", "mode", "downtime", "downtime cost", "lost ops", "dip sec", "dip cost", "total"},
+	}
+	for _, c := range f.PerVM {
+		t.AddRow(c.VM, c.Mode,
+			fmtDur(c.WorkloadDowntime),
+			fmt.Sprintf("%.4f", c.DowntimeCost),
+			fmt.Sprintf("%.0f", c.LostOps),
+			fmt.Sprintf("%d", c.DipSeconds),
+			fmt.Sprintf("%.4f", c.DipCost),
+			fmt.Sprintf("%.4f", c.Total))
+	}
+	t.AddRow("fleet", "", "",
+		fmt.Sprintf("%.4f", f.DowntimeCost),
+		fmt.Sprintf("%.0f", f.LostOps),
+		"",
+		fmt.Sprintf("%.4f", f.DipCost),
+		fmt.Sprintf("%.4f", f.Total))
+	t.Notes = append(t.Notes, fmt.Sprintf("worst VM: %s", f.WorstVM))
+	return t
+}
+
+// analyzeFleetMetrics ingests a fleet snapshot (javmm-migrate -peers
+// -metrics-out) and renders per-VM key metrics plus the fleet-scoped fabric
+// registry — or, with -prom, the same labeled Prometheus page a live
+// collector would serve.
+func analyzeFleetMetrics(o options, out io.Writer) error {
+	f, err := os.Open(o.FleetMetricsPath)
+	if err != nil {
+		return err
+	}
+	snap, err := javmm.ReadFleetSnapshotJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if o.Prom {
+		return javmm.WritePrometheusLabeled(out, javmm.FleetLabeledSnapshots(snap))
+	}
+	fmt.Fprintf(out, "fleet metrics: %s (%d VMs)\n\n", o.FleetMetricsPath, len(snap.VMs))
+	t := &experiments.Table{
+		Title:  "Per-VM key metrics",
+		Header: []string{"vm", "pages sent", "bytes on wire", "iterations", "net bytes", "net sends"},
+	}
+	for _, v := range snap.VMs {
+		t.AddRow(v.Name,
+			counterCell(v.Metrics, "migration.pages_sent"),
+			counterCell(v.Metrics, "migration.bytes_on_wire"),
+			counterCell(v.Metrics, "migration.iterations"),
+			counterCell(v.Metrics, "net.bytes_sent"),
+			counterCell(v.Metrics, "net.sends"))
+	}
+	emit(o, out, t)
+	fmt.Fprintln(out, "fleet-scoped registry (fabric links):")
+	emit(o, out, counterTable(snap.Fleet))
+	emit(o, out, gaugeTable(snap.Fleet))
+	return nil
+}
+
+// counterCell renders one named counter, "0" when the registry never touched
+// it.
+func counterCell(s javmm.MetricsSnapshot, name string) string {
+	v, _ := s.Counter(name)
+	return fmt.Sprintf("%d", v)
+}
+
+// analyzeFleetSLA ingests a fleet SLA cost file, re-verifies the aggregate
+// against its rows and prints the summary table.
+func analyzeFleetSLA(o options, out io.Writer) error {
+	f, err := os.Open(o.FleetSLAPath)
+	if err != nil {
+		return err
+	}
+	cost, err := javmm.ReadFleetSLAJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if err := cost.Reconcile(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fleet SLA: %s (%d VMs, aggregate re-derives from rows)\n\n",
+		o.FleetSLAPath, len(cost.PerVM))
+	emit(o, out, slaTable(&cost))
 	return nil
 }
 

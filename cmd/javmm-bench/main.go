@@ -119,11 +119,14 @@ func run(o options, out io.Writer) error {
 		snap.Scenarios = append(snap.Scenarios, sc)
 	}
 	for _, spec := range fleetMatrix(o.Quick) {
-		fmt.Fprintf(out, "fleet    %s/%s/%dvm%*s ", spec.workload, spec.mode, spec.vms,
-			17-len(spec.workload)-len(spec.mode), "")
+		label := fmt.Sprintf("%s/%s/%dvm", spec.workload, spec.mode, spec.vms)
+		if spec.collect {
+			label += "+obs"
+		}
+		fmt.Fprintf(out, "fleet    %-28s ", label)
 		scs, err := runFleetScenario(spec, o)
 		if err != nil {
-			return fmt.Errorf("fleet %s/%s/%dvm: %w", spec.workload, spec.mode, spec.vms, err)
+			return fmt.Errorf("fleet %s: %w", label, err)
 		}
 		var pages int64
 		for _, sc := range scs {

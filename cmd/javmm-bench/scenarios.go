@@ -49,27 +49,42 @@ func scenarioMatrix(quick bool) []scenarioSpec {
 }
 
 // fleetSpec names one multi-VM contention cell: N VMs of one workload
-// migrating concurrently over a shared gigabit backbone.
+// migrating concurrently over a shared gigabit backbone. With collect set the
+// full fleet observability plane rides along (per-VM tracers, metrics,
+// ledgers, the fabric lane, progress capture, SLA pricing) — the cell's
+// timing delta against its bare twin is the obs plane's overhead.
 type fleetSpec struct {
 	workload string
 	mode     string
 	vms      int
+	collect  bool
 }
 
 func (s fleetSpec) name(vm int) string {
-	return fmt.Sprintf("fleet/%s/%s/%dvm/vm%d", s.workload, s.mode, s.vms, vm)
+	kind := "fleet"
+	if s.collect {
+		kind = "fleetobs"
+	}
+	return fmt.Sprintf("%s/%s/%s/%dvm/vm%d", kind, s.workload, s.mode, s.vms, vm)
 }
 
 // fleetMatrix is the contention coverage: the flagship javmm/derby cell at
-// the acceptance scale of four VMs on one link. Quick mode halves the fleet.
+// the acceptance scale of four VMs on one link, bare and with the full obs
+// plane attached (the fleet-obs-overhead pair). Quick mode halves the fleet.
 // The xen fleet is deliberately absent — vanilla pre-copy under 4-way
 // contention runs minutes of virtual time per repetition, and X15 already
 // covers its shape.
 func fleetMatrix(quick bool) []fleetSpec {
 	if quick {
-		return []fleetSpec{{"derby", "javmm", 2}}
+		return []fleetSpec{
+			{"derby", "javmm", 2, false},
+			{"derby", "javmm", 2, true},
+		}
 	}
-	return []fleetSpec{{"derby", "javmm", 4}}
+	return []fleetSpec{
+		{"derby", "javmm", 4, false},
+		{"derby", "javmm", 4, true},
+	}
 }
 
 // runFleetScenario measures one contention cell under the same protocol as
@@ -160,9 +175,7 @@ func fleetOnce(spec fleetSpec, o options, prof *javmm.StageProfiler) ([]perf.Det
 	for i := range profiles {
 		profiles[i] = wl
 	}
-	before := readAllocs()
-	start := time.Now()
-	res, err := javmm.MigrateMany(javmm.FleetOptions{
+	fopts := javmm.FleetOptions{
 		Mode:     mode,
 		Profiles: profiles,
 		Seed:     o.Seed,
@@ -170,7 +183,17 @@ func fleetOnce(spec fleetSpec, o options, prof *javmm.StageProfiler) ([]perf.Det
 		Warmup:   o.Warmup,
 		Stagger:  500 * time.Millisecond,
 		Engine:   javmm.EngineConfig{Perf: prof},
-	})
+	}
+	if spec.collect {
+		// The full observability plane, priced: the cell measures what
+		// tracing + metrics + ledgers + progress + SLA accounting cost.
+		fopts.Collect = true
+		m := javmm.DefaultSLA()
+		fopts.SLA = &m
+	}
+	before := readAllocs()
+	start := time.Now()
+	res, err := javmm.MigrateMany(fopts)
 	wall := time.Since(start)
 	delta := readAllocs().sub(before)
 	if err != nil {

@@ -44,6 +44,9 @@ func main() {
 	flag.StringVar(&o.TraceFormat, "trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
 	flag.BoolVar(&o.Metrics, "metrics", false, "print the metrics summary table after migration")
 	flag.StringVar(&o.MetricsOut, "metrics-out", "", "write the metrics snapshot as JSON to this file")
+	flag.BoolVar(&o.Progress, "progress", false, "print the live progress stream (phase, iteration, remaining, ETA) as the engines emit it")
+	flag.BoolVar(&o.SLA, "sla", false, "price the run against the default SLA model and print the cost summary")
+	flag.StringVar(&o.SLAOut, "sla-out", "", "with -peers: write the fleet SLA cost as JSON to this file")
 	flag.Func("fault", "inject a fault: site[@at][#nth][,key=val...] (repeatable); e.g. 'link.partition@10s,for=2s', 'lkm.handshake', 'dest.receive#3,count=2'", func(s string) error {
 		o.Faults = append(o.Faults, s)
 		return nil
@@ -81,6 +84,9 @@ type options struct {
 	TraceFormat  string // "chrome" or "jsonl"
 	Metrics      bool
 	MetricsOut   string
+	Progress     bool
+	SLA          bool
+	SLAOut       string
 	Faults       []string // -fault rule specs
 	FaultSeed    int64
 	Resume       bool
@@ -175,6 +181,9 @@ func run(o options, out io.Writer) error {
 	engine.Recovery.Seed = o.FaultSeed
 	engine.Recovery.EnableResume = o.Resume
 	engine.Integrity.Disable = !o.Verify
+	if o.Progress {
+		engine.OnProgress = func(p javmm.Progress) { printProgress(out, p.VM, p) }
+	}
 	opts := javmm.MigrateOptions{
 		Mode:      mode,
 		Bandwidth: o.Bandwidth,
@@ -273,6 +282,20 @@ func run(o options, out io.Writer) error {
 		fmt.Fprintf(out, "  verification        OK (destination pages match)\n")
 	}
 
+	if o.SLA {
+		a, err := javmm.Attribute(res, nil)
+		if err != nil {
+			return err
+		}
+		m := javmm.DefaultSLA()
+		c := javmm.BuildSLACost(vm.Dom.Name(), m, a, vm.Driver.Samples())
+		if err := c.Reconcile(m, a, vm.Driver.Samples()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  SLA cost            %.4f (downtime %.4f + dip %.4f: %.0f ops lost over %ds)\n",
+			c.Total, c.DowntimeCost, c.DipCost, c.LostOps, c.DipSeconds)
+	}
+
 	if tracer != nil {
 		if err := writeTrace(o.TracePath, o.TraceFormat, tracer.Events()); err != nil {
 			return err
@@ -315,8 +338,8 @@ func run(o options, out io.Writer) error {
 // runFleet is the -peers path: N VMs of the same workload migrate
 // concurrently over one shared backbone link, on one deterministic clock.
 func runFleet(o options, prof javmm.Profile, mode javmm.Mode, out io.Writer) error {
-	if len(o.Faults) > 0 || o.Resume || o.TracePath != "" {
-		return fmt.Errorf("-peers does not compose with -fault, -resume or -trace (single-VM features)")
+	if len(o.Faults) > 0 || o.Resume {
+		return fmt.Errorf("-peers does not compose with -fault or -resume (single-VM features)")
 	}
 	profiles := make([]javmm.Profile, o.Peers)
 	for i := range profiles {
@@ -324,17 +347,28 @@ func runFleet(o options, prof javmm.Profile, mode javmm.Mode, out io.Writer) err
 	}
 	fmt.Fprintf(out, "migrating %d %s VMs (%d MiB each, mode %s) over one shared %.0f MB/s link, engines staggered %v...\n",
 		o.Peers, prof.Name, o.MemMiB, mode, float64(o.Bandwidth)/1e6, o.Stagger)
-	res, err := javmm.MigrateMany(javmm.FleetOptions{
-		Mode:           mode,
-		Profiles:       profiles,
-		Seed:           o.Seed,
-		MemBytes:       o.MemMiB << 20,
-		Bandwidth:      o.Bandwidth,
-		Warmup:         o.Warmup,
-		Stagger:        o.Stagger,
-		Engine:         javmm.EngineConfig{Compress: o.Compress},
-		CollectMetrics: o.Metrics || o.MetricsOut != "",
-	})
+	// The full observability plane rides along whenever any of its surfaces
+	// is asked for: the merged trace, the metrics page, the live progress
+	// stream or SLA pricing.
+	fopts := javmm.FleetOptions{
+		Mode:      mode,
+		Profiles:  profiles,
+		Seed:      o.Seed,
+		MemBytes:  o.MemMiB << 20,
+		Bandwidth: o.Bandwidth,
+		Warmup:    o.Warmup,
+		Stagger:   o.Stagger,
+		Engine:    javmm.EngineConfig{Compress: o.Compress},
+	}
+	fopts.Collect = o.TracePath != "" || o.Metrics || o.MetricsOut != "" || o.Progress || o.SLA || o.SLAOut != ""
+	if o.Progress {
+		fopts.OnProgress = func(vm string, p javmm.Progress) { printProgress(out, vm, p) }
+	}
+	if o.SLA || o.SLAOut != "" {
+		m := javmm.DefaultSLA()
+		fopts.SLA = &m
+	}
+	res, err := javmm.MigrateMany(fopts)
 	if err != nil {
 		return err
 	}
@@ -365,10 +399,59 @@ func runFleet(o options, prof javmm.Profile, mode javmm.Mode, out io.Writer) err
 	fmt.Fprintf(out, "\nfleet makespan %v (first engine start to last completion)\n",
 		res.MakeSpan.Round(time.Millisecond))
 	for _, lu := range res.Fabric.Links {
-		fmt.Fprintf(out, "  link %-10s %s in %d transfers, busy %v, peak %d concurrent\n",
-			lu.Name, mb(lu.BytesSent), lu.Transfers, lu.Busy.Round(time.Millisecond), lu.MaxConcurrent)
+		fmt.Fprintf(out, "  link %-10s %s in %d transfers, busy %v, peak %d concurrent, utilization %.1f%%\n",
+			lu.Name, mb(lu.BytesSent), lu.Transfers, lu.Busy.Round(time.Millisecond),
+			lu.MaxConcurrent, lu.Utilization*100)
 	}
-	if m := res.Metrics; m != nil {
+	for _, fu := range res.Fabric.Flows {
+		if fu.Queueing > 0 || fu.Stall > 0 {
+			fmt.Fprintf(out, "  flow %-14s queued %v (stalled %v) behind fair share\n",
+				fu.Name, fu.Queueing.Round(time.Millisecond), fu.Stall.Round(time.Millisecond))
+		}
+	}
+
+	if f := res.SLA; f != nil {
+		if err := f.Reconcile(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nSLA cost (default model):\n")
+		fmt.Fprintf(out, "  %-14s %-10s %-10s %-12s %-8s %s\n",
+			"vm", "downtime", "dip", "lost-ops", "dip-sec", "total")
+		for _, c := range f.PerVM {
+			fmt.Fprintf(out, "  %-14s %-10.4f %-10.4f %-12.0f %-8d %.4f\n",
+				c.VM, c.DowntimeCost, c.DipCost, c.LostOps, c.DipSeconds, c.Total)
+		}
+		fmt.Fprintf(out, "  %-14s %-10.4f %-10.4f %-12.0f %-8s %.4f (worst: %s)\n",
+			"fleet", f.DowntimeCost, f.DipCost, f.LostOps, "", f.Total, f.WorstVM)
+		if o.SLAOut != "" {
+			if err := writeFleetSLA(o.SLAOut, *f); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  SLA cost JSON       %s\n", o.SLAOut)
+		}
+	}
+
+	if coll := res.Obs; coll != nil {
+		if o.TracePath != "" {
+			if err := writeFleetTrace(o.TracePath, o.TraceFormat, coll); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  merged trace        %s (%d lanes, %s)\n",
+				o.TracePath, len(coll.Lanes()), o.TraceFormat)
+		}
+		if o.MetricsOut != "" {
+			if err := writeFleetSnapshot(o.MetricsOut, coll.Snapshot()); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  fleet snapshot      %s\n", o.MetricsOut)
+		}
+		if o.Metrics {
+			fmt.Fprintf(out, "\nfleet metrics (Prometheus, labeled):\n")
+			if err := coll.WritePrometheus(out); err != nil {
+				return err
+			}
+		}
+	} else if m := res.Metrics; m != nil {
 		snap := m.Snapshot()
 		if o.MetricsOut != "" {
 			if err := writeMetrics(o.MetricsOut, snap); err != nil {
@@ -381,6 +464,72 @@ func runFleet(o options, prof javmm.Profile, mode javmm.Mode, out io.Writer) err
 		}
 	}
 	return firstErr
+}
+
+// printProgress renders one live progress point as a fleet status line.
+// Emission is in virtual-time order across all engines, so the stream reads
+// as the fleet's merged timeline.
+func printProgress(out io.Writer, vm string, p javmm.Progress) {
+	line := fmt.Sprintf("[%9v] %-14s %-13s iter=%d sent=%s",
+		p.At.Round(time.Millisecond), vm, p.Phase, p.Iteration, mb(p.BytesSent))
+	if p.BytesRemaining > 0 {
+		line += fmt.Sprintf(" remaining=%s", mb(p.BytesRemaining))
+		switch {
+		case p.Converging:
+			line += fmt.Sprintf(" eta=%v", p.ETA.Round(time.Millisecond))
+		case p.TransferRate > 0:
+			// An observed transfer rate that still cannot outrun the dirty
+			// rate: pre-copy will not converge at these rates.
+			line += " NOT CONVERGING"
+		}
+	}
+	fmt.Fprintln(out, line)
+}
+
+// writeFleetTrace exports the merged fleet timeline: chrome renders per-VM
+// process lanes plus the fabric lane; jsonl flattens the same events into one
+// time-ordered stream with lane-prefixed tracks.
+func writeFleetTrace(path, format string, coll *javmm.FleetCollector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "jsonl" {
+		err = javmm.WriteTraceJSONL(f, coll.MergedEvents())
+	} else {
+		err = coll.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeFleetSnapshot exports the per-VM + fleet metrics snapshot
+// (javmm-analyze -fleet ingests it).
+func writeFleetSnapshot(path string, s javmm.FleetSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = javmm.WriteFleetSnapshotJSON(f, s)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeFleetSLA exports the fleet SLA cost as JSON.
+func writeFleetSLA(path string, f javmm.FleetSLACost) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = javmm.WriteFleetSLAJSON(w, f)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // printStageProfile renders the real-clock per-stage account: where the

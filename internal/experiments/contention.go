@@ -6,6 +6,7 @@ import (
 
 	"javmm/internal/fleet"
 	"javmm/internal/migration"
+	"javmm/internal/obs/sla"
 	"javmm/internal/workload"
 )
 
@@ -26,8 +27,9 @@ func AblationContention(o Options) (*Table, error) {
 	t := &Table{
 		Title: "X15. Contention: N concurrent migrations, one gigabit fabric",
 		Header: []string{"mode", "vms", "avg total", "makespan", "avg downtime",
-			"avg wl-downtime", "backbone traffic", "peak conc"},
+			"avg wl-downtime", "backbone traffic", "peak conc", "sla cost"},
 	}
+	model := sla.Default()
 	for _, mode := range []migration.Mode{migration.ModeVanilla, migration.ModeAppAssisted} {
 		for _, n := range []int{1, 2, 4} {
 			profiles := make([]workload.Profile, n)
@@ -41,6 +43,7 @@ func AblationContention(o Options) (*Table, error) {
 				MemBytes: o.MemBytes,
 				Warmup:   o.Warmup,
 				Stagger:  500 * time.Millisecond,
+				SLA:      &model,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: contention %s/%d: %w", mode, n, err)
@@ -67,14 +70,22 @@ func AblationContention(o Options) (*Table, error) {
 					peak = lu.MaxConcurrent
 				}
 			}
+			if res.SLA == nil {
+				return nil, fmt.Errorf("experiments: contention %s/%d: no SLA aggregate", mode, n)
+			}
+			if err := res.SLA.Reconcile(); err != nil {
+				return nil, fmt.Errorf("experiments: contention %s/%d: %w", mode, n, err)
+			}
 			t.AddRow(mode.String(), fmt.Sprintf("%d", n),
 				fmtDur(total/nn), fmtDur(res.MakeSpan),
 				fmtDur(down/nn), fmtDur(wlDown/nn),
-				fmtBytes(backbone), fmt.Sprintf("%d", peak))
+				fmtBytes(backbone), fmt.Sprintf("%d", peak),
+				fmt.Sprintf("%.3f", res.SLA.Total))
 		}
 	}
 	t.Notes = append(t.Notes,
 		"fixed fabric capacity split N ways stretches every pre-copy round, giving the guests longer to re-dirty; total time grows superlinearly while JAVMM's per-VM traffic stays flat",
+		"sla cost prices the whole fleet under the default model (downtime x penalty + throughput-dip integral), reconciled per VM against the run's attribution",
 		"deterministic: same seed, same per-VM reports and fabric accounting, regardless of host scheduling")
 	return t, nil
 }

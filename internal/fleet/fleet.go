@@ -20,6 +20,10 @@ import (
 	"javmm/internal/migration"
 	"javmm/internal/netsim"
 	"javmm/internal/obs"
+	"javmm/internal/obs/attrib"
+	"javmm/internal/obs/fleetobs"
+	"javmm/internal/obs/ledger"
+	"javmm/internal/obs/sla"
 	"javmm/internal/simclock"
 	"javmm/internal/workload"
 )
@@ -67,6 +71,27 @@ type Options struct {
 	// fleet, so per-VM counters aggregate; the per-link fabric gauges
 	// (fabric.<name>.*) stay distinguishable.
 	CollectMetrics bool
+	// Collect attaches the full fleet observability plane (fleetobs): each
+	// VM gets its own tracer, metrics registry and provenance ledger wired
+	// through every instrumented layer (engine, guest OS, JVM, workload
+	// driver, destination, NIC port), the fabric records its flow spans and
+	// per-link gauges into the collector's fleet lane and fleet registry,
+	// and every engine's progress stream is captured per VM. The collector
+	// comes back as Result.Obs. Collect supersedes CollectMetrics: the
+	// legacy single shared registry (Result.Metrics) stays nil.
+	Collect bool
+	// OnProgress, when non-nil, receives every VM's live progress points —
+	// phase transitions, iteration progress, pages/bytes remaining, ETA —
+	// as the engines emit them. Delivery is in virtual-time order (the
+	// cooperative scheduler serializes all emission), so a renderer can
+	// drive a live fleet status line from it.
+	OnProgress func(vm string, p migration.Progress)
+	// SLA, when non-nil, prices each completed migration against the model
+	// — downtime × penalty plus the throughput-dip integral over the VM's
+	// sampled workload curve — and aggregates the fleet cost as Result.SLA.
+	// Each per-VM cost is reconciled tick-for-tick against the run's
+	// attribution before it is accepted.
+	SLA *sla.Model
 	// SkipVerify disables the per-VM post-migration consistency check.
 	SkipVerify bool
 }
@@ -113,6 +138,14 @@ type VMResult struct {
 	// StartAt/EndAt are the engine's bounds on the shared clock.
 	StartAt, EndAt time.Duration
 
+	// Samples is the VM's per-second throughput curve over the whole run
+	// (warmup through the last engine's completion) — the workload data the
+	// SLA dip integral prices.
+	Samples []workload.Sample
+	// SLACost prices this VM's migration (set when Options.SLA and the
+	// migration completed).
+	SLACost *sla.Cost
+
 	dest *migration.Destination
 }
 
@@ -130,6 +163,12 @@ type Result struct {
 	// Metrics is the fleet-wide registry (nil unless
 	// Options.CollectMetrics).
 	Metrics *obs.Metrics
+	// Obs is the fleet observability collector: per-VM trace lanes, labeled
+	// metrics, captured progress streams, the fabric lane (nil unless
+	// Options.Collect).
+	Obs *fleetobs.Collector
+	// SLA is the fleet cost aggregate (nil unless Options.SLA).
+	SLA *sla.FleetCost
 }
 
 // Run boots the fleet onto one clock, wires every engine through one shared
@@ -144,12 +183,22 @@ func Run(opts Options) (*Result, error) {
 	clock := simclock.New()
 	sched := simclock.NewScheduler(clock)
 	var metrics *obs.Metrics
-	if opts.CollectMetrics {
+	if opts.CollectMetrics && !opts.Collect {
 		metrics = obs.NewMetrics(clock)
+	}
+	var coll *fleetobs.Collector
+	if opts.Collect {
+		coll = fleetobs.New(clock)
+		coll.OnProgress = opts.OnProgress
 	}
 
 	fabric := netsim.NewFabric(clock)
-	fabric.SetMetrics(metrics)
+	if coll != nil {
+		fabric.SetTracer(coll.FabricTracer())
+		fabric.SetMetrics(coll.FleetMetrics())
+	} else {
+		fabric.SetMetrics(metrics)
+	}
 	hosts := make([]string, 0, n+1)
 	for i := range opts.Profiles {
 		h := fmt.Sprintf("src%d", i)
@@ -163,8 +212,13 @@ func Run(opts Options) (*Result, error) {
 	srcs := make([]*migration.Source, n)
 	execs := make([]migration.GuestExecutor, n)
 	for i, prof := range opts.Profiles {
+		name := fmt.Sprintf("%s-%d", prof.Name, i)
+		var plane *fleetobs.VMPlane
+		if coll != nil {
+			plane = coll.AttachVM(name)
+		}
 		vm, err := workload.Boot(workload.BootConfig{
-			Name:     fmt.Sprintf("%s-%d", prof.Name, i),
+			Name:     name,
 			MemBytes: opts.MemBytes,
 			Profile:  prof,
 			Assisted: opts.Mode == migration.ModeAppAssisted,
@@ -174,7 +228,9 @@ func Run(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: booting VM %d: %w", i, err)
 		}
-		if metrics != nil {
+		if plane != nil {
+			vm.AttachObs(plane.Tracer, plane.Metrics)
+		} else if metrics != nil {
 			vm.AttachObs(nil, metrics)
 		}
 		execs[i] = vm.Driver
@@ -191,14 +247,27 @@ func Run(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: %w", err)
 		}
-		port.SetMetrics(metrics)
 		dest := migration.NewDestination(vm.Dom.NumPages())
-		dest.SetMetrics(metrics)
 
 		cfg := opts.Engine
 		cfg.Mode = opts.Mode
-		if metrics != nil {
-			cfg.Metrics = metrics
+		if plane != nil {
+			port.SetMetrics(plane.Metrics)
+			dest.SetMetrics(plane.Metrics)
+			cfg.Tracer = plane.Tracer
+			cfg.Metrics = plane.Metrics
+			cfg.Ledger = plane.Ledger
+		} else {
+			port.SetMetrics(metrics)
+			dest.SetMetrics(metrics)
+			if metrics != nil {
+				cfg.Metrics = metrics
+			}
+			if opts.OnProgress != nil {
+				vmName := name
+				cb := opts.OnProgress
+				cfg.OnProgress = func(p migration.Progress) { cb(vmName, p) }
+			}
 		}
 		guest := vm.Guest
 		srcs[i] = &migration.Source{
@@ -306,5 +375,37 @@ func Run(opts Options) (*Result, error) {
 	res.MakeSpan = last - first
 	res.Fabric = fabric.Report()
 	res.Metrics = metrics
+	res.Obs = coll
+
+	for i := range res.VMs {
+		res.VMs[i].Samples = vms[i].Driver.Samples()
+	}
+	if opts.SLA != nil {
+		costs := make([]sla.Cost, 0, n)
+		for i := range res.VMs {
+			r := &res.VMs[i]
+			if r.Err != nil || r.Report == nil {
+				continue
+			}
+			var led *ledger.Ledger
+			if coll != nil {
+				led = coll.VMs()[i].Ledger
+			}
+			a := attrib.Build(r.Report, r.EnforcedGC, led)
+			if err := a.Reconcile(r.Report); err != nil {
+				r.Err = fmt.Errorf("fleet: attribution for %s does not reconcile: %w", r.Name, err)
+				continue
+			}
+			c := sla.Build(r.Name, *opts.SLA, a, r.Samples)
+			if err := c.Reconcile(*opts.SLA, a, r.Samples); err != nil {
+				r.Err = fmt.Errorf("fleet: SLA cost for %s does not reconcile: %w", r.Name, err)
+				continue
+			}
+			r.SLACost = &c
+			costs = append(costs, c)
+		}
+		f := sla.Aggregate(costs)
+		res.SLA = &f
+	}
 	return res, nil
 }

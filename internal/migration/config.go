@@ -120,6 +120,15 @@ type Config struct {
 	// identical data.
 	OnIteration func(IterationStats)
 
+	// OnProgress, if non-nil, receives the live progress stream: a typed
+	// Progress point at every lifecycle transition (start, each pre-copy
+	// round, prepare, stop-and-copy, post-copy switchover, done/aborted)
+	// carrying cumulative pages/bytes, the outstanding estimate, observed
+	// dirty/transfer rates and the clamped ETA. Like OnIteration it rides
+	// the event bus when a Tracer is configured (obs.KindProgress instants),
+	// so both surfaces see identical data.
+	OnProgress func(Progress)
+
 	// Tracer, if non-nil, receives the engine's structured trace: a span
 	// per migration run, per iteration and per page-chunk push, the
 	// pre-suspension handshake, the final bitmap update, suspension and

@@ -185,6 +185,8 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		})
 		defer cancel()
 	}
+	cancelProgress := s.subscribeProgress()
+	defer cancelProgress()
 	runSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindMigration,
 		"migrate "+s.Cfg.Mode.String(), obs.Str("mode", s.Cfg.Mode.String()))
 	defer runSpan.End()
@@ -242,6 +244,8 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		s.skippedEver = mem.NewBitmap(n)
 	}
 
+	s.emitProgress(ProgressStart, 0, toSend.Count(), 0, 0)
+
 	var everDirty *mem.Bitmap
 	if s.Cfg.ConservativeLastIter {
 		everDirty = mem.NewBitmap(n)
@@ -286,6 +290,7 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		// every early return closes it explicitly first (double-closing is a
 		// recorded tracer misuse, so no backstop defer).
 		prepSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindPrepare, "prepare-suspension")
+		s.emitProgress(ProgressPrepare, iter, 0, 0, 0)
 		s.proto.EnterLastIter()
 		iter++
 		newRound()
@@ -390,6 +395,7 @@ func (s *Source) migratePreCopy() (*Report, error) {
 	s.Dom.Unpause()
 	pausedSpan.End(obs.Dur("downtime", s.report.VMDowntime))
 	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindResume, "vm-resume", nil)
+	s.emitProgress(ProgressDone, iter, 0, 0, 0)
 
 	if s.proto != nil {
 		s.proto.Resumed()
@@ -428,6 +434,19 @@ func (s *Source) notifyIteration(st IterationStats) {
 	} else if s.Cfg.OnIteration != nil {
 		s.Cfg.OnIteration(st)
 	}
+	// Each iteration also yields a progress point: the pages dirtied while a
+	// live round ran are exactly the next round's workload, so they are the
+	// outstanding estimate the ETA races against.
+	phase := ProgressPreCopy
+	remaining := st.PagesDirtiedDuring
+	if st.Last {
+		remaining = 0
+		phase = ProgressStopAndCopy
+		if s.report.PostCopy != nil {
+			phase = ProgressPostCopy
+		}
+	}
+	s.emitProgress(phase, st.Index, remaining, st.DirtyRate(), st.TransferRate())
 	if m := s.Cfg.Metrics; m != nil {
 		m.Counter("migration.iterations").Inc()
 		m.Counter("migration.pages_examined").Add(int64(st.PagesConsidered))

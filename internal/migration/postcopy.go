@@ -95,11 +95,14 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 		})
 		defer cancel()
 	}
+	cancelProgress := s.subscribeProgress()
+	defer cancelProgress()
 	start := s.Clock.Now()
 	s.startedAt = start
 	runSpan := s.Cfg.Tracer.Begin(obs.TrackMigration, obs.KindMigration,
 		"migrate "+s.Cfg.Mode.String(), obs.Str("mode", s.Cfg.Mode.String()))
 	defer runSpan.End()
+	s.emitProgress(ProgressStart, 0, n, 0, 0)
 
 	// resident tracks which pages the destination already holds at their
 	// final content. The warm phase seeds it; the demand-fetch phase
@@ -192,6 +195,9 @@ func (s *Source) migrateLazy(warm bool) (*Report, error) {
 	s.Cfg.Tracer.Emit(obs.TrackMigration, obs.KindResume, "vm-resume", nil)
 
 	missing := n - resident.Count()
+	// Switchover marker: the VM now runs at the destination with `missing`
+	// pages still to fetch — the quantity the lazy phase's ETA drains.
+	s.emitProgress(ProgressPostCopy, iter+1, missing, 0, 0)
 	var stallDebt time.Duration
 	wire := s.Dom.Store().WireSize()
 	lazyIter := iter + 1 // the ledger iteration index of the whole lazy phase
@@ -333,5 +339,6 @@ prefetch:
 	s.report.FinalTransfer = mem.NewBitmap(n)
 	s.report.FinalTransfer.SetAll()
 	s.report.TotalTime = s.Clock.Now() - start
+	s.emitProgress(ProgressDone, iter+1, 0, 0, 0)
 	return s.report, nil
 }

@@ -1,0 +1,267 @@
+package migration
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"javmm/internal/mem"
+	"javmm/internal/obs"
+)
+
+func TestEstimateETA(t *testing.T) {
+	cases := []struct {
+		name      string
+		remaining uint64
+		xfer      float64
+		dirty     float64
+		wantETA   time.Duration
+		wantConv  bool
+		exactETA  bool // compare ETA exactly, not just the clamp/flag
+	}{
+		{"nothing-left", 0, 0, 0, 0, true, true},
+		{"no-transfer-rate", 1 << 20, 0, 0, MaxETA, false, true},
+		{"negative-transfer-rate", 1 << 20, -5, 0, MaxETA, false, true},
+		{"dirty-equals-transfer", 1 << 20, 1e6, 1e6, MaxETA, false, true},
+		{"dirty-outruns-transfer", 1 << 20, 1e6, 2e6, MaxETA, false, true},
+		{"converging-but-slow", 1 << 60, 1.0, 0, MaxETA, true, true},
+		{"normal", 100 * 1000 * 1000, 100e6, 50e6, 2 * time.Second, true, true},
+		{"near-overflow-remaining", 1<<64 - 1, 1e-300, 0, MaxETA, true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			eta, conv := EstimateETA(c.remaining, c.xfer, c.dirty)
+			if conv != c.wantConv {
+				t.Fatalf("converging = %v, want %v", conv, c.wantConv)
+			}
+			if c.exactETA && eta != c.wantETA {
+				t.Fatalf("eta = %v, want %v", eta, c.wantETA)
+			}
+			// Satellite 2's contract: never negative, never past the clamp.
+			if eta < 0 || eta > MaxETA {
+				t.Fatalf("eta %v outside [0, MaxETA]", eta)
+			}
+		})
+	}
+}
+
+// collectProgress runs a migration with OnProgress collecting the stream.
+func collectProgress(t *testing.T, r *testRig, cfg Config, exec GuestExecutor, useTracer bool) ([]Progress, *Report, error) {
+	t.Helper()
+	var stream []Progress
+	cfg.OnProgress = func(p Progress) { stream = append(stream, p) }
+	if useTracer {
+		cfg.Tracer = obs.New(r.clock)
+	}
+	rep, err := r.source(cfg, exec).Migrate()
+	return stream, rep, err
+}
+
+func checkStreamInvariants(t *testing.T, stream []Progress) {
+	t.Helper()
+	if len(stream) == 0 {
+		t.Fatal("no progress points")
+	}
+	if stream[0].Phase != ProgressStart {
+		t.Fatalf("first phase = %q, want start", stream[0].Phase)
+	}
+	var lastAt time.Duration
+	var lastBytes uint64
+	for i, p := range stream {
+		if p.VM != "vm" {
+			t.Fatalf("point %d: VM = %q, want vm", i, p.VM)
+		}
+		if p.At < lastAt {
+			t.Fatalf("point %d: time went backwards (%v after %v)", i, p.At, lastAt)
+		}
+		if p.BytesSent < lastBytes {
+			t.Fatalf("point %d: cumulative bytes shrank (%d after %d)", i, p.BytesSent, lastBytes)
+		}
+		if p.ETA < 0 || p.ETA > MaxETA {
+			t.Fatalf("point %d: ETA %v outside [0, MaxETA]", i, p.ETA)
+		}
+		if p.BytesRemaining != p.PagesRemaining*mem.PageSize {
+			t.Fatalf("point %d: bytes remaining %d != pages %d × page size", i, p.BytesRemaining, p.PagesRemaining)
+		}
+		lastAt, lastBytes = p.At, p.BytesSent
+	}
+}
+
+func TestProgressStreamVanilla(t *testing.T) {
+	r := newRig(4096, 100*1000*1000)
+	hot := mem.VARange{Start: 0x1000000, End: 0x1000000 + 256*mem.PageSize}
+	sc := newScribbler(r.guest, r.clock, hot, 1000)
+	stream, rep, err := collectProgress(t, r, Config{Mode: ModeVanilla}, sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStreamInvariants(t, stream)
+	last := stream[len(stream)-1]
+	if last.Phase != ProgressDone {
+		t.Fatalf("last phase = %q, want done", last.Phase)
+	}
+	// One start, one point per iteration, one stop-and-copy, one done.
+	if want := 2 + len(rep.Iterations); len(stream) != want {
+		t.Fatalf("stream has %d points, want %d (start + %d iterations + done)",
+			len(stream), want, len(rep.Iterations))
+	}
+	var sawStopCopy bool
+	for _, p := range stream {
+		if p.Phase == ProgressStopAndCopy {
+			sawStopCopy = true
+		}
+	}
+	if !sawStopCopy {
+		t.Fatal("no stop-and-copy point in stream")
+	}
+	if last.PagesSent != rep.TotalPagesSent || last.BytesSent != rep.TotalBytes() {
+		t.Fatalf("done point (%d pages, %d bytes) does not match report (%d, %d)",
+			last.PagesSent, last.BytesSent, rep.TotalPagesSent, rep.TotalBytes())
+	}
+	// The start point's outstanding estimate is the whole VM.
+	if stream[0].PagesRemaining != 4096 {
+		t.Fatalf("start point remaining = %d pages, want 4096", stream[0].PagesRemaining)
+	}
+}
+
+func TestProgressRidesEventBus(t *testing.T) {
+	run := func(useTracer bool) []Progress {
+		r := newRig(2048, 100*1000*1000)
+		hot := mem.VARange{Start: 0x1000000, End: 0x1000000 + 128*mem.PageSize}
+		sc := newScribbler(r.guest, r.clock, hot, 500)
+		stream, _, err := collectProgress(t, r, Config{Mode: ModeVanilla}, sc, useTracer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stream
+	}
+	direct := run(false)
+	viaBus := run(true)
+	if len(direct) != len(viaBus) {
+		t.Fatalf("direct stream has %d points, via event bus %d", len(direct), len(viaBus))
+	}
+	for i := range direct {
+		if direct[i] != viaBus[i] {
+			t.Fatalf("point %d differs: direct %+v, via bus %+v", i, direct[i], viaBus[i])
+		}
+	}
+}
+
+func TestProgressEventsInTrace(t *testing.T) {
+	r := newRig(1024, 100*1000*1000)
+	tr := obs.New(r.clock)
+	var fromBus []Progress
+	cancel := tr.Subscribe(func(e obs.Event) {
+		if e.Kind != obs.KindProgress {
+			return
+		}
+		p, ok := e.Data.(Progress)
+		if !ok {
+			t.Fatalf("KindProgress event carries %T, want Progress", e.Data)
+		}
+		fromBus = append(fromBus, p)
+	})
+	defer cancel()
+	if _, err := r.source(Config{Mode: ModeVanilla, Tracer: tr}, nil).Migrate(); err != nil {
+		t.Fatal(err)
+	}
+	checkStreamInvariants(t, fromBus)
+	for _, e := range tr.Events() {
+		if e.Kind == obs.KindProgress && e.Track != obs.TrackMigration {
+			t.Fatalf("progress event on track %q, want %q", e.Track, obs.TrackMigration)
+		}
+	}
+}
+
+func TestProgressStreamPostCopy(t *testing.T) {
+	r := newRig(2048, 100*1000*1000)
+	stream, rep, err := collectProgress(t, r, Config{Mode: ModePostCopy}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStreamInvariants(t, stream)
+	var sawSwitch bool
+	for _, p := range stream {
+		if p.Phase == ProgressPostCopy && p.PagesRemaining == 2048 {
+			sawSwitch = true // switchover marker: everything still to fetch
+		}
+	}
+	if !sawSwitch {
+		t.Fatal("no post-copy switchover marker with the full VM outstanding")
+	}
+	last := stream[len(stream)-1]
+	if last.Phase != ProgressDone {
+		t.Fatalf("last phase = %q, want done", last.Phase)
+	}
+	if last.BytesSent != rep.TotalBytes() {
+		t.Fatalf("done point bytes %d != report %d", last.BytesSent, rep.TotalBytes())
+	}
+}
+
+func TestProgressStreamHybridPhases(t *testing.T) {
+	r := newRig(2048, 100*1000*1000)
+	hot := mem.VARange{Start: 0x1000000, End: 0x1000000 + 128*mem.PageSize}
+	sc := newScribbler(r.guest, r.clock, hot, 500)
+	stream, _, err := collectProgress(t, r, Config{Mode: ModeHybrid}, sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStreamInvariants(t, stream)
+	var sawWarm, sawLazy bool
+	for _, p := range stream {
+		if p.Phase == ProgressPreCopy {
+			sawWarm = true
+		}
+		if p.Phase == ProgressPostCopy {
+			sawLazy = true
+		}
+	}
+	if !sawWarm || !sawLazy {
+		t.Fatalf("hybrid stream missing phases: warm=%v lazy=%v", sawWarm, sawLazy)
+	}
+}
+
+func TestProgressStreamAborted(t *testing.T) {
+	r := newRig(8192, 10*1000*1000)
+	hot := mem.VARange{Start: 0x1000000, End: 0x1000000 + 1024*mem.PageSize}
+	sc := newScribbler(r.guest, r.clock, hot, 20000)
+	stream, _, err := collectProgress(t, r,
+		Config{Mode: ModeVanilla, CancelAfter: 500 * time.Millisecond, MaxTrafficFactor: -1}, sc, false)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	last := stream[len(stream)-1]
+	if last.Phase != ProgressAborted {
+		t.Fatalf("last phase = %q, want aborted", last.Phase)
+	}
+}
+
+func TestProgressNonConvergingFlagged(t *testing.T) {
+	// Slow link, fast dirtier: live rounds cannot drain the dirty set, so
+	// the stream must flag non-convergence with the ETA clamped — never a
+	// negative or overflowed duration (satellite 2).
+	r := newRig(4096, 10*1000*1000) // ~2441 pages/s of link
+	hot := mem.VARange{Start: 0x1000000, End: 0x1000000 + 1024*mem.PageSize}
+	sc := newScribbler(r.guest, r.clock, hot, 20000)
+	stream, _, err := collectProgress(t, r,
+		Config{Mode: ModeVanilla, MaxTrafficFactor: -1}, sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStreamInvariants(t, stream)
+	var flagged bool
+	for _, p := range stream {
+		if p.Phase != ProgressPreCopy || p.PagesRemaining == 0 {
+			continue
+		}
+		if !p.Converging {
+			flagged = true
+			if p.ETA != MaxETA {
+				t.Fatalf("non-converging point has ETA %v, want MaxETA", p.ETA)
+			}
+		}
+	}
+	if !flagged {
+		t.Fatal("fast dirtier never flagged as non-converging")
+	}
+}

@@ -164,6 +164,7 @@ func (s *Source) abortRun(start time.Duration) (*Report, error) {
 		s.proto.Aborted()
 	}
 	s.report.TotalTime = s.Clock.Now() - start
+	s.emitProgress(ProgressAborted, len(s.report.Iterations), 0, 0, 0)
 	if s.failure == nil {
 		if s.Cfg.Recovery.EnableResume {
 			s.recovery().Token = s.mintResumeToken("cancelled")

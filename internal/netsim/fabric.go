@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"javmm/internal/faults"
@@ -25,15 +26,32 @@ import (
 type Fabric struct {
 	clock   *simclock.Clock
 	metrics *obs.Metrics
+	tracer  *obs.Tracer
 
 	hosts  map[string]*fabricHost
 	order  []string // host insertion order (deterministic BFS)
 	trunks []*trunk // NICs then shared links, insertion order
+	flows  []*flowStat
 
 	active []*Transfer // admission order — the deterministic settle order
 	lastAt time.Duration
 	timer  *simclock.Timer
 	nextAt time.Duration
+}
+
+// flowStat is the per-port (per src->dst flow) accounting of a fabric:
+// what the flow moved, and how much contended reality cost it beyond the
+// uncontended ideal of its path's bottleneck bandwidth.
+type flowStat struct {
+	name    string
+	idealBW uint64 // path bottleneck bandwidth, bytes/sec
+	bytes   uint64
+	sends   uint64
+	// queueing is Σ max(0, contended − ideal) over completed transfers: the
+	// extra time fair-share arbitration (and stalls) cost this flow.
+	queueing time.Duration
+	// stall is the subset of queueing spent at rate zero (partitions).
+	stall time.Duration
 }
 
 type fabricHost struct {
@@ -55,6 +73,15 @@ type trunk struct {
 	sends     uint64
 	busy      time.Duration // union of intervals with >=1 active transfer
 	maxConc   int
+	// settled is the integral of the trunk's aggregate settled rate over
+	// time, in (float) bytes: the continuous twin of bytesSent. On an idle
+	// fabric the two agree to within a sub-byte residue per completed
+	// transfer (LinkUsage.ConservationError), which is the fabric's
+	// byte-conservation invariant.
+	settled float64
+	// lastConc is the last concurrent-transfer count a contention event was
+	// emitted for (shared trunks with a tracer attached).
+	lastConc int
 }
 
 // stallRecheck bounds the event step whenever a rate can change outside the
@@ -70,10 +97,21 @@ func NewFabric(clock *simclock.Clock) *Fabric {
 }
 
 // SetMetrics attaches a metrics registry: each trunk accounts
-// fabric.<name>.bytes_sent / .sends / .busy_ns counters and a
-// fabric.<name>.active gauge of its concurrent-transfer count. A nil
-// registry detaches.
+// fabric.<name>.bytes_sent / .sends / .busy_ns counters, a
+// fabric.<name>.active gauge of its concurrent-transfer count, a
+// fabric.<name>.utilization gauge (settled aggregate rate over effective
+// capacity — its time-weighted mean is the link's overall utilization) and a
+// fabric.<name>.settled_bytes gauge carrying the continuous byte-
+// conservation integral. A nil registry detaches.
 func (f *Fabric) SetMetrics(m *obs.Metrics) { f.metrics = m }
+
+// SetTracer attaches a tracer: every arbitrated transfer becomes a span on
+// its flow's track ("fabric/<src>-><dst>", begin at admission, end at
+// completion with duration/queueing/stall attached), and every change in a
+// shared link's concurrent-transfer count an instant event on the link's
+// track. A nil tracer detaches. Transfers on one port are serial (the engine
+// waits on each), so per-flow spans nest trivially.
+func (f *Fabric) SetTracer(t *obs.Tracer) { f.tracer = t }
 
 // AddHost adds a host. nicBW, when non-zero, caps the host's aggregate
 // in+out bandwidth (its NIC becomes a trunk on every path that touches the
@@ -185,6 +223,21 @@ func (f *Fabric) Dial(src, dst string) (*Link, error) {
 	l := NewLink(f.clock, bw, lat)
 	l.fabric = f
 	l.path = path
+	// Register the port as a named flow for per-flow fair-share accounting.
+	// Repeat dials of the same pair get #2, #3, ... suffixes so every flow
+	// name (and trace track) stays unique and deterministic in dial order.
+	name := src + "->" + dst
+	dup := 0
+	for _, fl := range f.flows {
+		if fl.name == name || strings.HasPrefix(fl.name, name+"#") {
+			dup++
+		}
+	}
+	if dup > 0 {
+		name = fmt.Sprintf("%s#%d", name, dup+1)
+	}
+	l.flow = &flowStat{name: name, idealBW: bw}
+	f.flows = append(f.flows, l.flow)
 	return l, nil
 }
 
@@ -242,6 +295,8 @@ type Transfer struct {
 	start     time.Duration
 	done      bool
 	dur       time.Duration
+	stall     time.Duration // time spent at rate zero (partitions)
+	span      *obs.Span     // flow-track span when a tracer is attached
 	waiters   []*simclock.Proc
 }
 
@@ -283,6 +338,10 @@ func (f *Fabric) admit(port *Link, n uint64) *Transfer {
 		remaining: float64(n),
 		start:     now,
 	}
+	if f.tracer != nil && port.flow != nil {
+		tr.span = f.tracer.Begin(obs.TrackFabric+"/"+port.flow.name,
+			obs.KindTransfer, "transfer", obs.Uint64("bytes", n))
+	}
 	f.active = append(f.active, tr)
 	f.recalc(now)
 	return tr
@@ -301,12 +360,23 @@ func (f *Fabric) settle(now time.Duration) {
 	sec := dt.Seconds()
 	for _, tr := range f.active {
 		if tr.rate > 0 {
-			tr.remaining -= tr.rate * sec
+			moved := tr.rate * sec
+			tr.remaining -= moved
+			// The moved bytes settle onto every trunk of the path: the
+			// continuous side of the byte-conservation invariant.
+			for _, t := range tr.port.path {
+				t.settled += moved
+			}
+		} else {
+			tr.stall += dt
 		}
 	}
 	for _, t := range f.trunks {
 		if t.count > 0 {
 			t.busy += dt
+		}
+		if f.metrics != nil {
+			f.metrics.Gauge("fabric." + t.name + ".settled_bytes").Set(t.settled)
 		}
 	}
 }
@@ -335,6 +405,11 @@ func (f *Fabric) recalc(now time.Duration) {
 			if f.metrics != nil {
 				f.metrics.Gauge("fabric." + t.name + ".active").Set(float64(t.count))
 			}
+			if f.tracer != nil && t.shared && t.count != t.lastConc {
+				f.tracer.Emit(obs.TrackFabric+"/"+t.name, obs.KindContention,
+					"contention", nil, obs.Int("active", t.count))
+			}
+			t.lastConc = t.count
 		}
 		for _, tr := range f.active {
 			tr.rate = math.Inf(1)
@@ -342,6 +417,26 @@ func (f *Fabric) recalc(now time.Duration) {
 				if share := t.effBandwidth() / float64(t.count); share < tr.rate {
 					tr.rate = share
 				}
+			}
+		}
+		if f.metrics != nil {
+			// Settled aggregate rate over effective capacity: the
+			// utilization gauge whose time-weighted mean is the trunk's
+			// overall utilization.
+			for _, t := range f.trunks {
+				agg := 0.0
+				for _, tr := range f.active {
+					for _, pt := range tr.port.path {
+						if pt == t {
+							agg += tr.rate
+						}
+					}
+				}
+				util := 0.0
+				if bw := t.effBandwidth(); bw > 0 {
+					util = agg / bw
+				}
+				f.metrics.Gauge("fabric." + t.name + ".utilization").Set(util)
 			}
 		}
 		finished := false
@@ -403,6 +498,24 @@ func (f *Fabric) complete(tr *Transfer, now time.Duration) {
 		if f.metrics != nil {
 			f.metrics.Counter("fabric." + t.name + ".bytes_sent").Add(int64(tr.n))
 			f.metrics.Counter("fabric." + t.name + ".sends").Inc()
+		}
+	}
+	if fl := p.flow; fl != nil {
+		fl.bytes += tr.n
+		fl.sends++
+		// Queueing is what contention cost beyond the flow's uncontended
+		// ideal (its path-bottleneck transfer time); stall is the part spent
+		// at rate zero.
+		queue := tr.dur - idealTransferTime(tr.n, fl.idealBW)
+		if queue < 0 {
+			queue = 0
+		}
+		fl.queueing += queue
+		fl.stall += tr.stall
+		if tr.span != nil {
+			tr.span.End(obs.Dur("duration", tr.dur),
+				obs.Dur("queueing", queue), obs.Dur("stall", tr.stall))
+			tr.span = nil
 		}
 	}
 	waiters := tr.waiters
@@ -492,6 +605,16 @@ func (tr *Transfer) Duration() time.Duration { return tr.dur }
 // Bytes returns the transfer's payload size.
 func (tr *Transfer) Bytes() uint64 { return tr.n }
 
+// idealTransferTime is the uncontended cost of n bytes at bw — the same
+// formula (and 1ns floor) as Link.TransferTime, without modulation.
+func idealTransferTime(n, bw uint64) time.Duration {
+	d := time.Duration(float64(n) / float64(bw) * float64(time.Second))
+	if n > 0 && d <= 0 {
+		d = 1
+	}
+	return d
+}
+
 // LinkUsage is one trunk's accounting in a FabricReport.
 type LinkUsage struct {
 	Name          string        `json:"name"`
@@ -500,28 +623,81 @@ type LinkUsage struct {
 	Transfers     uint64        `json:"transfers"`
 	Busy          time.Duration `json:"busy_ns"`
 	MaxConcurrent int           `json:"max_concurrent"`
+	// SettledBytes is the continuous byte integral (∫ aggregate rate dt);
+	// Utilization the mean fraction of capacity in use while the trunk was
+	// busy: SettledBytes / (Bandwidth × Busy).
+	SettledBytes float64 `json:"settled_bytes"`
+	Utilization  float64 `json:"utilization"`
+}
+
+// ConservationError is the byte-conservation residue: |settled − sent|.
+// With no transfers in flight it is bounded by a sub-byte rounding residue
+// per completed transfer (completion times round up to whole nanoseconds),
+// i.e. at most one byte per transfer on any practical bandwidth.
+func (u LinkUsage) ConservationError() float64 {
+	return math.Abs(u.SettledBytes - float64(u.BytesSent))
+}
+
+// FlowUsage is one flow's (Dial port's) accounting in a FabricReport.
+type FlowUsage struct {
+	Name string `json:"name"`
+	// Bandwidth is the flow's uncontended ideal: its path's bottleneck.
+	Bandwidth uint64 `json:"bandwidth_bps"`
+	BytesSent uint64 `json:"bytes_sent"`
+	Transfers uint64 `json:"transfers"`
+	// Queueing is the cumulative extra time fair-share arbitration cost the
+	// flow beyond its ideal transfer times; Stall the subset spent fully
+	// stalled (partitions).
+	Queueing time.Duration `json:"queueing_ns"`
+	Stall    time.Duration `json:"stall_ns"`
 }
 
 // FabricReport is the merged utilization view over every trunk (NICs and
-// shared links) in insertion order — deterministic, so it participates in
-// golden comparisons.
+// shared links) in insertion order, plus per-flow fair-share accounting in
+// dial order — deterministic, so it participates in golden comparisons.
 type FabricReport struct {
 	Links []LinkUsage `json:"links"`
+	Flows []FlowUsage `json:"flows,omitempty"`
+}
+
+// Link returns the named link's usage row, and whether it was present.
+func (r FabricReport) Link(name string) (LinkUsage, bool) {
+	for _, u := range r.Links {
+		if u.Name == name {
+			return u, true
+		}
+	}
+	return LinkUsage{}, false
 }
 
 // Report settles the fabric to the current instant and returns per-trunk
-// utilization.
+// utilization and per-flow accounting.
 func (f *Fabric) Report() FabricReport {
 	f.settle(f.clock.Now())
 	var rep FabricReport
 	for _, t := range f.trunks {
-		rep.Links = append(rep.Links, LinkUsage{
+		u := LinkUsage{
 			Name:          t.name,
 			Bandwidth:     t.bandwidth,
 			BytesSent:     t.bytesSent,
 			Transfers:     t.sends,
 			Busy:          t.busy,
 			MaxConcurrent: t.maxConc,
+			SettledBytes:  t.settled,
+		}
+		if t.busy > 0 && t.bandwidth > 0 {
+			u.Utilization = t.settled / (float64(t.bandwidth) * t.busy.Seconds())
+		}
+		rep.Links = append(rep.Links, u)
+	}
+	for _, fl := range f.flows {
+		rep.Flows = append(rep.Flows, FlowUsage{
+			Name:      fl.name,
+			Bandwidth: fl.idealBW,
+			BytesSent: fl.bytes,
+			Transfers: fl.sends,
+			Queueing:  fl.queueing,
+			Stall:     fl.stall,
 		})
 	}
 	return rep

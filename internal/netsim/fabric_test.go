@@ -1,12 +1,14 @@
 package netsim
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"testing"
 	"time"
 
 	"javmm/internal/faults"
+	"javmm/internal/obs"
 	"javmm/internal/simclock"
 )
 
@@ -312,6 +314,178 @@ func TestFabricNICCapArbitrates(t *testing.T) {
 	}
 	if clock.Now() != 2*time.Second {
 		t.Fatalf("clock at %v, want 2s", clock.Now())
+	}
+}
+
+// The settled-bytes integral conserves bytes: once the fabric is idle, each
+// trunk's continuous integral agrees with its whole-byte counter to within
+// the sub-byte rounding residue per transfer, and its utilization lands in
+// (0, 1].
+func TestFabricSettledBytesConservation(t *testing.T) {
+	_, f, a, b := sharedPair(117_000_000)
+	sizes := []uint64{4096, 1 << 20, 3 << 20, 12345, 999999}
+	var trs []*Transfer
+	for i, n := range sizes {
+		port := a
+		if i%2 == 1 {
+			port = b
+		}
+		tr, err := port.Transfer(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs = append(trs, tr)
+	}
+	for _, tr := range trs {
+		if _, err := tr.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.Report()
+	bk, ok := rep.Link("backbone")
+	if !ok {
+		t.Fatal("no backbone row")
+	}
+	if tol := float64(bk.Transfers); bk.ConservationError() > tol {
+		t.Fatalf("conservation error %.3f bytes over %d transfers (settled %.3f, sent %d)",
+			bk.ConservationError(), bk.Transfers, bk.SettledBytes, bk.BytesSent)
+	}
+	if bk.Utilization <= 0 || bk.Utilization > 1.0001 {
+		t.Fatalf("utilization = %v, want (0,1]", bk.Utilization)
+	}
+	// Concurrent equal transfers saturate the link while busy.
+	if bk.Utilization < 0.99 {
+		t.Fatalf("saturated link reports utilization %v, want ~1", bk.Utilization)
+	}
+}
+
+// Per-flow accounting: a contended flow's queueing is the extra time beyond
+// its uncontended ideal; a solo flow's queueing is zero.
+func TestFabricFlowQueueing(t *testing.T) {
+	_, f, a, b := sharedPair(1000)
+	ta, _ := a.Transfer(1000) // solo ideal: 1s
+	tb, _ := b.Transfer(1000)
+	da, _ := ta.Wait()
+	tb.Wait()
+	rep := f.Report()
+	if len(rep.Flows) != 2 {
+		t.Fatalf("report has %d flows, want 2", len(rep.Flows))
+	}
+	fa := rep.Flows[0]
+	if fa.Name != "src0->dst" || fa.BytesSent != 1000 || fa.Transfers != 1 {
+		t.Fatalf("flow A = %+v", fa)
+	}
+	// Contended 2s against a 1s ideal: 1s of queueing, no stall.
+	if want := da - time.Second; fa.Queueing != want {
+		t.Fatalf("flow A queueing = %v, want %v", fa.Queueing, want)
+	}
+	if fa.Stall != 0 {
+		t.Fatalf("flow A stall = %v, want 0", fa.Stall)
+	}
+
+	// A later solo transfer adds no queueing.
+	ts, _ := a.Transfer(500)
+	ts.Wait()
+	rep = f.Report()
+	if got := rep.Flows[0].Queueing; got != da-time.Second {
+		t.Fatalf("solo transfer added queueing: %v", got)
+	}
+}
+
+// A mid-flight partition shows up as per-flow stall (rate-zero time), within
+// the stall-recheck quantum.
+func TestFabricFlowStallAccounting(t *testing.T) {
+	clock, f, a, _ := sharedPair(1000)
+	inj, err := faults.NewInjector(clock, faults.Plan{{
+		Site: faults.SiteLinkPartition,
+		At:   200 * time.Millisecond,
+		For:  600 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Begin()
+	f.SetLinkFaults("backbone", inj)
+	tr, _ := a.Transfer(500) // solo 500ms + 600ms partition
+	tr.Wait()
+	fl := f.Report().Flows[0]
+	if fl.Stall < 600*time.Millisecond || fl.Stall > 600*time.Millisecond+2*stallRecheck {
+		t.Fatalf("flow stall = %v, want ~600ms", fl.Stall)
+	}
+	if fl.Queueing < fl.Stall {
+		t.Fatalf("queueing %v < stall %v", fl.Queueing, fl.Stall)
+	}
+}
+
+// With a tracer attached, every transfer becomes a span on its flow's track
+// and contention changes become instants on the link's track — and repeat
+// runs are byte-identical through the Chrome exporter.
+func TestFabricTracerSpans(t *testing.T) {
+	run := func() []byte {
+		clock := simclock.New()
+		f := NewFabric(clock)
+		f.AddHost("src0", 0)
+		f.AddHost("src1", 0)
+		f.AddHost("dst", 0)
+		f.AddLink("backbone", 1000, 0, "src0", "src1", "dst")
+		tr := obs.New(clock)
+		f.SetTracer(tr)
+		a, _ := f.Dial("src0", "dst")
+		b, _ := f.Dial("src1", "dst")
+		ta, _ := a.Transfer(1000)
+		tb, _ := b.Transfer(500)
+		ta.Wait()
+		tb.Wait()
+
+		var begins, ends, contention int
+		for _, e := range tr.Events() {
+			switch {
+			case e.Kind == obs.KindTransfer && e.Phase == obs.PhaseBegin:
+				begins++
+				if e.Track != obs.TrackFabric+"/src0->dst" && e.Track != obs.TrackFabric+"/src1->dst" {
+					t.Fatalf("transfer span on track %q", e.Track)
+				}
+			case e.Kind == obs.KindTransfer && e.Phase == obs.PhaseEnd:
+				ends++
+			case e.Kind == obs.KindContention:
+				contention++
+				if e.Track != obs.TrackFabric+"/backbone" {
+					t.Fatalf("contention event on track %q", e.Track)
+				}
+			case e.Kind == obs.KindSpanError:
+				t.Fatalf("span error in fabric trace: %+v", e)
+			}
+		}
+		if begins != 2 || ends != 2 {
+			t.Fatalf("transfer spans = %d begins / %d ends, want 2/2", begins, ends)
+		}
+		if contention == 0 {
+			t.Fatal("no contention events")
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, tr.Events()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("fabric trace not byte-identical across runs")
+	}
+}
+
+// Duplicate dials of the same host pair get unique, deterministic flow
+// names.
+func TestFabricDuplicateDialFlowNames(t *testing.T) {
+	_, f, _, _ := sharedPair(1000)
+	if _, err := f.Dial("src0", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Report()
+	if len(rep.Flows) != 3 {
+		t.Fatalf("%d flows, want 3", len(rep.Flows))
+	}
+	if rep.Flows[0].Name != "src0->dst" || rep.Flows[2].Name != "src0->dst#2" {
+		t.Fatalf("flow names = %q, %q, %q", rep.Flows[0].Name, rep.Flows[1].Name, rep.Flows[2].Name)
 	}
 }
 

@@ -57,10 +57,11 @@ type Link struct {
 	metrics *obs.Metrics
 	faults  *faults.Injector
 
-	// fabric/path are set only on ports minted by Fabric.Dial; a plain
+	// fabric/path/flow are set only on ports minted by Fabric.Dial; a plain
 	// NewLink link never arbitrates and keeps the legacy cost model exactly.
 	fabric *Fabric
 	path   []*trunk
+	flow   *flowStat
 }
 
 // SetMetrics attaches a metrics registry: Send accounts net.bytes_sent,

@@ -107,6 +107,100 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
+// TraceLane is one process row of a merged multi-plane Chrome trace: a named
+// producer (a VM, the fabric) with its own recorded event stream.
+type TraceLane struct {
+	Name   string
+	Events []Event
+}
+
+// WriteChromeTraceLanes writes several event streams as one Chrome trace:
+// lane i becomes pid i+1 (named via process_name metadata), and each lane's
+// obs tracks become its threads, exactly as in WriteChromeTrace. Perfetto
+// renders the lanes as stacked process groups — the fleet timeline with one
+// row per VM plus the fabric. Output is byte-deterministic: lanes in the
+// order given, tids by first appearance within each lane, events in each
+// lane's emission order.
+func WriteChromeTraceLanes(w io.Writer, lanes []TraceLane) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[`)
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+	}
+
+	laneTids := make([]map[string]int, len(lanes))
+	for li, lane := range lanes {
+		pid := li + 1
+		if lane.Name != "" {
+			comma()
+			bw.WriteString(`{"name":"process_name","ph":"M","ts":0,"pid":`)
+			bw.WriteString(strconv.Itoa(pid))
+			bw.WriteString(`,"args":{"name":`)
+			writeJSONString(bw, lane.Name)
+			bw.WriteString(`}}`)
+		}
+		tids := make(map[string]int)
+		var order []string
+		for _, e := range lane.Events {
+			if _, ok := tids[e.Track]; !ok {
+				tids[e.Track] = len(tids) + 1
+				order = append(order, e.Track)
+			}
+		}
+		laneTids[li] = tids
+		for _, track := range order {
+			comma()
+			bw.WriteString(`{"name":"thread_name","ph":"M","ts":0,"pid":`)
+			bw.WriteString(strconv.Itoa(pid))
+			bw.WriteString(`,"tid":`)
+			bw.WriteString(strconv.Itoa(tids[track]))
+			bw.WriteString(`,"args":{"name":`)
+			writeJSONString(bw, track)
+			bw.WriteString(`}}`)
+		}
+	}
+	for li, lane := range lanes {
+		pid := strconv.Itoa(li + 1)
+		tids := laneTids[li]
+		for _, e := range lane.Events {
+			comma()
+			bw.WriteString(`{"name":`)
+			writeJSONString(bw, e.Name)
+			bw.WriteString(`,"cat":`)
+			writeJSONString(bw, string(e.Kind))
+			bw.WriteString(`,"ph":"`)
+			switch e.Phase {
+			case PhaseBegin:
+				bw.WriteByte('B')
+			case PhaseEnd:
+				bw.WriteByte('E')
+			default:
+				bw.WriteByte('i')
+			}
+			bw.WriteString(`","ts":`)
+			writeMicros(bw, e.At)
+			bw.WriteString(`,"pid":`)
+			bw.WriteString(pid)
+			bw.WriteString(`,"tid":`)
+			bw.WriteString(strconv.Itoa(tids[e.Track]))
+			if e.Phase == PhaseInstant {
+				bw.WriteString(`,"s":"t"`)
+			}
+			if len(e.Attrs) > 0 {
+				bw.WriteString(`,"args":`)
+				writeAttrs(bw, e.Attrs)
+			}
+			bw.WriteByte('}')
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
 // writeMicros renders a virtual duration as trace microseconds, keeping
 // sub-microsecond precision as decimals ("1234.567").
 func writeMicros(w *bufio.Writer, d time.Duration) {

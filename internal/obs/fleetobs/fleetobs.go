@@ -1,0 +1,251 @@
+// Package fleetobs is the fleet-wide observability plane: one Collector
+// merges N per-VM tracers, metrics registries and provenance ledgers — plus
+// the shared fabric's own lane — into a single deterministic fleet view.
+//
+// Three surfaces come out of a collector:
+//
+//   - A merged Chrome/Perfetto trace (obs.WriteChromeTraceLanes): one
+//     process row per VM in boot order, the fabric's flow and link tracks as
+//     the final row. Byte-identical across same-seed runs, race detector on
+//     or off, because every lane records only virtual-clock events.
+//   - Labeled metrics: per-VM registries exported as one Prometheus page
+//     with a vm="<name>" label per series, the fleet-scoped registry (the
+//     fabric's per-link utilization and conservation counters live there)
+//     labeled scope="fleet".
+//   - The live progress stream: every engine's migration.Progress points,
+//     captured per VM and optionally fanned out through OnProgress as they
+//     happen — the feed behind `javmm-migrate -peers`'s fleet status line.
+package fleetobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"javmm/internal/migration"
+	"javmm/internal/obs"
+	"javmm/internal/obs/ledger"
+	"javmm/internal/simclock"
+)
+
+// FabricLane is the name of the merged trace's fabric process row.
+const FabricLane = "fabric"
+
+// Collector owns the fleet's observability planes. Attach one VMPlane per
+// VM before the run starts, wire FleetMetrics and FabricTracer into the
+// fabric, then export after the run. A Collector is not safe for concurrent
+// attachment; fleets attach every plane before starting the scheduler (and
+// the cooperative scheduler serializes all emission during the run).
+type Collector struct {
+	clock  *simclock.Clock
+	fleet  *obs.Metrics
+	fabric *obs.Tracer
+	vms    []*VMPlane
+
+	// OnProgress, when non-nil, receives every VM's progress points as they
+	// are emitted, tagged with the VM's name — the live fleet status feed.
+	// Set it before the run starts.
+	OnProgress func(vm string, p migration.Progress)
+}
+
+// VMPlane is one VM's observability surfaces, all on the fleet's clock.
+// Wire Tracer/Metrics/Ledger into the VM's engine config and AttachObs.
+type VMPlane struct {
+	Name    string
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
+	Ledger  *ledger.Ledger
+
+	progress []migration.Progress
+}
+
+// Progress returns the VM's captured progress stream in emission order.
+func (p *VMPlane) Progress() []migration.Progress { return p.progress }
+
+// New returns an empty collector on the fleet's shared clock.
+func New(clock *simclock.Clock) *Collector {
+	return &Collector{
+		clock:  clock,
+		fleet:  obs.NewMetrics(clock),
+		fabric: obs.New(clock),
+	}
+}
+
+// FleetMetrics is the fleet-scoped registry: attach it to the fabric
+// (per-link utilization and settled-bytes gauges, net.* counters) and to
+// anything else that is shared rather than per-VM.
+func (c *Collector) FleetMetrics() *obs.Metrics { return c.fleet }
+
+// FabricTracer is the shared fabric's trace lane: attach it via
+// netsim.Fabric.SetTracer so per-flow transfer spans and contention instants
+// land in the merged trace's fabric row.
+func (c *Collector) FabricTracer() *obs.Tracer { return c.fabric }
+
+// AttachVM creates the named VM's observability plane: a fresh tracer,
+// metrics registry and provenance ledger, plus a subscription that captures
+// the engine's progress stream (and fans it out through OnProgress).
+func (c *Collector) AttachVM(name string) *VMPlane {
+	p := &VMPlane{
+		Name:    name,
+		Tracer:  obs.New(c.clock),
+		Metrics: obs.NewMetrics(c.clock),
+		Ledger:  ledger.New(),
+	}
+	p.Tracer.Subscribe(func(e obs.Event) {
+		pr, ok := e.Data.(migration.Progress)
+		if !ok {
+			return
+		}
+		p.progress = append(p.progress, pr)
+		if c.OnProgress != nil {
+			c.OnProgress(p.Name, pr)
+		}
+	})
+	c.vms = append(c.vms, p)
+	return p
+}
+
+// VMs returns the attached planes in attach (boot) order.
+func (c *Collector) VMs() []*VMPlane { return c.vms }
+
+// VM returns the named plane, or nil.
+func (c *Collector) VM(name string) *VMPlane {
+	for _, p := range c.vms {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Lanes returns the merged trace's process rows: one per VM in attach
+// order, the fabric last. Feed them to obs.WriteChromeTraceLanes.
+func (c *Collector) Lanes() []obs.TraceLane {
+	lanes := make([]obs.TraceLane, 0, len(c.vms)+1)
+	for _, p := range c.vms {
+		lanes = append(lanes, obs.TraceLane{Name: p.Name, Events: p.Tracer.Events()})
+	}
+	lanes = append(lanes, obs.TraceLane{Name: FabricLane, Events: c.fabric.Events()})
+	return lanes
+}
+
+// WriteChromeTrace writes the merged fleet trace: per-VM process rows plus
+// the fabric row, byte-identical across same-seed runs.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTraceLanes(w, c.Lanes())
+}
+
+// MergedEvents returns every lane's events interleaved into one
+// time-ordered stream (ties broken by lane order, then emission order) with
+// each event's Track prefixed "<lane>/". The flat form for JSONL export and
+// cross-VM analysis.
+func (c *Collector) MergedEvents() []obs.Event {
+	type keyed struct {
+		lane int
+		ev   obs.Event
+	}
+	var all []keyed
+	for li, lane := range c.Lanes() {
+		for _, e := range lane.Events {
+			e.Track = lane.Name + "/" + e.Track
+			all = append(all, keyed{lane: li, ev: e})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].ev.At != all[j].ev.At {
+			return all[i].ev.At < all[j].ev.At
+		}
+		if all[i].lane != all[j].lane {
+			return all[i].lane < all[j].lane
+		}
+		return all[i].ev.Seq < all[j].ev.Seq
+	})
+	out := make([]obs.Event, len(all))
+	for i, k := range all {
+		out[i] = k.ev
+	}
+	return out
+}
+
+// LabeledSnapshots captures every registry for one labeled Prometheus page:
+// each VM's snapshot labeled vm="<name>", the fleet registry labeled
+// scope="fleet". Same-named series from different VMs merge under one TYPE
+// header with deterministic row order.
+func (c *Collector) LabeledSnapshots() []obs.LabeledSnapshot {
+	snaps := make([]obs.LabeledSnapshot, 0, len(c.vms)+1)
+	for _, p := range c.vms {
+		snaps = append(snaps, obs.LabeledSnapshot{
+			Labels:   []obs.Label{{Key: "vm", Value: p.Name}},
+			Snapshot: p.Metrics.Snapshot(),
+		})
+	}
+	snaps = append(snaps, obs.LabeledSnapshot{
+		Labels:   []obs.Label{{Key: "scope", Value: "fleet"}},
+		Snapshot: c.fleet.Snapshot(),
+	})
+	return snaps
+}
+
+// WritePrometheus renders the fleet's labeled metrics page.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	return obs.WritePrometheusLabeled(w, c.LabeledSnapshots())
+}
+
+// VMSnapshot is one VM's metrics in a fleet snapshot.
+type VMSnapshot struct {
+	Name    string              `json:"name"`
+	Metrics obs.MetricsSnapshot `json:"metrics"`
+}
+
+// Snapshot is the fleet's point-in-time metrics state: per-VM registries in
+// boot order plus the fleet-scoped registry. The JSON interchange form
+// javmm-analyze's fleet mode ingests.
+type Snapshot struct {
+	VMs   []VMSnapshot        `json:"vms"`
+	Fleet obs.MetricsSnapshot `json:"fleet"`
+}
+
+// Snapshot captures every registry now.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{Fleet: c.fleet.Snapshot()}
+	for _, p := range c.vms {
+		s.VMs = append(s.VMs, VMSnapshot{Name: p.Name, Metrics: p.Metrics.Snapshot()})
+	}
+	return s
+}
+
+// WriteSnapshotJSON exports a fleet snapshot as indented JSON;
+// ReadSnapshotJSON parses it back.
+func WriteSnapshotJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshotJSON parses a snapshot written by WriteSnapshotJSON.
+func ReadSnapshotJSON(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("fleetobs: parsing fleet snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// LabeledFromSnapshot rebuilds the labeled-snapshot list from an ingested
+// fleet snapshot, so javmm-analyze can render the same Prometheus page from
+// a file that a live collector would have written.
+func LabeledFromSnapshot(s Snapshot) []obs.LabeledSnapshot {
+	snaps := make([]obs.LabeledSnapshot, 0, len(s.VMs)+1)
+	for _, v := range s.VMs {
+		snaps = append(snaps, obs.LabeledSnapshot{
+			Labels:   []obs.Label{{Key: "vm", Value: v.Name}},
+			Snapshot: v.Metrics,
+		})
+	}
+	snaps = append(snaps, obs.LabeledSnapshot{
+		Labels:   []obs.Label{{Key: "scope", Value: "fleet"}},
+		Snapshot: s.Fleet,
+	})
+	return snaps
+}

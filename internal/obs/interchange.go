@@ -133,35 +133,222 @@ func ReadMetricsJSON(r io.Reader) (MetricsSnapshot, error) {
 // from JSON files and hand construction, and the byte-identical-output
 // guarantee (the trajectory tooling diffs this text) must not depend on the
 // producer.
+//
+// WritePrometheus is the single-snapshot, unlabeled form of
+// WritePrometheusLabeled; the two produce identical bytes for one snapshot
+// with no labels.
 func WritePrometheus(w io.Writer, s MetricsSnapshot) error {
-	s = s.sortedCopy()
+	return WritePrometheusLabeled(w, []LabeledSnapshot{{Snapshot: s}})
+}
+
+// Label is one name/value pair identifying a labeled snapshot's origin,
+// e.g. {vm derby-0} or {link backbone}.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// LabeledSnapshot pairs a metrics snapshot with the label set stamped onto
+// every series rendered from it. A fleet exports one per VM registry plus
+// one for the fleet-scoped registry.
+type LabeledSnapshot struct {
+	Labels   []Label         `json:"labels,omitempty"`
+	Snapshot MetricsSnapshot `json:"snapshot"`
+}
+
+// WritePrometheusLabeled renders N labeled snapshots as one Prometheus text
+// exposition: series sharing an instrument name merge into a single metric
+// family (one # TYPE header) distinguished by their label sets — no
+// name-mangling like vm0_downtime_ns. The output is fully deterministic
+// regardless of producer order: sections run counters, gauges, histograms;
+// family names sort within a section; rows within a family sort by their
+// canonical (key-sorted) label rendering, ties broken by input order. Label
+// keys are sanitized to the Prometheus alphabet and values escaped per the
+// exposition format.
+func WritePrometheusLabeled(w io.Writer, snaps []LabeledSnapshot) error {
+	type source struct {
+		labels string
+		snap   MetricsSnapshot
+	}
+	srcs := make([]source, len(snaps))
+	for i, ls := range snaps {
+		srcs[i] = source{labels: canonicalLabels(ls.Labels), snap: ls.Snapshot.sortedCopy()}
+	}
+
+	// rows collects, per family name, every (labelset, source) pair holding
+	// the instrument, pre-sorted for emission.
+	type row struct {
+		labels string
+		src    int
+	}
+	collect := func(has func(MetricsSnapshot) []string) (names []string, rows map[string][]row) {
+		rows = make(map[string][]row)
+		for i, s := range srcs {
+			for _, name := range has(s.snap) {
+				if _, ok := rows[name]; !ok {
+					names = append(names, name)
+				}
+				rows[name] = append(rows[name], row{labels: s.labels, src: i})
+			}
+		}
+		sort.Strings(names)
+		for _, rs := range rows {
+			sort.SliceStable(rs, func(i, j int) bool { return rs[i].labels < rs[j].labels })
+		}
+		return names, rows
+	}
+
 	bw := bufio.NewWriter(w)
-	for _, c := range s.Counters {
-		n := promName(c.Name)
+	series := func(name, labels, extraK, extraV, value string) {
+		bw.WriteString(name)
+		if labels != "" || extraK != "" {
+			bw.WriteByte('{')
+			bw.WriteString(labels)
+			if extraK != "" {
+				if labels != "" {
+					bw.WriteByte(',')
+				}
+				bw.WriteString(extraK)
+				bw.WriteString(`="`)
+				bw.WriteString(extraV)
+				bw.WriteByte('"')
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteByte(' ')
+		bw.WriteString(value)
+		bw.WriteByte('\n')
+	}
+
+	names, rows := collect(func(s MetricsSnapshot) []string {
+		out := make([]string, len(s.Counters))
+		for i, c := range s.Counters {
+			out[i] = c.Name
+		}
+		return out
+	})
+	for _, name := range names {
+		n := promName(name)
 		fmt.Fprintf(bw, "# TYPE %s counter\n", n)
-		fmt.Fprintf(bw, "%s %s\n", n, strconv.FormatInt(c.Value, 10))
+		for _, r := range rows[name] {
+			v, _ := srcs[r.src].snap.Counter(name)
+			series(n, r.labels, "", "", strconv.FormatInt(v, 10))
+		}
 	}
-	for _, g := range s.Gauges {
-		n := promName(g.Name)
+
+	names, rows = collect(func(s MetricsSnapshot) []string {
+		out := make([]string, len(s.Gauges))
+		for i, g := range s.Gauges {
+			out[i] = g.Name
+		}
+		return out
+	})
+	gauge := func(s MetricsSnapshot, name string) GaugeSample {
+		for _, g := range s.Gauges {
+			if g.Name == name {
+				return g
+			}
+		}
+		return GaugeSample{}
+	}
+	for _, name := range names {
+		n := promName(name)
 		fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
-		fmt.Fprintf(bw, "%s %s\n", n, promFloat(g.Value))
+		for _, r := range rows[name] {
+			series(n, r.labels, "", "", promFloat(gauge(srcs[r.src].snap, name).Value))
+		}
 		fmt.Fprintf(bw, "# TYPE %s_timeweighted_mean gauge\n", n)
-		fmt.Fprintf(bw, "%s_timeweighted_mean %s\n", n, promFloat(g.TimeWeightedMean))
+		for _, r := range rows[name] {
+			series(n+"_timeweighted_mean", r.labels, "", "",
+				promFloat(gauge(srcs[r.src].snap, name).TimeWeightedMean))
+		}
 	}
-	for _, h := range s.Histograms {
-		n := promName(h.Name)
+
+	names, rows = collect(func(s MetricsSnapshot) []string {
+		out := make([]string, len(s.Histograms))
+		for i, h := range s.Histograms {
+			out[i] = h.Name
+		}
+		return out
+	})
+	for _, name := range names {
+		n := promName(name)
 		fmt.Fprintf(bw, "# TYPE %s summary\n", n)
-		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", n, promFloat(h.P50))
-		fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s\n", n, promFloat(h.P95))
-		fmt.Fprintf(bw, "%s{quantile=\"0.99\"} %s\n", n, promFloat(h.P99))
-		fmt.Fprintf(bw, "%s_sum %s\n", n, promFloat(h.Sum))
-		fmt.Fprintf(bw, "%s_count %s\n", n, strconv.FormatUint(h.Count, 10))
+		for _, r := range rows[name] {
+			h, _ := srcs[r.src].snap.Histogram(name)
+			series(n, r.labels, "quantile", "0.5", promFloat(h.P50))
+			series(n, r.labels, "quantile", "0.95", promFloat(h.P95))
+			series(n, r.labels, "quantile", "0.99", promFloat(h.P99))
+			series(n+"_sum", r.labels, "", "", promFloat(h.Sum))
+			series(n+"_count", r.labels, "", "", strconv.FormatUint(h.Count, 10))
+		}
 		fmt.Fprintf(bw, "# TYPE %s_min gauge\n", n)
-		fmt.Fprintf(bw, "%s_min %s\n", n, promFloat(h.Min))
+		for _, r := range rows[name] {
+			h, _ := srcs[r.src].snap.Histogram(name)
+			series(n+"_min", r.labels, "", "", promFloat(h.Min))
+		}
 		fmt.Fprintf(bw, "# TYPE %s_max gauge\n", n)
-		fmt.Fprintf(bw, "%s_max %s\n", n, promFloat(h.Max))
+		for _, r := range rows[name] {
+			h, _ := srcs[r.src].snap.Histogram(name)
+			series(n+"_max", r.labels, "", "", promFloat(h.Max))
+		}
 	}
 	return bw.Flush()
+}
+
+// canonicalLabels renders a label set in its canonical form: key-sorted,
+// keys sanitized to the Prometheus alphabet, values escaped (backslash,
+// quote, newline per the text exposition format). The empty set renders "".
+func canonicalLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelKey(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(promLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// promLabelKey sanitizes a label key into [a-zA-Z0-9_] (no javmm_ prefix:
+// label keys are not metric names).
+func promLabelKey(k string) string {
+	var b strings.Builder
+	for _, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelValue escapes a label value per the exposition format.
+func promLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // promName sanitizes an instrument name into the Prometheus alphabet

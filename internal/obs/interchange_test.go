@@ -209,6 +209,100 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusLabeled exercises the labeled exposition: series
+// sharing a name merge into one family under a single TYPE header with
+// per-snapshot label sets — no name mangling — and the emission order is
+// canonical regardless of producer order.
+func TestWritePrometheusLabeled(t *testing.T) {
+	c := simclock.New()
+	m0 := NewMetrics(c)
+	m0.Counter("migration.bytes_on_wire").Add(100)
+	m0.Gauge("workload.ops_per_sec").Set(50)
+	m0.Histogram("migration.fault_stall_ns").Observe(10)
+	m1 := NewMetrics(c)
+	m1.Counter("migration.bytes_on_wire").Add(200)
+	m1.Counter("migration.aborts").Inc()
+
+	snaps := []LabeledSnapshot{
+		{Labels: []Label{{Key: "vm", Value: "derby-1"}}, Snapshot: m1.Snapshot()},
+		{Labels: []Label{{Key: "vm", Value: "derby-0"}}, Snapshot: m0.Snapshot()},
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheusLabeled(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE javmm_migration_bytes_on_wire counter\n" +
+			"javmm_migration_bytes_on_wire{vm=\"derby-0\"} 100\n" +
+			"javmm_migration_bytes_on_wire{vm=\"derby-1\"} 200\n",
+		"javmm_migration_aborts{vm=\"derby-1\"} 1\n",
+		"javmm_workload_ops_per_sec{vm=\"derby-0\"} 50\n",
+		"javmm_migration_fault_stall_ns{vm=\"derby-0\",quantile=\"0.5\"} 10\n",
+		"javmm_migration_fault_stall_ns_count{vm=\"derby-0\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("labeled output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE header for the shared family.
+	if n := strings.Count(out, "# TYPE javmm_migration_bytes_on_wire counter"); n != 1 {
+		t.Fatalf("family header appears %d times", n)
+	}
+	// Reversing the producer order yields identical bytes: rows are ordered
+	// by canonical label rendering, not input position.
+	var buf2 bytes.Buffer
+	if err := WritePrometheusLabeled(&buf2, []LabeledSnapshot{snaps[1], snaps[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("labeled output depends on producer order:\n%s\nvs\n%s", &buf, &buf2)
+	}
+}
+
+// TestWritePrometheusLabeledEscaping pins label hygiene: keys are sanitized
+// to the Prometheus alphabet, values escaped, and multi-label sets render
+// key-sorted.
+func TestWritePrometheusLabeledEscaping(t *testing.T) {
+	s := MetricsSnapshot{Counters: []CounterSample{{Name: "x", Value: 1}}}
+	var buf bytes.Buffer
+	err := WritePrometheusLabeled(&buf, []LabeledSnapshot{{
+		Labels: []Label{
+			{Key: "zone.b", Value: "with \"quotes\" and \\slash\nnewline"},
+			{Key: "a", Value: "plain"},
+		},
+		Snapshot: s,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "javmm_x{a=\"plain\",zone_b=\"with \\\"quotes\\\" and \\\\slash\\nnewline\"} 1\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped output missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestWritePrometheusUnlabeledEquivalence pins that WritePrometheus and a
+// single unlabeled WritePrometheusLabeled call are the same writer: the
+// legacy golden outputs must not move.
+func TestWritePrometheusUnlabeledEquivalence(t *testing.T) {
+	c := simclock.New()
+	m := NewMetrics(c)
+	m.Counter("a").Add(1)
+	m.Gauge("b").Set(2)
+	m.Histogram("h").Observe(3)
+	var plain, labeled bytes.Buffer
+	if err := WritePrometheus(&plain, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheusLabeled(&labeled, []LabeledSnapshot{{Snapshot: m.Snapshot()}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), labeled.Bytes()) {
+		t.Fatalf("unlabeled forms differ:\n%s\nvs\n%s", &plain, &labeled)
+	}
+}
+
 // TestWritePrometheusOrderStable pins the byte-identical-output guarantee
 // against unsorted producers: a hand-built snapshot with sections in
 // adversarial (reverse and shuffled) order must render exactly the same

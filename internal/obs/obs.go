@@ -95,6 +95,20 @@ const (
 	// recorded — nesting stays intact — and the error event documents the
 	// instrumentation bug instead.
 	KindSpanError Kind = "obs.span_error"
+
+	// KindProgress is the live progress stream: an instant event per
+	// lifecycle transition and per completed iteration, carrying the
+	// engine's typed Progress value as its Data payload (pages/bytes
+	// remaining, observed dirty/transfer rates, ETA).
+	KindProgress Kind = "migration.progress"
+
+	// KindTransfer spans one arbitrated fabric transfer on its flow's track
+	// ("fabric/<src>-><dst>"): begin at admission, end at completion with the
+	// contended duration, queueing and stall attached.
+	KindTransfer Kind = "fabric.transfer"
+	// KindContention marks a change in a shared trunk's concurrent-transfer
+	// count, emitted on the trunk's own fabric track ("fabric/<link>").
+	KindContention Kind = "fabric.contention"
 )
 
 // Track names group events onto separate timelines (Chrome trace threads).
@@ -106,6 +120,10 @@ const (
 	TrackJVM       = "jvm"
 	TrackWorkload  = "workload"
 	TrackFaults    = "faults"
+	// TrackFabric prefixes the shared-fabric timelines: per-flow transfer
+	// spans live on TrackFabric + "/<src>-><dst>" and per-link contention
+	// instants on TrackFabric + "/<link>".
+	TrackFabric = "fabric"
 )
 
 // Phase distinguishes instant events from span boundaries.

@@ -1,0 +1,183 @@
+// Package sla prices a migration run against a service-level agreement: the
+// application-visible downtime costs a penalty per second, and every
+// operation the workload lost to migration interference — the dip the
+// paper's Figure 11 timelines show around each run — costs a penalty per
+// operation.
+//
+// Like the attrib package it builds on, sla refuses numbers that do not add
+// up: the downtime it prices is the attribution's WorkloadDowntime
+// tick-for-tick, the dip integral is an exact sum over the analyzer's
+// per-second samples, and Reconcile re-derives the whole cost from its
+// inputs and rejects any drift. Fleet tooling (javmm-analyze's fleet mode,
+// experiment X15) aggregates per-VM costs with Aggregate.
+package sla
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"javmm/internal/obs/attrib"
+	"javmm/internal/workload"
+)
+
+// Model is the pricing policy. The zero value prices nothing; Default
+// returns the reference policy the tools use.
+type Model struct {
+	// DowntimePenaltyPerSec is the cost of one second of application-visible
+	// downtime (the attribution's WorkloadDowntime, which for assisted runs
+	// includes the enforced GC and final bitmap update).
+	DowntimePenaltyPerSec float64 `json:"downtime_penalty_per_sec"`
+	// DipPenaltyPerOp is the cost of one operation lost versus the baseline
+	// throughput — the integral of max(0, baseline − observed) over the
+	// workload's per-second samples.
+	DipPenaltyPerOp float64 `json:"dip_penalty_per_op"`
+	// BaselineOps is the expected steady-state throughput in ops/sec. Zero
+	// derives it from the samples themselves (the maximum observed second),
+	// which under-counts the dip slightly but needs no calibration run.
+	BaselineOps float64 `json:"baseline_ops,omitempty"`
+}
+
+// Default is the reference pricing policy: one unit per second of downtime,
+// a thousandth of a unit per lost operation. Experiments use it so SLA-cost
+// columns are comparable across runs.
+func Default() Model {
+	return Model{DowntimePenaltyPerSec: 1.0, DipPenaltyPerOp: 0.001}
+}
+
+// Cost is the priced account of one migration run. Every field is derivable
+// from (Model, Attribution, samples); Reconcile re-derives and compares.
+type Cost struct {
+	VM   string `json:"vm"`
+	Mode string `json:"mode"` // effective mode (post-degradation)
+
+	// WorkloadDowntime is copied tick-for-tick from the attribution.
+	WorkloadDowntime time.Duration `json:"workload_downtime_ns"`
+	DowntimeCost     float64       `json:"downtime_cost"`
+
+	// BaselineOps is the baseline the dip was measured against (the model's,
+	// or the derived maximum when the model left it zero). LostOps is the
+	// dip integral Σ max(0, baseline − ops) over the samples; DipSeconds
+	// counts the seconds that contributed.
+	BaselineOps float64 `json:"baseline_ops"`
+	LostOps     float64 `json:"lost_ops"`
+	DipSeconds  int     `json:"dip_seconds"`
+	DipCost     float64 `json:"dip_cost"`
+
+	// Total = DowntimeCost + DipCost, exactly.
+	Total float64 `json:"total"`
+}
+
+// Build prices one run: vm names the cost row, a is the run's reconciled
+// attribution (Build does not re-check it; callers run attrib's Reconcile
+// first), and samples is the analyzer's per-second throughput series
+// covering the run. Identical inputs produce identical costs, bit for bit —
+// the arithmetic is a fixed sequence of float64 operations.
+func Build(vm string, m Model, a *attrib.Attribution, samples []workload.Sample) Cost {
+	c := Cost{
+		VM:               vm,
+		Mode:             a.EffectiveMode.String(),
+		WorkloadDowntime: a.WorkloadDowntime,
+		BaselineOps:      m.BaselineOps,
+	}
+	if c.BaselineOps == 0 {
+		for _, s := range samples {
+			if s.Ops > c.BaselineOps {
+				c.BaselineOps = s.Ops
+			}
+		}
+	}
+	for _, s := range samples {
+		if lost := c.BaselineOps - s.Ops; lost > 0 {
+			c.LostOps += lost
+			c.DipSeconds++
+		}
+	}
+	c.DowntimeCost = c.WorkloadDowntime.Seconds() * m.DowntimePenaltyPerSec
+	c.DipCost = c.LostOps * m.DipPenaltyPerOp
+	c.Total = c.DowntimeCost + c.DipCost
+	return c
+}
+
+// Reconcile checks a cost against the inputs it claims to price: the
+// downtime must match the attribution tick-for-tick, and every derived
+// number must equal a fresh Build of the same inputs exactly (the arithmetic
+// is deterministic, so even the floats must be bit-identical). A non-nil
+// error means the cost was tampered with or built from different inputs and
+// must not be presented.
+func (c Cost) Reconcile(m Model, a *attrib.Attribution, samples []workload.Sample) error {
+	if c.WorkloadDowntime != a.WorkloadDowntime {
+		return fmt.Errorf("sla: cost prices %v of downtime, attribution says %v",
+			c.WorkloadDowntime, a.WorkloadDowntime)
+	}
+	if got := a.EffectiveMode.String(); c.Mode != got {
+		return fmt.Errorf("sla: cost mode %q, attribution says %q", c.Mode, got)
+	}
+	want := Build(c.VM, m, a, samples)
+	if c != want {
+		return fmt.Errorf("sla: cost does not re-derive from its inputs:\n got %+v\nwant %+v", c, want)
+	}
+	if c.Total != c.DowntimeCost+c.DipCost {
+		return fmt.Errorf("sla: total %v != downtime %v + dip %v",
+			c.Total, c.DowntimeCost, c.DipCost)
+	}
+	return nil
+}
+
+// FleetCost aggregates per-VM costs. Sums run in the order given (boot
+// order, for fleet results), so aggregation is deterministic.
+type FleetCost struct {
+	PerVM []Cost `json:"per_vm"`
+
+	DowntimeCost float64 `json:"downtime_cost"`
+	DipCost      float64 `json:"dip_cost"`
+	LostOps      float64 `json:"lost_ops"`
+	Total        float64 `json:"total"`
+
+	// WorstVM is the costliest VM (first wins a tie), "" for an empty fleet.
+	WorstVM string `json:"worst_vm,omitempty"`
+}
+
+// Aggregate folds per-VM costs into the fleet view.
+func Aggregate(costs []Cost) FleetCost {
+	f := FleetCost{PerVM: costs}
+	worst := -1.0
+	for _, c := range costs {
+		f.DowntimeCost += c.DowntimeCost
+		f.DipCost += c.DipCost
+		f.LostOps += c.LostOps
+		f.Total += c.Total
+		if c.Total > worst {
+			worst = c.Total
+			f.WorstVM = c.VM
+		}
+	}
+	return f
+}
+
+// Reconcile checks the fleet aggregate against its per-VM rows.
+func (f FleetCost) Reconcile() error {
+	want := Aggregate(f.PerVM)
+	if f.DowntimeCost != want.DowntimeCost || f.DipCost != want.DipCost ||
+		f.LostOps != want.LostOps || f.Total != want.Total || f.WorstVM != want.WorstVM {
+		return fmt.Errorf("sla: fleet aggregate does not re-derive from its rows:\n got %+v\nwant %+v", f, want)
+	}
+	return nil
+}
+
+// WriteJSON exports a fleet cost as indented JSON; ReadJSON parses it back.
+func WriteJSON(w io.Writer, f FleetCost) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadJSON parses a fleet cost written by WriteJSON.
+func ReadJSON(r io.Reader) (FleetCost, error) {
+	var f FleetCost
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return FleetCost{}, fmt.Errorf("sla: parsing fleet cost: %w", err)
+	}
+	return f, nil
+}

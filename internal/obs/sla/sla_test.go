@@ -1,0 +1,211 @@
+package sla_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"javmm"
+	"javmm/internal/migration"
+	"javmm/internal/obs/attrib"
+	"javmm/internal/obs/sla"
+	"javmm/internal/workload"
+)
+
+// fakeAttribution builds a consistent attribution from a fabricated report.
+func fakeAttribution(mode migration.Mode) *attrib.Attribution {
+	r := &migration.Report{
+		Mode:           mode,
+		VMDowntime:     250 * time.Millisecond,
+		Resumption:     170 * time.Millisecond,
+		FinalUpdate:    6 * time.Millisecond,
+		TotalPagesSent: 300,
+		Iterations: []migration.IterationStats{
+			{Index: 1, Duration: time.Second, PagesSent: 200, BytesOnWire: 200 * 4096},
+			{Index: 2, Duration: 100 * time.Millisecond, Last: true, PagesSent: 100,
+				BytesOnWire: 100 * 4096},
+		},
+	}
+	return attrib.Build(r, 40*time.Millisecond, nil)
+}
+
+func TestBuildPricesDowntimeAndDip(t *testing.T) {
+	a := fakeAttribution(migration.ModeVanilla) // downtime = 250ms
+	m := sla.Model{DowntimePenaltyPerSec: 10, DipPenaltyPerOp: 0.5, BaselineOps: 100}
+	samples := []workload.Sample{
+		{Second: 0, Ops: 100}, // at baseline: no dip
+		{Second: 1, Ops: 60},  // 40 lost
+		{Second: 2, Ops: 0},   // suspended second: 100 lost
+		{Second: 3, Ops: 120}, // above baseline: no credit
+	}
+	c := sla.Build("vm0", m, a, samples)
+	if c.WorkloadDowntime != 250*time.Millisecond {
+		t.Fatalf("downtime = %v", c.WorkloadDowntime)
+	}
+	if c.DowntimeCost != 2.5 {
+		t.Fatalf("downtime cost = %v, want 2.5", c.DowntimeCost)
+	}
+	if c.LostOps != 140 || c.DipSeconds != 2 {
+		t.Fatalf("lost ops = %v over %d seconds, want 140 over 2", c.LostOps, c.DipSeconds)
+	}
+	if c.DipCost != 70 {
+		t.Fatalf("dip cost = %v, want 70", c.DipCost)
+	}
+	if c.Total != 72.5 {
+		t.Fatalf("total = %v, want 72.5", c.Total)
+	}
+	if err := c.Reconcile(m, a, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDerivesBaseline(t *testing.T) {
+	a := fakeAttribution(migration.ModeVanilla)
+	m := sla.Model{DowntimePenaltyPerSec: 1, DipPenaltyPerOp: 1}
+	samples := []workload.Sample{{Second: 0, Ops: 80}, {Second: 1, Ops: 50}, {Second: 2, Ops: 90}}
+	c := sla.Build("vm0", m, a, samples)
+	if c.BaselineOps != 90 {
+		t.Fatalf("derived baseline = %v, want 90 (max sample)", c.BaselineOps)
+	}
+	if c.LostOps != 10+40 {
+		t.Fatalf("lost ops = %v, want 50", c.LostOps)
+	}
+	if err := c.Reconcile(m, a, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconcileCatchesTampering(t *testing.T) {
+	a := fakeAttribution(migration.ModeAppAssisted)
+	m := sla.Default()
+	samples := []workload.Sample{{Second: 0, Ops: 100}, {Second: 1, Ops: 0}}
+	c := sla.Build("vm0", m, a, samples)
+	if err := c.Reconcile(m, a, samples); err != nil {
+		t.Fatal(err)
+	}
+	tamper := []func(*sla.Cost){
+		func(c *sla.Cost) { c.WorkloadDowntime += time.Nanosecond },
+		func(c *sla.Cost) { c.DowntimeCost *= 1.0000001 },
+		func(c *sla.Cost) { c.LostOps++ },
+		func(c *sla.Cost) { c.DipCost = 0 },
+		func(c *sla.Cost) { c.Total += 0.01 },
+		func(c *sla.Cost) { c.Mode = "xen" },
+	}
+	for i, f := range tamper {
+		bad := c
+		f(&bad)
+		if err := bad.Reconcile(m, a, samples); err == nil {
+			t.Fatalf("tamper %d went undetected: %+v", i, bad)
+		}
+	}
+}
+
+func TestAggregateAndFleetReconcile(t *testing.T) {
+	a := fakeAttribution(migration.ModeVanilla)
+	m := sla.Model{DowntimePenaltyPerSec: 4, DipPenaltyPerOp: 1}
+	c0 := sla.Build("vm0", m, a, []workload.Sample{{Second: 0, Ops: 0}})
+	c1 := sla.Build("vm1", m, a, nil)
+	f := sla.Aggregate([]sla.Cost{c0, c1})
+	if f.Total != c0.Total+c1.Total {
+		t.Fatalf("fleet total = %v, want %v", f.Total, c0.Total+c1.Total)
+	}
+	if f.WorstVM != "vm0" { // vm0 carries the dip cost on top
+		t.Fatalf("worst VM = %q, want vm0", f.WorstVM)
+	}
+	if err := f.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	f.Total += 1
+	if err := f.Reconcile(); err == nil {
+		t.Fatal("tampered fleet aggregate went undetected")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	f := sla.Aggregate(nil)
+	if f.Total != 0 || f.WorstVM != "" {
+		t.Fatalf("empty fleet = %+v", f)
+	}
+	if err := f.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := fakeAttribution(migration.ModeAppAssisted)
+	m := sla.Default()
+	samples := []workload.Sample{{Second: 0, Ops: 100}, {Second: 1, Ops: 30}}
+	f := sla.Aggregate([]sla.Cost{
+		sla.Build("vm0", m, a, samples),
+		sla.Build("vm1", m, a, nil),
+	})
+	var buf bytes.Buffer
+	if err := sla.WriteJSON(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sla.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PerVM) != 2 || got.PerVM[0] != f.PerVM[0] || got.PerVM[1] != f.PerVM[1] {
+		t.Fatalf("per-VM rows did not round-trip: %+v", got.PerVM)
+	}
+	if err := got.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSLAReconcilesAllModes is the end-to-end contract of satellite 3: for
+// every migration mode, a real run's SLA cost prices the attribution's
+// workload downtime tick-for-tick and re-derives exactly from (model,
+// attribution, samples). The external test package may import the root
+// javmm API even though the fleet layer under it imports sla.
+func TestSLAReconcilesAllModes(t *testing.T) {
+	modes := []javmm.Mode{javmm.ModeXen, javmm.ModeJAVMM, javmm.ModePostCopy, javmm.ModeHybrid}
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			prof, err := javmm.Workload("derby")
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm, err := javmm.BootVM(javmm.BootConfig{
+				Profile:  prof,
+				Assisted: mode == javmm.ModeJAVMM,
+				Seed:     11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm.Driver.Run(30 * time.Second)
+			led := javmm.NewLedger()
+			res, err := javmm.Migrate(vm, javmm.MigrateOptions{Mode: mode, Ledger: led})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := javmm.Attribute(res, led)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := sla.Default()
+			samples := vm.Driver.Samples()
+			c := sla.Build(vm.Dom.Name(), m, a, samples)
+			if c.WorkloadDowntime != a.WorkloadDowntime {
+				t.Fatalf("cost downtime %v, attribution %v", c.WorkloadDowntime, a.WorkloadDowntime)
+			}
+			if err := c.Reconcile(m, a, samples); err != nil {
+				t.Fatal(err)
+			}
+			if c.WorkloadDowntime <= 0 {
+				t.Fatal("run has no downtime to price")
+			}
+			if c.DowntimeCost <= 0 || c.Total < c.DowntimeCost {
+				t.Fatalf("implausible cost: %+v", c)
+			}
+			// Migration suspends the workload, so the sampled curve must show
+			// a priced dip (suspended seconds sample as zero ops).
+			if mode != javmm.ModePostCopy && c.DipSeconds == 0 {
+				t.Fatalf("no dip seconds priced in mode %v: %+v", mode, c)
+			}
+		})
+	}
+}

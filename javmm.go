@@ -45,8 +45,10 @@ import (
 	"javmm/internal/netsim"
 	"javmm/internal/obs"
 	"javmm/internal/obs/attrib"
+	"javmm/internal/obs/fleetobs"
 	"javmm/internal/obs/ledger"
 	"javmm/internal/obs/perf"
+	"javmm/internal/obs/sla"
 	"javmm/internal/replication"
 	"javmm/internal/simclock"
 	"javmm/internal/workload"
@@ -177,7 +179,68 @@ type (
 	FleetResult = fleet.Result
 	// FleetVMResult is one VM's outcome within a fleet run.
 	FleetVMResult = fleet.VMResult
+	// FlowUsage is one flow's fair-share accounting (queueing and stall
+	// time) in a FabricReport.
+	FlowUsage = netsim.FlowUsage
+	// Progress is one point of the live migration progress stream: phase,
+	// iteration, cumulative pages/bytes, outstanding work, observed rates
+	// and the clamped ETA. Receive it via MigrateOptions' EngineConfig
+	// OnProgress or FleetOptions.OnProgress.
+	Progress = migration.Progress
+	// ProgressPhase names a lifecycle phase in the progress stream.
+	ProgressPhase = migration.ProgressPhase
+	// FleetCollector is the fleet observability plane MigrateMany builds
+	// with FleetOptions.Collect: per-VM trace lanes merged into one Chrome
+	// trace, labeled metrics, captured progress streams, the fabric lane.
+	FleetCollector = fleetobs.Collector
+	// VMPlane is one VM's observability surfaces inside a FleetCollector.
+	VMPlane = fleetobs.VMPlane
+	// FleetSnapshot is the fleet metrics interchange form (per-VM registries
+	// plus the fleet-scoped registry) javmm-analyze's fleet mode ingests.
+	FleetSnapshot = fleetobs.Snapshot
+	// TraceLane is one process row of a merged multi-plane Chrome trace.
+	TraceLane = obs.TraceLane
+	// Label is one Prometheus label on a labeled snapshot.
+	Label = obs.Label
+	// LabeledSnapshot pairs a metrics snapshot with Prometheus labels for
+	// WritePrometheusLabeled.
+	LabeledSnapshot = obs.LabeledSnapshot
+	// SLAModel is the pricing policy for SLA cost accounting: a penalty per
+	// second of application-visible downtime plus a penalty per operation
+	// lost to the migration's throughput dip.
+	SLAModel = sla.Model
+	// SLACost is one migration's priced account, reconciled tick-for-tick
+	// against the run's attribution.
+	SLACost = sla.Cost
+	// FleetSLACost aggregates per-VM SLA costs over a fleet run.
+	FleetSLACost = sla.FleetCost
 )
+
+// Progress phases, in the order a run moves through them.
+const (
+	ProgressStart       = migration.ProgressStart
+	ProgressPreCopy     = migration.ProgressPreCopy
+	ProgressPrepare     = migration.ProgressPrepare
+	ProgressStopAndCopy = migration.ProgressStopAndCopy
+	ProgressPostCopy    = migration.ProgressPostCopy
+	ProgressDone        = migration.ProgressDone
+	ProgressAborted     = migration.ProgressAborted
+)
+
+// MaxETA is the progress stream's ETA clamp: non-converging estimates (dirty
+// rate at or above transfer rate) and converging-but-absurd ones are pinned
+// here instead of going negative or overflowing.
+const MaxETA = migration.MaxETA
+
+// EstimateETA estimates remaining transfer time from the observed rates; see
+// migration.EstimateETA for the clamping contract.
+func EstimateETA(bytesRemaining uint64, transferRate, dirtyByteRate float64) (time.Duration, bool) {
+	return migration.EstimateETA(bytesRemaining, transferRate, dirtyByteRate)
+}
+
+// DefaultSLA is the reference pricing policy experiments use, so SLA-cost
+// columns are comparable across runs.
+func DefaultSLA() SLAModel { return sla.Default() }
 
 // Fault-injection sites, re-exported from the faults package.
 const (
@@ -318,6 +381,56 @@ func WriteTraceJSONL(w io.Writer, events []Event) error { return obs.WriteJSONL(
 // WriteTraceChrome exports recorded events as Chrome trace_event JSON,
 // loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 func WriteTraceChrome(w io.Writer, events []Event) error { return obs.WriteChromeTrace(w, events) }
+
+// WriteTraceChromeLanes exports several event streams as one merged Chrome
+// trace: lane i becomes process i+1, named after the lane — the fleet
+// timeline form FleetCollector.WriteChromeTrace produces.
+func WriteTraceChromeLanes(w io.Writer, lanes []TraceLane) error {
+	return obs.WriteChromeTraceLanes(w, lanes)
+}
+
+// WritePrometheusLabeled renders several labeled snapshots as one Prometheus
+// page: same-named series merge under one TYPE header, label keys and rows in
+// deterministic order. A single unlabeled snapshot renders byte-identically
+// to WritePrometheus.
+func WritePrometheusLabeled(w io.Writer, snaps []LabeledSnapshot) error {
+	return obs.WritePrometheusLabeled(w, snaps)
+}
+
+// WriteFleetSnapshotJSON exports a fleet metrics snapshot as indented JSON;
+// ReadFleetSnapshotJSON parses it back (javmm-analyze's fleet ingest format).
+func WriteFleetSnapshotJSON(w io.Writer, s FleetSnapshot) error {
+	return fleetobs.WriteSnapshotJSON(w, s)
+}
+
+// ReadFleetSnapshotJSON parses a snapshot written by WriteFleetSnapshotJSON.
+func ReadFleetSnapshotJSON(r io.Reader) (FleetSnapshot, error) {
+	return fleetobs.ReadSnapshotJSON(r)
+}
+
+// FleetLabeledSnapshots rebuilds the labeled-snapshot list from an ingested
+// fleet snapshot, ready for WritePrometheusLabeled.
+func FleetLabeledSnapshots(s FleetSnapshot) []LabeledSnapshot {
+	return fleetobs.LabeledFromSnapshot(s)
+}
+
+// WriteFleetSLAJSON exports a fleet SLA cost as indented JSON;
+// ReadFleetSLAJSON parses it back.
+func WriteFleetSLAJSON(w io.Writer, f FleetSLACost) error { return sla.WriteJSON(w, f) }
+
+// ReadFleetSLAJSON parses a fleet cost written by WriteFleetSLAJSON.
+func ReadFleetSLAJSON(r io.Reader) (FleetSLACost, error) { return sla.ReadJSON(r) }
+
+// BuildSLACost prices one run against the model: downtime × penalty plus the
+// throughput-dip integral over the sampled workload curve. The attribution
+// must already reconcile (Attribute checks); the returned cost re-derives
+// exactly from its inputs via SLACost.Reconcile.
+func BuildSLACost(vm string, m SLAModel, a *Attribution, samples []Sample) SLACost {
+	return sla.Build(vm, m, a, samples)
+}
+
+// AggregateSLA folds per-VM costs into the fleet view.
+func AggregateSLA(costs []SLACost) FleetSLACost { return sla.Aggregate(costs) }
 
 // ReadTraceJSONL parses a trace previously exported with WriteTraceJSONL.
 func ReadTraceJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }

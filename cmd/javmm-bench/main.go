@@ -136,6 +136,21 @@ func run(o options, out io.Writer) error {
 			float64(scs[0].Timing.NsPerOp)/1e6, pages)
 		snap.Scenarios = append(snap.Scenarios, scs...)
 	}
+	for _, spec := range orchMatrix(o.Quick) {
+		label := fmt.Sprintf("evacuate/%s/%dvm", spec.ordering, spec.vms)
+		fmt.Fprintf(out, "orch     %-28s ", label)
+		scs, err := runOrchScenario(spec, o)
+		if err != nil {
+			return fmt.Errorf("orch %s: %w", label, err)
+		}
+		var pages int64
+		for _, sc := range scs {
+			pages += sc.Deterministic.PagesSent
+		}
+		fmt.Fprintf(out, "%8.2f ms/op  %6d pages sent\n",
+			float64(scs[0].Timing.NsPerOp)/1e6, pages)
+		snap.Scenarios = append(snap.Scenarios, scs...)
+	}
 	for _, k := range kernels(o.Seed) {
 		fmt.Fprintf(out, "kernel   %-28s ", k.name)
 		kr := measureKernel(k, o.Runs, kernelTarget(o.Quick))

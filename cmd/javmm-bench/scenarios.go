@@ -87,6 +87,165 @@ func fleetMatrix(quick bool) []fleetSpec {
 	}
 }
 
+// orchSpec names one orchestrator cell: an "evacuate host src" batch plan
+// executed under one launch ordering. The naive/cycle-aware pair prices the
+// scheduler itself — same cluster, same plan, same seed, the only delta is
+// the launch policy (and the deterministic blocks it produces).
+type orchSpec struct {
+	ordering javmm.Ordering
+	vms      int
+}
+
+func (s orchSpec) name(vm int) string {
+	return fmt.Sprintf("orch/evacuate/%s/%dvm/vm%d", s.ordering, s.vms, vm)
+}
+
+// orchMatrix is the orchestrator coverage: the evacuation plan at the
+// acceptance scale of four VMs, naive vs cycle-aware. Quick mode halves the
+// fleet.
+func orchMatrix(quick bool) []orchSpec {
+	n := 4
+	if quick {
+		n = 2
+	}
+	return []orchSpec{
+		{javmm.OrderNaive, n},
+		{javmm.OrderCycleAware, n},
+	}
+}
+
+// orchCluster is the fixed topology the orchestrator cells evacuate: n phased
+// mpeg VMs on one source, two destinations, the default gigabit backbone.
+func orchCluster(n int) *javmm.Cluster {
+	c := &javmm.Cluster{Hosts: []javmm.HostSpec{
+		{Name: "src", RAMBytes: 64 << 30},
+		{Name: "d1", RAMBytes: 64 << 30},
+		{Name: "d2", RAMBytes: 64 << 30},
+	}}
+	for i := 0; i < n; i++ {
+		c.VMs = append(c.VMs, javmm.VMSpec{
+			Name: fmt.Sprintf("vm%d", i), Host: "src",
+			Workload: "mpeg", MemBytes: 512 << 20,
+			Cycle: javmm.CycleSpec{
+				Period: 30 * time.Second, QuietStart: 10 * time.Second,
+				QuietLen: 15 * time.Second, QuietFactor: 0.1,
+				Phase: time.Duration(i%2) * 15 * time.Second,
+			},
+		})
+	}
+	return c
+}
+
+// runOrchScenario measures one orchestrator cell under the fleet protocol:
+// an accounting run pins each move's deterministic block, then o.Runs
+// uninstrumented timing runs must reproduce every block exactly while their
+// wall-clock medians become the shared timing block.
+func runOrchScenario(spec orchSpec, o options) ([]perf.Scenario, error) {
+	prof := javmm.NewStageProfiler()
+	dets, awall, _, err := orchOnce(spec, o, prof)
+	if err != nil {
+		return nil, err
+	}
+	var stages []perf.StageShare
+	for _, st := range prof.Snapshot() {
+		share := 0.0
+		if awall > 0 {
+			share = float64(st.SelfNs) / float64(awall)
+		}
+		stages = append(stages, perf.StageShare{
+			Stage:      st.Stage,
+			Calls:      st.Calls,
+			SelfNs:     st.SelfNs,
+			TotalNs:    st.TotalNs,
+			AllocBytes: st.SelfAllocBytes,
+			Share:      share,
+		})
+	}
+	scs := make([]perf.Scenario, len(dets))
+	for i, det := range dets {
+		scs[i] = perf.Scenario{Name: spec.name(i), Deterministic: det, Stages: stages}
+	}
+
+	ns := make([]int64, 0, o.Runs)
+	allocB := make([]int64, 0, o.Runs)
+	allocN := make([]int64, 0, o.Runs)
+	for r := 0; r < o.Runs; r++ {
+		tdets, wall, ad, err := orchOnce(spec, o, nil)
+		if err != nil {
+			return nil, fmt.Errorf("timing run %d: %w", r+1, err)
+		}
+		for i := range dets {
+			if tdets[i] != dets[i] {
+				return nil, fmt.Errorf("timing run %d vm%d diverged from accounting run:\naccounting: %+v\ntiming:     %+v",
+					r+1, i, dets[i], tdets[i])
+			}
+		}
+		ns = append(ns, int64(wall))
+		allocB = append(allocB, ad.bytes)
+		allocN = append(allocN, ad.objects)
+	}
+	timing := perf.Timing{
+		Runs:            o.Runs,
+		NsPerOp:         median(ns),
+		AllocBytesPerOp: median(allocB),
+		AllocsPerOp:     median(allocN),
+	}
+	for i := range scs {
+		t := timing
+		if t.NsPerOp > 0 && scs[i].Deterministic.PagesSent > 0 {
+			t.PagesPerSec = float64(scs[i].Deterministic.PagesSent) / (float64(t.NsPerOp) / 1e9)
+		}
+		scs[i].Timing = t
+	}
+	return scs, nil
+}
+
+// orchOnce executes the evacuation plan once and projects each move's
+// outcome onto the deterministic block.
+func orchOnce(spec orchSpec, o options, prof *javmm.StageProfiler) ([]perf.Deterministic, time.Duration, allocDelta, error) {
+	plan, err := javmm.ParseMigrationPlan("evacuate host src")
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	oo := javmm.OrchestratorOptions{
+		Cluster:   orchCluster(spec.vms),
+		Plan:      plan,
+		Mode:      javmm.ModeJAVMM,
+		Seed:      o.Seed,
+		Ordering:  spec.ordering,
+		Admission: javmm.AdmissionPolicy{MaxPerLink: 2, MaxPerHost: 2},
+		Warmup:    o.Warmup,
+		Engine:    javmm.EngineConfig{Perf: prof},
+	}
+	before := readAllocs()
+	start := time.Now()
+	res, err := javmm.Orchestrate(oo)
+	wall := time.Since(start)
+	delta := readAllocs().sub(before)
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	dets := make([]perf.Deterministic, len(res.Moves))
+	for i := range res.Moves {
+		m := &res.Moves[i]
+		if m.Err != nil {
+			return nil, 0, allocDelta{}, fmt.Errorf("%s: %w", m.Name, m.Err)
+		}
+		if m.VerifyErr != nil {
+			return nil, 0, allocDelta{}, fmt.Errorf("%s: destination verification failed: %w", m.Name, m.VerifyErr)
+		}
+		det := javmm.BenchDeterministic(&javmm.Result{
+			Report:           m.Report,
+			WorkloadDowntime: m.WorkloadDowntime,
+			EnforcedGC:       m.EnforcedGC,
+		})
+		det.Workload = "mpeg"
+		det.Codec = "raw"
+		dets[i] = det
+	}
+	return dets, wall, delta, nil
+}
+
 // runFleetScenario measures one contention cell under the same protocol as
 // runScenario: an accounting run (stage profiler attached) pins each VM's
 // deterministic block, then o.Runs uninstrumented timing runs must reproduce

@@ -10,6 +10,14 @@
 //	javmm-migrate -workload derby -mode javmm -warmup 300s -v
 //	javmm-migrate -workload scimark -mode xen -bandwidth 117000000
 //	javmm-migrate -workload derby -mode javmm -trace out.json -metrics
+//
+// With -plan it becomes the fleet orchestrator front end: -cluster declares
+// hosts/links/VMs, -plan a batch plan ("evacuate host H", "drain rack R",
+// "migrate vm V to H", "rebalance to N%"), -ordering the launch policy
+// (naive, admission, cycle-aware), and admission caps bound concurrency:
+//
+//	javmm-migrate -cluster 'host a ram 64G; host b ram 64G; vm v1 on a; vm v2 on a' \
+//	    -plan 'evacuate host a' -ordering cycle-aware -max-per-link 2
 package main
 
 import (
@@ -27,41 +35,53 @@ import (
 
 func main() {
 	var o options
-	flag.StringVar(&o.Workload, "workload", "derby", "workload to run: "+strings.Join(javmm.WorkloadNames(), ", "))
-	flag.StringVar(&o.Mode, "mode", "javmm", "migration mode: xen, javmm, post-copy or hybrid")
-	flag.Uint64Var(&o.MemMiB, "mem", 2048, "VM memory in MiB")
-	flag.IntVar(&o.VCPUs, "vcpus", 4, "virtual CPUs")
-	flag.Uint64Var(&o.Bandwidth, "bandwidth", javmm.GigabitEthernet, "link payload bandwidth in bytes/sec")
-	flag.DurationVar(&o.Warmup, "warmup", 300*time.Second, "virtual warmup before migration")
-	flag.Uint64Var(&o.YoungMiB, "young", 0, "override max young generation in MiB (0 = workload default)")
-	flag.Int64Var(&o.Seed, "seed", 1, "deterministic seed")
-	flag.IntVar(&o.Peers, "peers", 1, "migrate N VMs of this workload concurrently over one shared link")
-	flag.DurationVar(&o.Stagger, "stagger", 500*time.Millisecond, "with -peers: delay between consecutive engine starts")
-	flag.BoolVar(&o.Compress, "compress", false, "compress unskipped pages (§6 extension)")
-	flag.StringVar(&o.Collector, "collector", "parallel", "garbage collector: parallel or g1")
-	flag.BoolVar(&o.Verbose, "v", false, "print per-iteration details")
-	flag.StringVar(&o.TracePath, "trace", "", "write a migration trace to this file")
-	flag.StringVar(&o.TraceFormat, "trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
-	flag.BoolVar(&o.Metrics, "metrics", false, "print the metrics summary table after migration")
-	flag.StringVar(&o.MetricsOut, "metrics-out", "", "write the metrics snapshot as JSON to this file")
-	flag.BoolVar(&o.Progress, "progress", false, "print the live progress stream (phase, iteration, remaining, ETA) as the engines emit it")
-	flag.BoolVar(&o.SLA, "sla", false, "price the run against the default SLA model and print the cost summary")
-	flag.StringVar(&o.SLAOut, "sla-out", "", "with -peers: write the fleet SLA cost as JSON to this file")
-	flag.Func("fault", "inject a fault: site[@at][#nth][,key=val...] (repeatable); e.g. 'link.partition@10s,for=2s', 'lkm.handshake', 'dest.receive#3,count=2'", func(s string) error {
-		o.Faults = append(o.Faults, s)
-		return nil
-	})
-	flag.Int64Var(&o.FaultSeed, "fault-seed", 1, "seed for the retry backoff jitter")
-	flag.BoolVar(&o.Resume, "resume", false, "on a clean abort, keep the destination image and resume the migration from the minted token (faults detached)")
-	flag.BoolVar(&o.Verify, "verify", true, "end-to-end page-digest audit: detect and repair in-flight corruption at switchover (-verify=false ablates it)")
-	flag.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file (stages carry pprof labels)")
-	flag.StringVar(&o.MemProfile, "memprofile", "", "write a heap profile at the end of the run to this file")
-	flag.BoolVar(&o.StageProfile, "stage-profile", false, "print the real-clock per-stage wall/allocation table after migration")
+	defineFlags(flag.CommandLine, &o)
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "javmm-migrate:", err)
 		os.Exit(1)
 	}
+}
+
+// defineFlags binds every CLI knob to the flag set; a separate function so
+// tests can round-trip argument lists (e.g. a chaos reproducer) through the
+// real definitions.
+func defineFlags(fs *flag.FlagSet, o *options) {
+	fs.StringVar(&o.Workload, "workload", "derby", "workload to run: "+strings.Join(javmm.WorkloadNames(), ", "))
+	fs.StringVar(&o.Mode, "mode", "javmm", "migration mode: xen, javmm, post-copy or hybrid")
+	fs.Uint64Var(&o.MemMiB, "mem", 2048, "VM memory in MiB")
+	fs.IntVar(&o.VCPUs, "vcpus", 4, "virtual CPUs")
+	fs.Uint64Var(&o.Bandwidth, "bandwidth", javmm.GigabitEthernet, "link payload bandwidth in bytes/sec")
+	fs.DurationVar(&o.Warmup, "warmup", 300*time.Second, "virtual warmup before migration")
+	fs.Uint64Var(&o.YoungMiB, "young", 0, "override max young generation in MiB (0 = workload default)")
+	fs.Int64Var(&o.Seed, "seed", 1, "deterministic seed")
+	fs.IntVar(&o.Peers, "peers", 1, "migrate N VMs of this workload concurrently over one shared link")
+	fs.DurationVar(&o.Stagger, "stagger", 500*time.Millisecond, "with -peers: delay between consecutive engine starts")
+	fs.StringVar(&o.Cluster, "cluster", "", "declarative cluster topology (host/link/vm statements, ';'-separated) for -plan")
+	fs.StringVar(&o.Plan, "plan", "", "batch migration plan to orchestrate against -cluster: 'evacuate host H', 'drain rack R', 'migrate vm V to H', 'rebalance to N%'")
+	fs.StringVar(&o.Ordering, "ordering", "cycle-aware", "with -plan: launch policy (naive, admission or cycle-aware)")
+	fs.IntVar(&o.MaxPerLink, "max-per-link", 1, "with -plan: admission cap on concurrent migrations per shared link (0 = unbounded)")
+	fs.IntVar(&o.MaxPerHost, "max-per-host", 1, "with -plan: admission cap on concurrent inbound migrations per destination host (0 = unbounded)")
+	fs.BoolVar(&o.Compress, "compress", false, "compress unskipped pages (§6 extension)")
+	fs.StringVar(&o.Collector, "collector", "parallel", "garbage collector: parallel or g1")
+	fs.BoolVar(&o.Verbose, "v", false, "print per-iteration details")
+	fs.StringVar(&o.TracePath, "trace", "", "write a migration trace to this file")
+	fs.StringVar(&o.TraceFormat, "trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
+	fs.BoolVar(&o.Metrics, "metrics", false, "print the metrics summary table after migration")
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write the metrics snapshot as JSON to this file")
+	fs.BoolVar(&o.Progress, "progress", false, "print the live progress stream (phase, iteration, remaining, ETA) as the engines emit it")
+	fs.BoolVar(&o.SLA, "sla", false, "price the run against the default SLA model and print the cost summary")
+	fs.StringVar(&o.SLAOut, "sla-out", "", "with -peers: write the fleet SLA cost as JSON to this file")
+	fs.Func("fault", "inject a fault: site[@at][#nth][,key=val...] (repeatable); e.g. 'link.partition@10s,for=2s', 'lkm.handshake', 'dest.receive#3,count=2'", func(s string) error {
+		o.Faults = append(o.Faults, s)
+		return nil
+	})
+	fs.Int64Var(&o.FaultSeed, "fault-seed", 1, "seed for the retry backoff jitter")
+	fs.BoolVar(&o.Resume, "resume", false, "on a clean abort, keep the destination image and resume the migration from the minted token (faults detached)")
+	fs.BoolVar(&o.Verify, "verify", true, "end-to-end page-digest audit: detect and repair in-flight corruption at switchover (-verify=false ablates it)")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file (stages carry pprof labels)")
+	fs.StringVar(&o.MemProfile, "memprofile", "", "write a heap profile at the end of the run to this file")
+	fs.BoolVar(&o.StageProfile, "stage-profile", false, "print the real-clock per-stage wall/allocation table after migration")
 }
 
 // options collects every CLI knob; run is pure in it so tests drive the full
@@ -78,6 +98,11 @@ type options struct {
 	Seed         int64
 	Peers        int
 	Stagger      time.Duration
+	Cluster      string
+	Plan         string
+	Ordering     string
+	MaxPerLink   int
+	MaxPerHost   int
 	Compress     bool
 	Verbose      bool
 	TracePath    string
@@ -124,6 +149,12 @@ func run(o options, out io.Writer) error {
 	}
 	if o.TraceFormat != "chrome" && o.TraceFormat != "jsonl" {
 		return fmt.Errorf("unknown trace format %q (want chrome or jsonl)", o.TraceFormat)
+	}
+	if o.Plan != "" || o.Cluster != "" {
+		if o.Peers > 1 {
+			return fmt.Errorf("-plan does not compose with -peers (the cluster declares the VMs)")
+		}
+		return runPlan(o, mode, out)
 	}
 	if o.Peers > 1 {
 		return runFleet(o, prof, mode, out)
@@ -461,6 +492,185 @@ func runFleet(o options, prof javmm.Profile, mode javmm.Mode, out io.Writer) err
 		}
 		if o.Metrics {
 			printMetrics(out, snap)
+		}
+	}
+	return firstErr
+}
+
+// runPlan is the -plan path: orchestrate a batch migration plan against a
+// declared cluster (DESIGN.md §17). It is also the chaos runner's replay
+// surface — a FleetViolation.Repro() argument list lands here, -fault rules
+// included.
+func runPlan(o options, mode javmm.Mode, out io.Writer) error {
+	if o.Cluster == "" {
+		return fmt.Errorf("-plan needs -cluster (the topology the plan compiles against)")
+	}
+	if o.Plan == "" {
+		return fmt.Errorf("-cluster needs -plan (the batch plan to execute)")
+	}
+	cluster, err := javmm.ParseCluster(o.Cluster)
+	if err != nil {
+		return err
+	}
+	plan, err := javmm.ParseMigrationPlan(o.Plan)
+	if err != nil {
+		return err
+	}
+	ord, err := javmm.ParseOrdering(o.Ordering)
+	if err != nil {
+		return err
+	}
+	engine := javmm.EngineConfig{Compress: o.Compress}
+	engine.Recovery.Seed = o.FaultSeed
+	engine.Recovery.EnableResume = o.Resume
+	engine.Integrity.Disable = !o.Verify
+	oo := javmm.OrchestratorOptions{
+		Cluster:  cluster,
+		Plan:     plan,
+		Mode:     mode,
+		Seed:     o.Seed,
+		Ordering: ord,
+		Admission: javmm.AdmissionPolicy{
+			MaxPerLink: o.MaxPerLink,
+			MaxPerHost: o.MaxPerHost,
+		},
+		Warmup: o.Warmup,
+		Engine: engine,
+	}
+	if len(o.Faults) > 0 {
+		fp, err := javmm.ParseFaultPlan(o.Faults)
+		if err != nil {
+			return err
+		}
+		oo.FaultPlan = fp
+	}
+	if o.SLA || o.SLAOut != "" {
+		m := javmm.DefaultSLA()
+		oo.SLA = &m
+	}
+	oo.Collect = o.TracePath != "" || o.Metrics || o.MetricsOut != ""
+	if o.Progress {
+		oo.OnProgress = func(vm string, p javmm.Progress) { printProgress(out, vm, p) }
+	}
+
+	fmt.Fprintf(out, "orchestrating %q on %d hosts / %d VMs (mode %s, ordering %s, caps link=%d host=%d, warmup %v)...\n",
+		o.Plan, len(cluster.Hosts), len(cluster.VMs), mode, ord, o.MaxPerLink, o.MaxPerHost, o.Warmup)
+	res, err := javmm.Orchestrate(oo)
+	if err != nil {
+		return err
+	}
+	if len(res.Moves) == 0 {
+		fmt.Fprintf(out, "plan compiled to no moves: nothing to do\n")
+		return nil
+	}
+
+	fmt.Fprintf(out, "\n%-10s %-12s %-10s %-8s %-7s %-10s %-12s %-10s %s\n",
+		"vm", "route", "launched", "waited", "defer", "total", "wl-downtime", "traffic", "status")
+	var firstErr error
+	for i := range res.Moves {
+		m := &res.Moves[i]
+		status := "OK"
+		switch {
+		case m.QuietLaunch:
+			status = "OK (quiet)"
+		case m.Forced:
+			status = "OK (forced)"
+		}
+		if m.Err != nil {
+			status = fmt.Sprintf("ABORTED: %v", m.Err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", m.Name, m.Err)
+			}
+		} else if m.VerifyErr != nil {
+			status = fmt.Sprintf("VERIFY FAILED: %v", m.VerifyErr)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: destination verification FAILED: %w", m.Name, m.VerifyErr)
+			}
+		}
+		total := time.Duration(0)
+		var traffic uint64
+		if m.Report != nil {
+			total = m.Report.TotalTime
+			traffic = m.Report.TotalBytes()
+		}
+		fmt.Fprintf(out, "%-10s %-12s %-10v %-8v %-7d %-10v %-12v %-10s %s\n",
+			m.Name, m.From+"->"+m.To,
+			m.LaunchedAt.Round(time.Millisecond),
+			(m.LaunchedAt - m.EligibleAt).Round(time.Millisecond),
+			m.Deferrals,
+			total.Round(time.Millisecond),
+			m.WorkloadDowntime.Round(time.Millisecond),
+			mb(traffic), status)
+	}
+
+	// Aborted moves resume from their tokens with the fault plane detached,
+	// exactly like an operator retry after the outage.
+	if o.Resume {
+		for i := range res.Moves {
+			m := &res.Moves[i]
+			if m.Err == nil {
+				continue
+			}
+			rep, rerr := res.ResumeAborted(i)
+			if rerr != nil {
+				fmt.Fprintf(out, "  resume %-10s FAILED: %v\n", m.Name, rerr)
+				continue
+			}
+			fmt.Fprintf(out, "  resume %-10s OK: %d pages in %v (faults detached, image verified)\n",
+				m.Name, rep.TotalPagesSent, rep.TotalTime.Round(time.Millisecond))
+			if firstErr != nil && firstErr.Error() == fmt.Sprintf("%s: %v", m.Name, m.Err) {
+				firstErr = nil
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "\nplan makespan %v (first launch to last completion)\n",
+		res.MakeSpan.Round(time.Millisecond))
+	if ord != javmm.OrderNaive {
+		if err := javmm.VerifyAdmission(res.Moves, oo.Admission); err != nil {
+			return fmt.Errorf("admission over-commit: %w", err)
+		}
+		fmt.Fprintf(out, "admission verified: caps (link=%d host=%d) never over-committed\n",
+			o.MaxPerLink, o.MaxPerHost)
+	}
+	for _, lu := range res.Fabric.Links {
+		fmt.Fprintf(out, "  link %-10s %s in %d transfers, busy %v, peak %d concurrent, utilization %.1f%%\n",
+			lu.Name, mb(lu.BytesSent), lu.Transfers, lu.Busy.Round(time.Millisecond),
+			lu.MaxConcurrent, lu.Utilization*100)
+	}
+
+	if f := res.SLA; f != nil {
+		if err := f.Reconcile(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nSLA cost (default model): fleet %.4f (downtime %.4f + dip %.4f, worst: %s)\n",
+			f.Total, f.DowntimeCost, f.DipCost, f.WorstVM)
+		if o.SLAOut != "" {
+			if err := writeFleetSLA(o.SLAOut, *f); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  SLA cost JSON       %s\n", o.SLAOut)
+		}
+	}
+	if coll := res.Obs; coll != nil {
+		if o.TracePath != "" {
+			if err := writeFleetTrace(o.TracePath, o.TraceFormat, coll); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  merged trace        %s (%d lanes, %s)\n",
+				o.TracePath, len(coll.Lanes()), o.TraceFormat)
+		}
+		if o.MetricsOut != "" {
+			if err := writeFleetSnapshot(o.MetricsOut, coll.Snapshot()); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  fleet snapshot      %s\n", o.MetricsOut)
+		}
+		if o.Metrics {
+			fmt.Fprintf(out, "\nfleet metrics (Prometheus, labeled):\n")
+			if err := coll.WritePrometheus(out); err != nil {
+				return err
+			}
 		}
 	}
 	return firstErr

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"javmm"
+	"javmm/internal/chaos"
 )
 
 // base returns the quick-test option set; cases tweak what they care about.
@@ -335,5 +337,102 @@ func TestRunRejectsBadFaultSpec(t *testing.T) {
 	o.Faults = []string{"no.such.site"}
 	if err := run(o, new(bytes.Buffer)); err == nil {
 		t.Fatal("bad fault spec accepted")
+	}
+}
+
+// planCluster is a small evacuation topology for the -plan tests: two VMs on
+// one source, disjoint quiet windows so a cycle-aware run launches both quiet.
+const planCluster = "host a ram 64G; host b ram 64G; host c ram 64G; " +
+	"vm v1 on a workload mpeg mem 512M cycle 30s/10s/15s/0.1; " +
+	"vm v2 on a workload compress mem 512M cycle 30s/10s/15s/0.1/15s"
+
+func TestRunPlanCycleAware(t *testing.T) {
+	o := base()
+	o.Cluster = planCluster
+	o.Plan = "evacuate host a"
+	o.Ordering = "cycle-aware"
+	o.MaxPerLink = 2
+	o.MaxPerHost = 2
+	o.Warmup = 5 * time.Second
+	o.SLA = true
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatalf("plan run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`orchestrating "evacuate host a"`,
+		"wl-downtime",
+		"v1", "v2", "a->",
+		"OK (quiet)",
+		"plan makespan",
+		"admission verified: caps (link=2 host=2) never over-committed",
+		"utilization",
+		"SLA cost (default model): fleet",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPlanRejectsIncompleteSpec(t *testing.T) {
+	o := base()
+	o.Plan = "evacuate host a"
+	if err := run(o, new(bytes.Buffer)); err == nil {
+		t.Fatal("-plan without -cluster accepted")
+	}
+	o = base()
+	o.Cluster = planCluster
+	if err := run(o, new(bytes.Buffer)); err == nil {
+		t.Fatal("-cluster without -plan accepted")
+	}
+}
+
+func TestRunPlanRejectsBadOrdering(t *testing.T) {
+	o := base()
+	o.Cluster = planCluster
+	o.Plan = "evacuate host a"
+	o.Ordering = "chaotic"
+	if err := run(o, new(bytes.Buffer)); err == nil {
+		t.Fatal("unknown ordering accepted")
+	}
+}
+
+func TestRunPlanRejectsPeers(t *testing.T) {
+	o := base()
+	o.Cluster = planCluster
+	o.Plan = "evacuate host a"
+	o.Ordering = "naive"
+	o.Peers = 2
+	if err := run(o, new(bytes.Buffer)); err == nil {
+		t.Fatal("-plan composed with -peers")
+	}
+}
+
+// The fleet chaos search promises that FleetViolation.Repro() is the exact
+// javmm-migrate argument list that replays the shrunk fault plan. Prove it:
+// parse the repro through the real flag definitions and run it — the replay
+// must reproduce the planted integrity violation (a completed move whose
+// image diverged because the audit was disabled).
+func TestRunPlanReplaysChaosRepro(t *testing.T) {
+	res := chaos.SearchFleet(chaos.FleetOptions{Seed: 1, Plans: 64, DisableIntegrityAudit: true})
+	v := res.Violation
+	if v == nil {
+		t.Fatal("fleet search with the audit disabled found no violation to replay")
+	}
+	var o options
+	fs := flag.NewFlagSet("javmm-migrate", flag.ContinueOnError)
+	defineFlags(fs, &o)
+	if err := fs.Parse(v.Repro()); err != nil {
+		t.Fatalf("repro args do not parse through the CLI flag set: %v\nargs: %v", err, v.Repro())
+	}
+	var buf bytes.Buffer
+	err := run(o, &buf)
+	if err == nil {
+		t.Fatalf("repro replay did not reproduce the violation %q:\n%s", v.Invariant, buf.String())
+	}
+	if out := buf.String(); !strings.Contains(out, "VERIFY FAILED") {
+		t.Fatalf("replay output missing the verification failure (run err: %v):\n%s", err, out)
 	}
 }

@@ -1,0 +1,258 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"javmm/internal/faults"
+	"javmm/internal/fleet"
+	"javmm/internal/migration"
+)
+
+// Fleet-plan chaos: the same seeded fault search, aimed at the batch
+// orchestrator instead of a single engine. Each trial executes a small
+// evacuation plan with a random fault plan active mid-batch and checks the
+// fleet-level invariants: every VM either completes to a verified image or
+// aborts cleanly with a resumable token (and the resume converges), the
+// admission controller never over-commits a link or destination, and the
+// fabric conserves bytes (Orchestrate itself enforces the last one).
+// A failing fault plan shrinks to a 1-minimal reproducer, reported as the
+// javmm-migrate -cluster/-plan/-fault CLI strings that replay it.
+
+// FleetOptions parameterizes a SearchFleet.
+type FleetOptions struct {
+	// Plans is the number of seeded fault plans to execute (default 8).
+	Plans int
+	// Seed is the base seed: trial i uses faults.RandomPlan(Seed+i, Budget)
+	// and runs in mode i mod 4.
+	Seed int64
+	// Budget bounds the rules per fault plan (default 3).
+	Budget int
+	// VMs is the trial evacuation's size (default 2).
+	VMs int
+	// DisableIntegrityAudit turns the digest audit off in every trial — the
+	// planted invariant bug that proves the fleet search has teeth (an
+	// unhealed in-flight corruption then reaches the final image, which the
+	// per-move verification must flag). Leave false for real searches.
+	DisableIntegrityAudit bool
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o *FleetOptions) fillDefaults() {
+	if o.Plans <= 0 {
+		o.Plans = 8
+	}
+	if o.Budget <= 0 {
+		o.Budget = 3
+	}
+	if o.VMs <= 0 {
+		o.VMs = 2
+	}
+}
+
+func (o *FleetOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// TrialFleetPlan is the batch plan every fleet trial executes.
+const TrialFleetPlan = "evacuate host src"
+
+// TrialFleetCluster is the one-line cluster the fleet trials run on: n VMs
+// on one source host, two destinations, the default backbone. One line so a
+// violation's reproducer fits on a javmm-migrate command line.
+func TrialFleetCluster(n int) string {
+	s := "host src ram 64G; host d1 ram 64G; host d2 ram 64G"
+	for i := 0; i < n; i++ {
+		s += fmt.Sprintf("; vm fv%d on src workload mpeg mem 512M", i)
+	}
+	return s
+}
+
+// trialPolicy serializes the evacuation behind a one-per-link cap, so later
+// moves are still in flight deep into the fault-activation window.
+var trialPolicy = fleet.AdmissionPolicy{MaxPerLink: 1, MaxPerHost: 1}
+
+// trialFleetWarmup is the trial plans' warmup; short, so the whole batch
+// executes inside the fault plans' activation window.
+const trialFleetWarmup = 2 * time.Second
+
+// FleetViolation is one fleet-invariant breach with its minimal reproducer.
+type FleetViolation struct {
+	Violation
+	// VMs sizes the trial cluster; VM names the breaching move (empty for
+	// plan-level breaches such as admission over-commit).
+	VMs int
+	VM  string
+	// BaseSeed is the search's workload seed (every trial boots with it);
+	// AuditDisabled records a search run with the digest audit off.
+	BaseSeed      int64
+	AuditDisabled bool
+}
+
+// Repro returns the exact javmm-migrate arguments that replay the shrunk
+// fault plan against the trial cluster and batch plan, flag for flag.
+func (v *FleetViolation) Repro() []string {
+	args := []string{
+		"-cluster", TrialFleetCluster(v.VMs),
+		"-plan", TrialFleetPlan,
+		"-ordering", fleet.OrderAdmission.String(),
+		"-mode", v.Mode.String(),
+		"-seed", fmt.Sprintf("%d", v.BaseSeed),
+		"-warmup", trialFleetWarmup.String(),
+		"-max-per-link", fmt.Sprintf("%d", trialPolicy.MaxPerLink),
+		"-max-per-host", fmt.Sprintf("%d", trialPolicy.MaxPerHost),
+		"-resume=true",
+	}
+	if v.AuditDisabled {
+		args = append(args, "-verify=false")
+	}
+	for _, r := range v.Shrunk {
+		args = append(args, "-fault", r.String())
+	}
+	return args
+}
+
+// FleetResult summarizes one SearchFleet.
+type FleetResult struct {
+	// PlansRun counts executed trials (stops early at the first violation).
+	PlansRun int
+	// Violation is the first breach found, already shrunk; nil when every
+	// trial upheld the invariants.
+	Violation *FleetViolation
+}
+
+// SearchFleet executes opts.Plans seeded fleet trials and returns the first
+// shrunk violation, if any. Same options, same outcome.
+func SearchFleet(opts FleetOptions) *FleetResult {
+	opts.fillDefaults()
+	res := &FleetResult{}
+	for i := 0; i < opts.Plans; i++ {
+		seed := opts.Seed + int64(i)
+		mode := modes[i%len(modes)]
+		plan := faults.RandomPlan(seed, opts.Budget)
+		res.PlansRun++
+		inv, detail, vm := runFleetTrial(&opts, mode, plan)
+		if inv == "" {
+			continue
+		}
+		opts.logf("chaos: fleet seed %d (%s): %s: %s — shrinking %d rules",
+			seed, mode, inv, detail, len(plan))
+		res.Violation = &FleetViolation{
+			Violation: Violation{
+				Seed: seed, Mode: mode,
+				Invariant: inv, Detail: detail,
+				Plan: plan, Shrunk: shrinkFleet(&opts, mode, plan),
+			},
+			VMs: opts.VMs, VM: vm,
+			BaseSeed: opts.Seed, AuditDisabled: opts.DisableIntegrityAudit,
+		}
+		return res
+	}
+	return res
+}
+
+// shrinkFleet greedily removes one fault rule at a time while the fleet
+// trial still violates some invariant, yielding a 1-minimal reproducer.
+func shrinkFleet(opts *FleetOptions, mode migration.Mode, plan faults.Plan) faults.Plan {
+	cur := plan
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			if len(cur) == 1 {
+				break
+			}
+			cand := make(faults.Plan, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if inv, _, _ := runFleetTrial(opts, mode, cand); inv != "" {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// runFleetTrial executes one evacuation under the fault plan and checks the
+// fleet invariants. Returns ("", "", "") when every invariant holds, else
+// the breached invariant, a detail line, and the breaching VM (if any).
+func runFleetTrial(opts *FleetOptions, mode migration.Mode, plan faults.Plan) (string, string, string) {
+	cluster, err := fleet.ParseCluster(TrialFleetCluster(opts.VMs))
+	if err != nil {
+		return "trial-setup", err.Error(), ""
+	}
+	batch, err := fleet.ParseMigrationPlan(TrialFleetPlan)
+	if err != nil {
+		return "trial-setup", err.Error(), ""
+	}
+	oo := fleet.OrchestratorOptions{
+		Cluster:   cluster,
+		Plan:      batch,
+		Mode:      mode,
+		Seed:      opts.Seed,
+		Ordering:  fleet.OrderAdmission,
+		Admission: trialPolicy,
+		Warmup:    trialFleetWarmup,
+		FaultPlan: plan,
+	}
+	oo.Engine.Recovery.EnableResume = true
+	oo.Engine.Integrity.Disable = opts.DisableIntegrityAudit
+	res, err := fleet.Orchestrate(oo)
+	if err != nil {
+		// Orchestrate only fails outright on setup errors or a fabric
+		// byte-conservation breach; under an arbitrary fault plan both are
+		// invariant violations.
+		return "plan-failed", err.Error(), ""
+	}
+
+	// Invariant: the admission controller never over-committed a link's or
+	// destination's cap, faults or no faults.
+	if err := fleet.VerifyAdmission(res.Moves, trialPolicy); err != nil {
+		return "admission-overcommit", err.Error(), ""
+	}
+
+	for i := range res.Moves {
+		m := &res.Moves[i]
+		// Invariant: whatever happened, every launched move has a report.
+		if m.Report == nil {
+			return "report-missing",
+				fmt.Sprintf("move %s finished with neither report nor outcome (err: %v)", m.Name, m.Err), m.Name
+		}
+		if m.Err != nil {
+			// Invariant: aborts are clean — recovery metadata names the
+			// reason and minted a resume token.
+			rec := m.Report.Recovery
+			if rec == nil || !rec.Aborted || rec.AbortReason == "" {
+				return "abort-metadata",
+					fmt.Sprintf("move %s aborted (%v) without recovery metadata", m.Name, m.Err), m.Name
+			}
+			if rec.Token == nil {
+				return "abort-metadata",
+					fmt.Sprintf("move %s: resumable abort (%v) minted no token", m.Name, m.Err), m.Name
+			}
+			// Invariant: the aborted move resumes (fault plane detached) to
+			// a verified completion.
+			if _, rerr := res.ResumeAborted(i); rerr != nil {
+				return "resume-diverged",
+					fmt.Sprintf("move %s: %v", m.Name, rerr), m.Name
+			}
+			continue
+		}
+		// Invariant: a completed pre-copy move's image verified at the
+		// completion instant.
+		if m.VerifyErr != nil {
+			return "image-diverged",
+				fmt.Sprintf("move %s completed but: %v", m.Name, m.VerifyErr), m.Name
+		}
+		// Invariant: a completed run healed every mismatch it detected.
+		if ic := m.Report.Integrity; ic != nil && ic.Repairs != ic.Mismatches {
+			return "unhealed-mismatch",
+				fmt.Sprintf("move %s completed with %d repairs for %d mismatches", m.Name, ic.Repairs, ic.Mismatches), m.Name
+		}
+	}
+	return "", "", ""
+}

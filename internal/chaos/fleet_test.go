@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"javmm/internal/faults"
+	"javmm/internal/fleet"
+)
+
+// With the audit enabled, seeded fault plans dropped mid-batch uphold every
+// fleet invariant: each VM completes to a verified image or aborts cleanly
+// and resumes, and admission never over-commits.
+func TestSearchFleetClean(t *testing.T) {
+	res := SearchFleet(FleetOptions{Seed: 1, Plans: 8, Log: t.Logf})
+	if v := res.Violation; v != nil {
+		t.Fatalf("fleet invariant %q violated by seed %d (%s, move %q): %s\nplan: %v",
+			v.Invariant, v.Seed, v.Mode, v.VM, v.Detail, v.Plan)
+	}
+	if res.PlansRun != 8 {
+		t.Fatalf("ran %d plans, want 8", res.PlansRun)
+	}
+}
+
+// The planted invariant bug: with the digest audit disabled, an in-flight
+// corruption survives to the final image and the fleet search must find it,
+// shrink the fault plan to a minimal reproducer, and do so deterministically.
+func TestSearchFleetFindsPlantedIntegrityBug(t *testing.T) {
+	opts := FleetOptions{Seed: 1, Plans: 64, DisableIntegrityAudit: true, Log: t.Logf}
+	res := SearchFleet(opts)
+	v := res.Violation
+	if v == nil {
+		t.Fatalf("no violation found in %d fleet trials despite the disabled audit", res.PlansRun)
+	}
+	if v.Invariant != "image-diverged" {
+		t.Fatalf("invariant = %q (%s), want image-diverged", v.Invariant, v.Detail)
+	}
+	if len(v.Shrunk) == 0 || len(v.Shrunk) > len(v.Plan) {
+		t.Fatalf("shrunk plan has %d rules (original %d)", len(v.Shrunk), len(v.Plan))
+	}
+	hasCorrupt := false
+	for _, r := range v.Shrunk {
+		if r.Site == faults.SiteCorruptPage {
+			hasCorrupt = true
+		}
+	}
+	if !hasCorrupt {
+		t.Fatalf("shrunk plan %v lost the corruption rule", v.Shrunk)
+	}
+
+	// The repro replays end to end: cluster and batch plan parse, the
+	// ordering is a real ordering, every -fault string parses back, and the
+	// boolean flags use the one-token -flag=value form the flag package
+	// requires.
+	repro := v.Repro()
+	got := map[string]string{}
+	var rules []faults.Rule
+	for i := 0; i < len(repro); i++ {
+		tok := repro[i]
+		if tok == "-fault" {
+			rule, err := faults.ParseRule(repro[i+1])
+			if err != nil {
+				t.Fatalf("repro rule %q does not parse: %v", repro[i+1], err)
+			}
+			rules = append(rules, rule)
+			i++
+			continue
+		}
+		if k := strings.IndexByte(tok, '='); k >= 0 {
+			got[tok[:k]] = tok[k+1:]
+			continue
+		}
+		got[tok] = repro[i+1]
+		i++
+	}
+	if _, err := fleet.ParseCluster(got["-cluster"]); err != nil {
+		t.Fatalf("repro cluster does not parse: %v", err)
+	}
+	if _, err := fleet.ParseMigrationPlan(got["-plan"]); err != nil {
+		t.Fatalf("repro plan does not parse: %v", err)
+	}
+	if _, err := fleet.ParseOrdering(got["-ordering"]); err != nil {
+		t.Fatalf("repro ordering: %v", err)
+	}
+	if got["-seed"] != "1" || got["-warmup"] != "2s" {
+		t.Fatalf("repro seed/warmup = %q/%q, want the trial's 1/2s", got["-seed"], got["-warmup"])
+	}
+	if got["-resume"] != "true" || got["-verify"] != "false" {
+		t.Fatalf("repro resume/verify = %q/%q, want true/false", got["-resume"], got["-verify"])
+	}
+	if !reflect.DeepEqual(faults.Plan(rules), v.Shrunk) {
+		t.Fatalf("repro rules %v != shrunk plan %v", rules, v.Shrunk)
+	}
+
+	// Determinism: the same options find the same violation, shrunk the
+	// same way.
+	again := SearchFleet(FleetOptions{Seed: 1, Plans: 64, DisableIntegrityAudit: true})
+	if again.Violation == nil || !reflect.DeepEqual(again.Violation, v) {
+		t.Fatalf("fleet search is not deterministic:\n first %+v\nsecond %+v", v, again.Violation)
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"javmm/internal/fleet"
+	"javmm/internal/migration"
+	"javmm/internal/netsim"
+	"javmm/internal/obs/sla"
+	"javmm/internal/workload"
+)
+
+// AblationOrchestration is experiment X16: one 4-VM host evacuation executed
+// under the three launch orderings the orchestrator supports (DESIGN.md §17).
+// The VMs carry phase-staggered activity cycles — the diurnal quiet windows
+// the cycle-aware scheduler exploits. Naive-parallel launches everything at
+// the warmup instant into full-activity guests sharing one backbone;
+// admission-controlled serializes behind the per-link/per-host caps;
+// cycle-aware additionally times each launch into its VM's quiet window and
+// defers predicted non-convergers (bounded by QuietHorizon). The table
+// reports the makespan/downtime/SLA-cost trade: cycle-aware pays makespan
+// (it waits for windows) to win worst-VM downtime and aggregate fleet cost.
+// The win materializes in JAVMM mode — its transfers are short enough to fit
+// inside a quiet window — while vanilla pre-copy outlasts every window and
+// gains nothing from launch timing, making application assistance a
+// prerequisite for cycle-aware orchestration, not an orthogonal feature.
+func AblationOrchestration(o Options) (*Table, error) {
+	o.fillDefaults()
+	t := &Table{
+		Title: "X16. Orchestration: 4-VM evacuation, naive vs admission vs cycle-aware",
+		Header: []string{"mode", "ordering", "makespan", "worst wl-downtime",
+			"avg wl-downtime", "deferrals", "quiet/forced", "backbone traffic", "sla cost"},
+	}
+	for _, mode := range []migration.Mode{migration.ModeVanilla, migration.ModeAppAssisted} {
+		for _, ord := range []fleet.Ordering{fleet.OrderNaive, fleet.OrderAdmission, fleet.OrderCycleAware} {
+			res, err := orchestrationPlan(o, mode, ord)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: orchestration %s/%s: %w", mode, ord, err)
+			}
+			var wlDown, worst time.Duration
+			deferrals, quiet, forced := 0, 0, 0
+			for i := range res.Moves {
+				m := &res.Moves[i]
+				if m.Err != nil {
+					return nil, fmt.Errorf("experiments: orchestration %s/%s move %s: %w", mode, ord, m.Name, m.Err)
+				}
+				if m.VerifyErr != nil {
+					return nil, fmt.Errorf("experiments: orchestration %s/%s move %s verification: %w", mode, ord, m.Name, m.VerifyErr)
+				}
+				wlDown += m.WorkloadDowntime
+				if m.WorkloadDowntime > worst {
+					worst = m.WorkloadDowntime
+				}
+				deferrals += m.Deferrals
+				if m.QuietLaunch {
+					quiet++
+				}
+				if m.Forced {
+					forced++
+				}
+			}
+			var backbone uint64
+			for _, lu := range res.Fabric.Links {
+				backbone += lu.BytesSent
+			}
+			if res.SLA == nil {
+				return nil, fmt.Errorf("experiments: orchestration %s/%s: no SLA aggregate", mode, ord)
+			}
+			if err := res.SLA.Reconcile(); err != nil {
+				return nil, fmt.Errorf("experiments: orchestration %s/%s: %w", mode, ord, err)
+			}
+			t.AddRow(mode.String(), ord.String(),
+				fmtDur(res.MakeSpan), fmtDur(worst),
+				fmtDur(wlDown/time.Duration(len(res.Moves))),
+				fmt.Sprintf("%d", deferrals),
+				fmt.Sprintf("%d/%d", quiet, forced),
+				fmtBytes(backbone),
+				fmt.Sprintf("%.3f", res.SLA.Total))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"javmm rows are the acceptance result: a javmm migration fits inside one 30 s quiet window, so a cycle-aware launch finishes its stop-and-copy while the guest is still at 10% activity — beating naive on aggregate sla cost and worst-VM downtime, at the price of makespan",
+		"vanilla rows show why application assistance is a prerequisite: full pre-copy outlasts every quiet window (the young generation re-dirties for minutes under contention), so launch timing degenerates to noise and cycle-aware buys nothing",
+		"deterministic: the whole plan — per-VM reports, scheduling records, fleet cost — replays byte-identically at the same seed")
+	return t, nil
+}
+
+// orchestrationPlan executes the X16 evacuation: four cyclic VMs on one
+// source host, two destination hosts in another rack, one gigabit backbone.
+func orchestrationPlan(o Options, mode migration.Mode, ord fleet.Ordering) (*fleet.PlanResult, error) {
+	c := &fleet.Cluster{
+		Hosts: []fleet.HostSpec{
+			{Name: "src", Rack: "a", RAMBytes: 64 << 30},
+			{Name: "d1", Rack: "b", RAMBytes: 64 << 30},
+			{Name: "d2", Rack: "b", RAMBytes: 64 << 30},
+		},
+		Links: []fleet.LinkSpec{{
+			Name:      "backbone",
+			Bandwidth: netsim.GigabitEffective,
+			Latency:   100 * time.Microsecond,
+			Hosts:     []string{"src", "d1", "d2"},
+		}},
+	}
+	// Phase-staggered quiet windows: 30 s of a 120 s period at 10%
+	// activity, offset 30 s per VM, so the four windows tile the timeline
+	// back to back and at most one VM is quiet at any instant. The window
+	// is longer than one uncontended 2 GiB migration (~20 s), which is the
+	// property that matters: downtime is set by the dirty rate at the END
+	// of pre-copy, so a well-timed launch completes its stop-and-copy
+	// while the guest is still quiet. A naive launch catches at least
+	// three guests at full activity; cycle-aware pipelines the plan window
+	// by window.
+	for i, wl := range []string{"compress", "crypto", "mpeg", "serial"} {
+		c.VMs = append(c.VMs, fleet.VMSpec{
+			Name:     fmt.Sprintf("vm%d", i),
+			Host:     "src",
+			Workload: wl,
+			MemBytes: o.MemBytes,
+			Cycle: workload.CycleSpec{
+				Period:      120 * time.Second,
+				QuietStart:  60 * time.Second,
+				QuietLen:    30 * time.Second,
+				QuietFactor: 0.1,
+				Phase:       time.Duration(i) * 30 * time.Second,
+			},
+		})
+	}
+	plan, err := fleet.ParseMigrationPlan("evacuate host src")
+	if err != nil {
+		return nil, err
+	}
+	model := sla.Default()
+	return fleet.Orchestrate(fleet.OrchestratorOptions{
+		Cluster:         c,
+		Plan:            plan,
+		Mode:            mode,
+		Seed:            o.Seeds[0],
+		Ordering:        ord,
+		Admission:       fleet.AdmissionPolicy{MaxPerLink: 2, MaxPerHost: 2},
+		Warmup:          o.Warmup,
+		DecisionQuantum: 250 * time.Millisecond,
+		QuietHorizon:    4 * time.Minute,
+		SLA:             &model,
+	})
+}

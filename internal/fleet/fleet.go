@@ -374,6 +374,11 @@ func Run(opts Options) (*Result, error) {
 	}
 	res.MakeSpan = last - first
 	res.Fabric = fabric.Report()
+	// Standing invariant, checked after every fleet run: fair-share
+	// settling may not lose or invent bytes on any link.
+	if err := res.Fabric.VerifyConservation(); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
 	res.Metrics = metrics
 	res.Obs = coll
 

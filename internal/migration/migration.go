@@ -236,11 +236,12 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		// cannot prove intact at the destination.
 		s.planResume(s.pendingResume, toSend)
 	}
-	if s.proto != nil && s.degradeEnabled() {
-		// Track consent-skipped pages while a downgrade to vanilla is still
-		// possible: they are the pages a degraded run must transfer after
-		// all (their staleness is invisible to dirty tracking, which was
-		// cleared while they were being skipped).
+	if s.proto != nil {
+		// Track consent-skipped pages in every assisted run: they are the
+		// pages a degraded run — or the LKM's straggler fallback, which
+		// restores an unready application's areas to full transfer — must
+		// transfer after all (their staleness is invisible to dirty
+		// tracking, which was cleared while they were being skipped).
 		s.skippedEver = mem.NewBitmap(n)
 	}
 
@@ -365,6 +366,15 @@ func (s *Source) migratePreCopy() (*Report, error) {
 		// Degraded run: consent-skipped pages not sent since must still
 		// move (PeekAndClear overwrote the set, so re-fold them here).
 		toSend.Or(s.degradePending)
+	}
+	if s.report.Fallbacks > 0 && s.skippedEver != nil {
+		// Straggler fallback: the LKM restored unready applications' skip
+		// areas to full transfer, but pages skipped in earlier rounds need
+		// not be dirty, so dirty tracking alone would leave them behind.
+		// Fold every consent-skipped page not sent since back in; the live
+		// transfer bitmap re-filters whatever remains legitimately
+		// skippable (ready applications' areas).
+		toSend.Or(s.skippedEver)
 	}
 	iter++
 	st := s.runIteration(iter, toSend, true)

@@ -676,3 +676,43 @@ func TestDownTimeIncludesStopAndCopyTransfer(t *testing.T) {
 			rep.VMDowntime, last.Duration, rep.Resumption)
 	}
 }
+
+// A silent straggler: the app reports a skip-over area but never answers
+// prepare-suspension, so the LKM's timeout restores its areas to full
+// transfer (the fallback of paper §6). The engine must then actually send
+// the restored pages — they were skipped in earlier rounds and are not
+// dirty, so dirty tracking alone would strand stale content at the
+// destination. Regression test for the fleet chaos finding where a resumed
+// migration of a frozen guest left every restored page behind.
+func TestAssistedStragglerFallbackTransfersRestoredPages(t *testing.T) {
+	r := newRig(2048, 100*1000*1000)
+	proc := r.guest.NewProcess("straggler")
+	skip := mem.VARange{Start: 0x1000000, End: 0x1000000 + 256*mem.PageSize}
+	if err := proc.Alloc(skip); err != nil {
+		t.Fatal(err)
+	}
+	// The area's content exists before migration and never changes again.
+	proc.WriteRange(skip)
+	var sock *guestos.Socket
+	sock = r.guest.LKM.RegisterApp(proc, func(msg any) {
+		if _, ok := msg.(guestos.MsgQuerySkipAreas); ok {
+			sock.Send(guestos.MsgReportAreas{App: sock.App(), Areas: []mem.VARange{skip}})
+		}
+		// MsgPrepareSuspension goes unanswered — the straggler.
+	})
+	rep, err := r.source(Config{Mode: ModeAppAssisted}, nil).Migrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", rep.Fallbacks)
+	}
+	// The restored pages ride the stop-and-copy round.
+	last := rep.Iterations[len(rep.Iterations)-1]
+	if !last.Last || last.PagesSent < 256 {
+		t.Fatalf("stop-and-copy sent %d pages (want ≥ the 256 restored)", last.PagesSent)
+	}
+	// FinalTransfer covers the restored area again, and the image matches
+	// page for page.
+	r.verify(t, rep)
+}

@@ -243,6 +243,29 @@ func (f *Fabric) Dial(src, dst string) (*Link, error) {
 
 // route BFS-walks the host/link bipartite graph and returns the shared links
 // along the shortest src->dst path. Ties break by host/link insertion order.
+// Route returns the names of the shared links a src→dst flow crosses, in
+// path order (NIC trunks excluded). The orchestrator uses it for per-link
+// admission accounting without opening a port.
+func (f *Fabric) Route(src, dst string) ([]string, error) {
+	hs, ok := f.hosts[src]
+	if !ok {
+		return nil, fmt.Errorf("netsim: no host %q", src)
+	}
+	hd, ok := f.hosts[dst]
+	if !ok {
+		return nil, fmt.Errorf("netsim: no host %q", dst)
+	}
+	shared, err := f.route(hs, hd)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(shared))
+	for i, t := range shared {
+		names[i] = t.name
+	}
+	return names, nil
+}
+
 func (f *Fabric) route(src, dst *fabricHost) ([]*trunk, error) {
 	if src == dst {
 		return nil, nil
@@ -658,6 +681,24 @@ type FlowUsage struct {
 type FabricReport struct {
 	Links []LinkUsage `json:"links"`
 	Flows []FlowUsage `json:"flows,omitempty"`
+}
+
+// VerifyConservation checks every link's byte-conservation residue against
+// the settle bound: the fixed-point arbiter's continuous byte integral may
+// differ from the discrete send count by at most one byte per completed
+// transfer (completion instants round up to whole nanoseconds) plus one byte
+// of terminal float residue. A report that breaks this bound means the
+// fair-share settling lost or invented bytes — the fleet runner asserts it
+// after every plan.
+func (r FabricReport) VerifyConservation() error {
+	for _, u := range r.Links {
+		if res := u.ConservationError(); res > float64(u.Transfers+1) {
+			return fmt.Errorf(
+				"netsim: link %s conservation residue %.3f bytes exceeds bound %d (sent %d bytes over %d transfers, settled %.3f)",
+				u.Name, res, u.Transfers+1, u.BytesSent, u.Transfers, u.SettledBytes)
+		}
+	}
+	return nil
 }
 
 // Link returns the named link's usage row, and whether it was present.

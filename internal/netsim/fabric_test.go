@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -499,5 +500,92 @@ func TestFabricDialErrors(t *testing.T) {
 	}
 	if _, err := f.Dial("a", "b"); err == nil {
 		t.Fatal("Dial with no connecting link succeeded")
+	}
+}
+
+// Regression for the settle-residue bound under heavy contention: eight
+// flows with mutually-prime sizes arrive in overlapping waves, forcing the
+// fair-share fixed point through dozens of recalc events, and the residue
+// must stay within one byte per transfer on every trunk —
+// FabricReport.VerifyConservation, the invariant the fleet runner asserts
+// after every plan.
+func TestFabricVerifyConservationEightFlows(t *testing.T) {
+	clock := simclock.New()
+	f := NewFabric(clock)
+	const flows = 8
+	hosts := make([]string, 0, flows+1)
+	for i := 0; i < flows; i++ {
+		h := fmt.Sprintf("src%d", i)
+		f.AddHost(h, 50_000_000) // NIC caps add per-host trunks to the bound check
+		hosts = append(hosts, h)
+	}
+	f.AddHost("dst", 0)
+	f.AddLink("backbone", 117_000_000, 100*time.Microsecond, append(hosts, "dst")...)
+
+	ports := make([]*Link, flows)
+	for i := range ports {
+		p, err := f.Dial(hosts[i], "dst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = p
+	}
+	// Three waves of staggered transfers per flow: flows join and leave the
+	// contender set at different instants, churning the settle fixed point.
+	sizes := []uint64{999983, 4096*3 + 1, 1<<20 + 7, 123457, 777767, 4095, 1<<19 + 13, 666013}
+	var trs []*Transfer
+	for wave := 0; wave < 3; wave++ {
+		for i, p := range ports {
+			n := sizes[(i+wave)%len(sizes)] + uint64(wave*911)
+			tr, err := p.Transfer(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trs = append(trs, tr)
+		}
+		clock.Advance(time.Duration(wave+1) * 3 * time.Millisecond)
+	}
+	for _, tr := range trs {
+		if _, err := tr.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.Report()
+	if err := rep.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range rep.Links {
+		if res := u.ConservationError(); res > float64(u.Transfers+1) {
+			t.Fatalf("link %s residue %.3f exceeds bound %d", u.Name, res, u.Transfers+1)
+		}
+	}
+	// The bound is real: a report whose settled integral drifted past it
+	// must fail verification.
+	bad := rep
+	bad.Links = append([]LinkUsage(nil), rep.Links...)
+	bad.Links[0].SettledBytes += float64(bad.Links[0].Transfers + 2)
+	if err := bad.VerifyConservation(); err == nil {
+		t.Fatal("doctored report passed VerifyConservation")
+	}
+}
+
+// Route exposes the shared links a flow would cross, for admission
+// accounting.
+func TestFabricRoute(t *testing.T) {
+	f := NewFabric(simclock.New())
+	f.AddHost("a", 0)
+	f.AddHost("b", 0)
+	f.AddHost("c", 0)
+	f.AddLink("tor", 1000, 0, "a", "b")
+	f.AddLink("spine", 1000, 0, "b", "c")
+	route, err := f.Route("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 || route[0] != "tor" || route[1] != "spine" {
+		t.Fatalf("route = %v, want [tor spine]", route)
+	}
+	if _, err := f.Route("a", "zzz"); err == nil {
+		t.Fatal("Route to unknown host succeeded")
 	}
 }

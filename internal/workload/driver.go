@@ -226,7 +226,10 @@ func (d *Driver) cpuShare(q time.Duration) float64 {
 // execute runs the mutator for q: allocation, operations and background
 // dirtying.
 func (d *Driver) execute(q time.Duration) {
-	share := d.cpuShare(q) * d.throttle
+	// The activity cycle scales every mutator rate: inside the quiet
+	// window the workload allocates, completes ops and dirties at
+	// QuietFactor of its calibrated rates. Flat profiles get factor 1.
+	share := d.cpuShare(q) * d.throttle * d.Profile.Cycle.ActivityAt(d.Clock.Now())
 	secs := q.Seconds()
 
 	// Object allocation (bump pointer in Eden; dirties pages).
@@ -450,6 +453,9 @@ func Boot(cfg BootConfig) (*VM, error) {
 	if boot > cfg.MemBytes {
 		return nil, fmt.Errorf("workload: %s boot footprint %d MiB exceeds VM memory %d MiB",
 			cfg.Profile.Name, boot>>20, cfg.MemBytes>>20)
+	}
+	if err := cfg.Profile.Cycle.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: booting %s: %w", cfg.Profile.Name, err)
 	}
 
 	clock := cfg.Clock

@@ -75,6 +75,11 @@ type Profile struct {
 	// which degrades throughput while migration runs (§1 reports >20 %
 	// degradation for derby under vanilla Xen migration).
 	WriteTrapCost time.Duration
+
+	// Cycle is the workload's periodic activity cycle (busy/quiet phases
+	// the fleet orchestrator schedules around). The zero value — every
+	// catalog profile — is flat: no behavioural change.
+	Cycle CycleSpec
 }
 
 const (

@@ -214,6 +214,38 @@ type (
 	SLACost = sla.Cost
 	// FleetSLACost aggregates per-VM SLA costs over a fleet run.
 	FleetSLACost = sla.FleetCost
+	// Cluster is the declared topology the orchestrator plans over: hosts
+	// with capacity grouped into racks, shared links, VM placements.
+	Cluster = fleet.Cluster
+	// HostSpec is one physical host in a Cluster.
+	HostSpec = fleet.HostSpec
+	// ClusterLinkSpec is one shared fabric link in a Cluster.
+	ClusterLinkSpec = fleet.LinkSpec
+	// VMSpec is one VM placement in a Cluster, with its workload and
+	// (optionally) the activity cycle the cycle-aware scheduler exploits.
+	VMSpec = fleet.VMSpec
+	// CycleSpec declares a workload's periodic quiet window.
+	CycleSpec = workload.CycleSpec
+	// MigrationPlan is a compiled-on-demand batch plan ("evacuate host H",
+	// "drain rack R", "migrate vm V to H", "rebalance to N%").
+	MigrationPlan = fleet.Plan
+	// PlanMove is one VM relocation a plan compiles to.
+	PlanMove = fleet.Move
+	// OrchestratorOptions parameterizes Orchestrate.
+	OrchestratorOptions = fleet.OrchestratorOptions
+	// Ordering selects the orchestrator's launch policy.
+	Ordering = fleet.Ordering
+	// AdmissionPolicy bounds concurrent migrations per link and per
+	// destination host.
+	AdmissionPolicy = fleet.AdmissionPolicy
+	// AdmissionError is the typed refusal for plans that cannot be placed
+	// (destination capacity exhausted) — check with errors.As.
+	AdmissionError = fleet.AdmissionError
+	// PlanMoveResult is one executed move: the VM's migration outcome plus
+	// the orchestrator's scheduling record.
+	PlanMoveResult = fleet.MoveResult
+	// PlanResult is a whole executed batch plan.
+	PlanResult = fleet.PlanResult
 )
 
 // Progress phases, in the order a run moves through them.
@@ -356,6 +388,50 @@ func NewFabric(c *Clock) *Fabric { return netsim.NewFabric(c) }
 // order together with the merged fabric accounting. Same options in, same
 // result out — bit for bit, under the race detector too.
 func MigrateMany(opts FleetOptions) (*FleetResult, error) { return fleet.Run(opts) }
+
+// Launch orderings for OrchestratorOptions.Ordering, dumbest to smartest.
+const (
+	// OrderNaive launches every migration at once, no admission control.
+	OrderNaive = fleet.OrderNaive
+	// OrderAdmission launches FIFO behind the admission policy's caps.
+	OrderAdmission = fleet.OrderAdmission
+	// OrderCycleAware adds workload-cycle timing and convergence-aware
+	// deferral (bounded by QuietHorizon) on top of admission control.
+	OrderCycleAware = fleet.OrderCycleAware
+)
+
+// Orchestrate executes a batch migration plan on a cluster: every guest and
+// engine runs on one deterministic clock and shared fabric, launches follow
+// the chosen ordering under admission control, and the whole plan replays
+// bit-identically at the same seed. See DESIGN.md §17.
+func Orchestrate(opts OrchestratorOptions) (*PlanResult, error) { return fleet.Orchestrate(opts) }
+
+// ParseCluster parses the declarative cluster grammar (statements separated
+// by semicolons or newlines):
+//
+//	host H [rack R] [ram 16G] [cores 16] [nic 1G]
+//	link L bw 1G [lat 100us] hosts a,b,c
+//	vm V on H [workload derby] [mem 2G] [cycle period/quietStart/quietLen/factor[/phase]]
+//
+// When no link is declared, a default gigabit backbone connects every host.
+func ParseCluster(text string) (*Cluster, error) { return fleet.ParseCluster(text) }
+
+// ParseMigrationPlan parses the batch-plan grammar, one directive per
+// statement: "evacuate host H", "drain rack R", "migrate vm V to H",
+// "rebalance to N%". Directives compile against a Cluster at Orchestrate
+// time.
+func ParseMigrationPlan(text string) (*MigrationPlan, error) { return fleet.ParseMigrationPlan(text) }
+
+// ParseOrdering parses an ordering name: "naive", "admission" or
+// "cycle-aware".
+func ParseOrdering(s string) (Ordering, error) { return fleet.ParseOrdering(s) }
+
+// VerifyAdmission re-checks a plan's executed engine windows against an
+// admission policy: at no instant may more migrations overlap on a link or
+// into a destination host than the policy allows.
+func VerifyAdmission(moves []PlanMoveResult, policy AdmissionPolicy) error {
+	return fleet.VerifyAdmission(moves, policy)
+}
 
 // NewTracer returns a tracer recording against the given virtual clock.
 func NewTracer(c *Clock) *Tracer { return obs.New(c) }

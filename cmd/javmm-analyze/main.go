@@ -18,6 +18,7 @@
 //	javmm-analyze -fleet 4 -prom                       # labeled Prometheus page
 //	javmm-analyze -fleet-metrics fleet.json            # ingest a fleet snapshot
 //	javmm-analyze -fleet-sla sla.json                  # ingest a fleet SLA cost
+//	javmm-analyze -heal heal.json                      # ingest a healing summary
 //
 // Output is byte-identical across same-seed runs; -format csv emits each
 // table as RFC-4180 CSV for plotting.
@@ -45,6 +46,7 @@ func main() {
 	flag.IntVar(&o.Fleet, "fleet", 0, "run an N-VM fleet of -workload over one shared link and analyze it (fleet table, per-link utilization, SLA summary)")
 	flag.StringVar(&o.FleetMetricsPath, "fleet-metrics", "", "analyze a fleet metrics snapshot (JSON from javmm-migrate -peers -metrics-out)")
 	flag.StringVar(&o.FleetSLAPath, "fleet-sla", "", "analyze a fleet SLA cost file (JSON from javmm-migrate -peers -sla-out)")
+	flag.StringVar(&o.HealPath, "heal", "", "analyze a healing summary (JSON from javmm-migrate -retry -heal-out): per-move outcome table, retry/relocation totals, token-reuse savings, ledger reconciliation")
 	flag.DurationVar(&o.Stagger, "stagger", 500*time.Millisecond, "with -fleet: delay between consecutive engine starts")
 	flag.BoolVar(&o.Prom, "prom", false, "render the metrics snapshot in Prometheus text format")
 	flag.BoolVar(&o.JSON, "json", false, "with -run: emit the machine-readable analyze document (javmm-analyze/v1) instead of tables")
@@ -84,6 +86,7 @@ type options struct {
 	Fleet            int
 	FleetMetricsPath string
 	FleetSLAPath     string
+	HealPath         string
 	Stagger          time.Duration
 	Prom             bool
 	JSON             bool
@@ -111,13 +114,13 @@ func run(o options, out io.Writer) error {
 	}
 	sources := 0
 	for _, set := range []bool{o.Run, o.TracePath != "", o.MetricsPath != "",
-		o.Fleet > 0, o.FleetMetricsPath != "", o.FleetSLAPath != ""} {
+		o.Fleet > 0, o.FleetMetricsPath != "", o.FleetSLAPath != "", o.HealPath != ""} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return fmt.Errorf("choose exactly one of -run, -trace, -metrics, -fleet, -fleet-metrics or -fleet-sla")
+		return fmt.Errorf("choose exactly one of -run, -trace, -metrics, -fleet, -fleet-metrics, -fleet-sla or -heal")
 	}
 	if o.JSON && !o.Run {
 		return fmt.Errorf("-json requires -run (traces and metrics files have their own machine formats)")
@@ -136,6 +139,8 @@ func run(o options, out io.Writer) error {
 		return analyzeFleetMetrics(o, out)
 	case o.FleetSLAPath != "":
 		return analyzeFleetSLA(o, out)
+	case o.HealPath != "":
+		return analyzeHealing(o, out)
 	default:
 		return analyzeMetrics(o, out)
 	}
@@ -531,6 +536,66 @@ func analyzeFleetSLA(o options, out io.Writer) error {
 		o.FleetSLAPath, len(cost.PerVM))
 	emit(o, out, slaTable(&cost))
 	return nil
+}
+
+// analyzeHealing ingests a healing summary (javmm-migrate -retry -heal-out),
+// reconciles each move's ledger resume-refetch bucket against the resume
+// plans' queued refetches (the ledger can only tag sends for pages a resume
+// plan queued: LedgerResumeSends ≤ RefetchPages), and prints the Healing
+// table. -prom renders the same numbers as a Prometheus exposition page.
+func analyzeHealing(o options, out io.Writer) error {
+	hs, err := javmm.ReadHealingSummary(o.HealPath)
+	if err != nil {
+		return err
+	}
+	for _, m := range hs.Moves {
+		if m.LedgerResumeSends > m.RefetchPages {
+			return fmt.Errorf("healing summary does not reconcile: move %s ledger tagged %d resume-refetch sends, resume plans queued only %d pages",
+				m.VM, m.LedgerResumeSends, m.RefetchPages)
+		}
+	}
+	if o.Prom {
+		fmt.Fprintf(out, "# TYPE javmm_heal_retries_total counter\njavmm_heal_retries_total %d\n", hs.Retries)
+		fmt.Fprintf(out, "# TYPE javmm_heal_relocations_total counter\njavmm_heal_relocations_total %d\n", hs.Relocations)
+		fmt.Fprintf(out, "# TYPE javmm_heal_breaker_opens_total counter\njavmm_heal_breaker_opens_total %d\n", hs.BreakerOpens)
+		fmt.Fprintf(out, "# TYPE javmm_heal_backoff_seconds counter\njavmm_heal_backoff_seconds %g\n", hs.BackoffTotal.Seconds())
+		fmt.Fprintf(out, "# TYPE javmm_heal_token_saved_bytes counter\njavmm_heal_token_saved_bytes %d\n", hs.TokenSavedBytes)
+		fmt.Fprintf(out, "# TYPE javmm_heal_move_attempts gauge\n")
+		for _, m := range hs.Moves {
+			fmt.Fprintf(out, "javmm_heal_move_attempts{vm=%q,outcome=%q} %d\n", m.VM, m.Outcome, m.Attempts)
+		}
+		fmt.Fprintf(out, "# TYPE javmm_heal_move_refetch_pages gauge\n")
+		for _, m := range hs.Moves {
+			fmt.Fprintf(out, "javmm_heal_move_refetch_pages{vm=%q} %d\n", m.VM, m.RefetchPages)
+		}
+		return nil
+	}
+	fmt.Fprintf(out, "healing summary: %s (%d moves, ledger resume-refetch reconciled)\n\n",
+		o.HealPath, len(hs.Moves))
+	emit(o, out, healTable(hs))
+	fmt.Fprintf(out, "totals: %d retries, %d relocations, %d breaker opens, backoff %v, token reuse saved %d bytes\n",
+		hs.Retries, hs.Relocations, hs.BreakerOpens, hs.BackoffTotal, hs.TokenSavedBytes)
+	return nil
+}
+
+// healTable renders the per-move healing outcomes.
+func healTable(hs *javmm.HealingSummary) *experiments.Table {
+	t := &experiments.Table{
+		Title: "Healing",
+		Header: []string{"vm", "route", "outcome", "attempts", "relocations",
+			"backoff", "token saved", "refetch pages", "ledger sends", "err"},
+	}
+	for _, m := range hs.Moves {
+		t.AddRow(m.VM, m.From+"->"+m.To, m.Outcome,
+			fmt.Sprintf("%d", m.Attempts),
+			fmt.Sprintf("%d", m.Relocations),
+			m.Backoff.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", m.TokenSavedBytes),
+			fmt.Sprintf("%d", m.RefetchPages),
+			fmt.Sprintf("%d", m.LedgerResumeSends),
+			m.Err)
+	}
+	return t
 }
 
 // analyzeMetrics prints a metrics snapshot as tables, or as Prometheus text

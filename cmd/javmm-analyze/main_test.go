@@ -298,3 +298,95 @@ func TestJSONRequiresRun(t *testing.T) {
 		t.Fatalf("err = %v, want -json requires -run", err)
 	}
 }
+
+// -heal ingests a healing summary, reconciles the ledger's resume-refetch
+// bucket against the resume plans' queued refetches, and renders the Healing
+// table (and the Prometheus page with -prom).
+func TestHealMode(t *testing.T) {
+	// A real healed plan: the preferred destination is down, the move
+	// relocates on its second attempt.
+	res, err := javmm.Orchestrate(javmm.OrchestratorOptions{
+		Cluster:   mustCluster(t, "host src ram 64G; host d1 ram 64G; host d2 ram 64G; vm fv0 on src workload mpeg mem 512M"),
+		Plan:      mustPlan(t, "evacuate host src"),
+		Mode:      javmm.ModeXen,
+		Seed:      1,
+		Ordering:  javmm.OrderAdmission,
+		Admission: javmm.AdmissionPolicy{MaxPerLink: 1, MaxPerHost: 1},
+		Warmup:    2 * time.Second,
+		FaultPlan: mustFaultPlan(t, "host.crash@0s,for=10m,host=d1"),
+		Retry:     javmm.RetryPolicy{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "heal.json")
+	if err := res.Healing().WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+
+	o := options{Format: "table", HealPath: path}
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatalf("heal mode failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"Healing", "relocated", "src->d2", "totals: 1 retries, 1 relocations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("heal table missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	o.Prom = true
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"javmm_heal_relocations_total 1", `javmm_heal_move_attempts{vm="fv0",outcome="relocated"} 2`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("heal prom page missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// A summary whose ledger tags more resume sends than any resume plan
+	// queued cannot reconcile.
+	hs, err := javmm.ReadHealingSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs.Moves[0].LedgerResumeSends = hs.Moves[0].RefetchPages + 1
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := hs.WriteJSON(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{Format: "table", HealPath: bad}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "reconcile") {
+		t.Fatalf("err = %v, want reconciliation failure", err)
+	}
+}
+
+func mustCluster(t *testing.T, s string) *javmm.Cluster {
+	t.Helper()
+	c, err := javmm.ParseCluster(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustPlan(t *testing.T, s string) *javmm.MigrationPlan {
+	t.Helper()
+	p, err := javmm.ParseMigrationPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustFaultPlan(t *testing.T, rules ...string) javmm.FaultPlan {
+	t.Helper()
+	p, err := javmm.ParseFaultPlan(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

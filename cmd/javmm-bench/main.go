@@ -151,6 +151,21 @@ func run(o options, out io.Writer) error {
 			float64(scs[0].Timing.NsPerOp)/1e6, pages)
 		snap.Scenarios = append(snap.Scenarios, scs...)
 	}
+	for _, spec := range healMatrix(o.Quick) {
+		label := fmt.Sprintf("evacuate/%s", spec.arm)
+		fmt.Fprintf(out, "heal     %-28s ", label)
+		scs, err := runHealScenario(spec, o)
+		if err != nil {
+			return fmt.Errorf("heal %s: %w", label, err)
+		}
+		var pages int64
+		for _, sc := range scs {
+			pages += sc.Deterministic.PagesSent
+		}
+		fmt.Fprintf(out, "%8.2f ms/op  %6d pages sent\n",
+			float64(scs[0].Timing.NsPerOp)/1e6, pages)
+		snap.Scenarios = append(snap.Scenarios, scs...)
+	}
 	for _, k := range kernels(o.Seed) {
 		fmt.Fprintf(out, "kernel   %-28s ", k.name)
 		kr := measureKernel(k, o.Runs, kernelTarget(o.Quick))

@@ -246,6 +246,169 @@ func orchOnce(spec orchSpec, o options, prof *javmm.StageProfiler) ([]perf.Deter
 	return dets, wall, delta, nil
 }
 
+// healSpec names one self-healing cell: a 2-VM "evacuate host src" plan
+// executed with the retry layer armed. The clean/relocate pair prices the
+// healing machinery itself — clean measures the layer's overhead on an
+// unfaulted run, relocate measures a full heal (permanent failure into a
+// crashed destination, dead-host exclusion, re-placement, token
+// degradation to a first copy on the survivor).
+type healSpec struct {
+	arm string // clean | relocate
+}
+
+func (s healSpec) name(vm int) string {
+	return fmt.Sprintf("heal/evacuate/%s/vm%d", s.arm, vm)
+}
+
+// healMatrix is the self-healing coverage. Quick mode keeps only the
+// relocate cell — the one that exercises every healing code path.
+func healMatrix(quick bool) []healSpec {
+	if quick {
+		return []healSpec{{"relocate"}}
+	}
+	return []healSpec{{"clean"}, {"relocate"}}
+}
+
+// healWorkloads maps the heal cells' move index to its workload (the same
+// two-VM shape X17 uses).
+var healWorkloads = []string{"mpeg", "compress"}
+
+// healCluster is the fixed topology the heal cells evacuate: two VMs on one
+// source, two destinations, the synthesized gigabit backbone.
+func healCluster() *javmm.Cluster {
+	c := &javmm.Cluster{Hosts: []javmm.HostSpec{
+		{Name: "src", RAMBytes: 64 << 30},
+		{Name: "d1", RAMBytes: 64 << 30},
+		{Name: "d2", RAMBytes: 64 << 30},
+	}}
+	for i, wl := range healWorkloads {
+		c.VMs = append(c.VMs, javmm.VMSpec{
+			Name: fmt.Sprintf("vm%d", i), Host: "src",
+			Workload: wl, MemBytes: 2 << 30,
+		})
+	}
+	return c
+}
+
+// runHealScenario measures one self-healing cell under the fleet protocol:
+// an accounting run pins each move's deterministic block (attempts,
+// relocations and backoffs included — the healed schedule is part of what
+// must replay), then o.Runs uninstrumented timing runs must reproduce every
+// block exactly.
+func runHealScenario(spec healSpec, o options) ([]perf.Scenario, error) {
+	prof := javmm.NewStageProfiler()
+	dets, awall, _, err := healOnce(spec, o, prof)
+	if err != nil {
+		return nil, err
+	}
+	var stages []perf.StageShare
+	for _, st := range prof.Snapshot() {
+		share := 0.0
+		if awall > 0 {
+			share = float64(st.SelfNs) / float64(awall)
+		}
+		stages = append(stages, perf.StageShare{
+			Stage:      st.Stage,
+			Calls:      st.Calls,
+			SelfNs:     st.SelfNs,
+			TotalNs:    st.TotalNs,
+			AllocBytes: st.SelfAllocBytes,
+			Share:      share,
+		})
+	}
+	scs := make([]perf.Scenario, len(dets))
+	for i, det := range dets {
+		scs[i] = perf.Scenario{Name: spec.name(i), Deterministic: det, Stages: stages}
+	}
+
+	ns := make([]int64, 0, o.Runs)
+	allocB := make([]int64, 0, o.Runs)
+	allocN := make([]int64, 0, o.Runs)
+	for r := 0; r < o.Runs; r++ {
+		tdets, wall, ad, err := healOnce(spec, o, nil)
+		if err != nil {
+			return nil, fmt.Errorf("timing run %d: %w", r+1, err)
+		}
+		for i := range dets {
+			if tdets[i] != dets[i] {
+				return nil, fmt.Errorf("timing run %d vm%d diverged from accounting run:\naccounting: %+v\ntiming:     %+v",
+					r+1, i, dets[i], tdets[i])
+			}
+		}
+		ns = append(ns, int64(wall))
+		allocB = append(allocB, ad.bytes)
+		allocN = append(allocN, ad.objects)
+	}
+	timing := perf.Timing{
+		Runs:            o.Runs,
+		NsPerOp:         median(ns),
+		AllocBytesPerOp: median(allocB),
+		AllocsPerOp:     median(allocN),
+	}
+	for i := range scs {
+		t := timing
+		if t.NsPerOp > 0 && scs[i].Deterministic.PagesSent > 0 {
+			t.PagesPerSec = float64(scs[i].Deterministic.PagesSent) / (float64(t.NsPerOp) / 1e9)
+		}
+		scs[i].Timing = t
+	}
+	return scs, nil
+}
+
+// healOnce executes the evacuation once under the cell's healing policy and
+// projects each move's outcome onto the deterministic block. Every move must
+// complete: the relocate cell's crashed destination is healed around, not
+// tolerated as a failure.
+func healOnce(spec healSpec, o options, prof *javmm.StageProfiler) ([]perf.Deterministic, time.Duration, allocDelta, error) {
+	plan, err := javmm.ParseMigrationPlan("evacuate host src")
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	oo := javmm.OrchestratorOptions{
+		Cluster:   healCluster(),
+		Plan:      plan,
+		Mode:      javmm.ModeJAVMM,
+		Seed:      o.Seed,
+		Ordering:  javmm.OrderAdmission,
+		Admission: javmm.AdmissionPolicy{MaxPerLink: 1, MaxPerHost: 1},
+		Warmup:    o.Warmup,
+		Engine:    javmm.EngineConfig{Perf: prof},
+		Retry:     javmm.RetryPolicy{Enabled: true, Seed: o.Seed},
+	}
+	if spec.arm == "relocate" {
+		oo.FaultPlan = javmm.FaultPlan{
+			{Site: javmm.FaultHostCrash, For: time.Hour, Host: "d1"},
+		}
+	}
+	before := readAllocs()
+	start := time.Now()
+	res, err := javmm.Orchestrate(oo)
+	wall := time.Since(start)
+	delta := readAllocs().sub(before)
+	if err != nil {
+		return nil, 0, allocDelta{}, err
+	}
+	dets := make([]perf.Deterministic, len(res.Moves))
+	for i := range res.Moves {
+		m := &res.Moves[i]
+		if m.Err != nil {
+			return nil, 0, allocDelta{}, fmt.Errorf("%s: %w", m.Name, m.Err)
+		}
+		if m.VerifyErr != nil {
+			return nil, 0, allocDelta{}, fmt.Errorf("%s: destination verification failed: %w", m.Name, m.VerifyErr)
+		}
+		det := javmm.BenchDeterministic(&javmm.Result{
+			Report:           m.Report,
+			WorkloadDowntime: m.WorkloadDowntime,
+			EnforcedGC:       m.EnforcedGC,
+		})
+		det.Workload = healWorkloads[i%len(healWorkloads)]
+		det.Codec = "raw"
+		dets[i] = det
+	}
+	return dets, wall, delta, nil
+}
+
 // runFleetScenario measures one contention cell under the same protocol as
 // runScenario: an accounting run (stage profiler attached) pins each VM's
 // deterministic block, then o.Runs uninstrumented timing runs must reproduce

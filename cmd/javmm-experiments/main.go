@@ -10,7 +10,7 @@
 //
 // Experiment IDs: table1 fig1 fig5 fig8 fig9 table2 fig10 fig11 table3 fig12
 // x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 (alias: res) x15 (alias:
-// contention) x16 (alias: orchestration) all.
+// contention) x16 (alias: orchestration) x17 (alias: heal) all.
 package main
 
 import (
@@ -261,6 +261,13 @@ func run(o experiments.Options, selected func(...string) bool) error {
 	}
 	if selected("x16", "orchestration") {
 		t, err := experiments.AblationOrchestration(o)
+		if err != nil {
+			return err
+		}
+		show(t)
+	}
+	if selected("x17", "heal") {
+		t, err := experiments.AblationHealing(o)
 		if err != nil {
 			return err
 		}

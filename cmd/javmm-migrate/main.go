@@ -18,6 +18,16 @@
 //
 //	javmm-migrate -cluster 'host a ram 64G; host b ram 64G; vm v1 on a; vm v2 on a' \
 //	    -plan 'evacuate host a' -ordering cycle-aware -max-per-link 2
+//
+// -retry turns the orchestrator self-healing (DESIGN.md §18): failed moves
+// retry with seeded backoff inside -max-attempts/-move-deadline/-plan-deadline
+// budgets, permanent destination losses (host.crash faults) re-select a
+// destination with the dead host excluded and the stale resume token degraded
+// to a clean first copy, and a per-host circuit breaker (-breaker K/w/c)
+// keeps repeat offenders out of re-selection until their cooldown:
+//
+//	javmm-migrate -cluster '...' -plan 'evacuate host a' -retry \
+//	    -breaker 3/2m/5m -fault 'host.crash@0s,for=10m,host=b' -heal-out heal.json
 package main
 
 import (
@@ -72,11 +82,18 @@ func defineFlags(fs *flag.FlagSet, o *options) {
 	fs.BoolVar(&o.Progress, "progress", false, "print the live progress stream (phase, iteration, remaining, ETA) as the engines emit it")
 	fs.BoolVar(&o.SLA, "sla", false, "price the run against the default SLA model and print the cost summary")
 	fs.StringVar(&o.SLAOut, "sla-out", "", "with -peers: write the fleet SLA cost as JSON to this file")
-	fs.Func("fault", "inject a fault: site[@at][#nth][,key=val...] (repeatable); e.g. 'link.partition@10s,for=2s', 'lkm.handshake', 'dest.receive#3,count=2'", func(s string) error {
+	fs.Func("fault", "inject a fault: site[@at][#nth][,key=val...] (repeatable); e.g. 'link.partition@10s,for=2s', 'dest.receive#3,count=2', 'host.crash@30s,for=2m,host=d1'", func(s string) error {
 		o.Faults = append(o.Faults, s)
 		return nil
 	})
 	fs.Int64Var(&o.FaultSeed, "fault-seed", 1, "seed for the retry backoff jitter")
+	fs.BoolVar(&o.Retry, "retry", false, "with -plan: self-healing orchestration — failed moves retry with seeded backoff, permanent destination losses re-select a destination, a per-host breaker gates re-selection (DESIGN.md §18)")
+	fs.IntVar(&o.MaxAttempts, "max-attempts", 0, "with -retry: launch budget per move (0 = policy default)")
+	fs.DurationVar(&o.MoveDeadline, "move-deadline", 0, "with -retry: give up on a move this long after its first launch (0 = policy default)")
+	fs.DurationVar(&o.PlanDeadline, "plan-deadline", 0, "with -retry: stop launching attempts this long after warmup (0 = policy default)")
+	fs.StringVar(&o.Breaker, "breaker", "", "with -retry: per-host circuit breaker as threshold/window/cooldown (e.g. 3/2m/5m), or 'off' (empty = policy default)")
+	fs.BoolVar(&o.Relocate, "relocate", true, "with -retry: re-select a destination after a permanent failure (-relocate=false retries the same host only)")
+	fs.StringVar(&o.HealOut, "heal-out", "", "with -retry: write the healing summary (per-move outcomes, retries, relocations, token savings) as JSON to this file (javmm-analyze -heal ingests it)")
 	fs.BoolVar(&o.Resume, "resume", false, "on a clean abort, keep the destination image and resume the migration from the minted token (faults detached)")
 	fs.BoolVar(&o.Verify, "verify", true, "end-to-end page-digest audit: detect and repair in-flight corruption at switchover (-verify=false ablates it)")
 	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file (stages carry pprof labels)")
@@ -114,6 +131,13 @@ type options struct {
 	SLAOut       string
 	Faults       []string // -fault rule specs
 	FaultSeed    int64
+	Retry        bool
+	MaxAttempts  int
+	MoveDeadline time.Duration
+	PlanDeadline time.Duration
+	Breaker      string
+	Relocate     bool
+	HealOut      string
 	Resume       bool
 	Verify       bool
 	CPUProfile   string
@@ -537,6 +561,25 @@ func runPlan(o options, mode javmm.Mode, out io.Writer) error {
 		Warmup: o.Warmup,
 		Engine: engine,
 	}
+	if o.Retry {
+		oo.Retry = javmm.RetryPolicy{
+			Enabled:           true,
+			MaxAttempts:       o.MaxAttempts,
+			MoveDeadline:      o.MoveDeadline,
+			PlanDeadline:      o.PlanDeadline,
+			DisableRelocation: !o.Relocate,
+			Seed:              o.FaultSeed,
+		}
+		if o.Breaker != "" {
+			bp, err := javmm.ParseBreakerPolicy(o.Breaker)
+			if err != nil {
+				return err
+			}
+			oo.Retry.Breaker = bp
+		}
+	} else if o.HealOut != "" {
+		return fmt.Errorf("-heal-out needs -retry (the healing summary records the self-healing run)")
+	}
 	if len(o.Faults) > 0 {
 		fp, err := javmm.ParseFaultPlan(o.Faults)
 		if err != nil {
@@ -593,6 +636,9 @@ func runPlan(o options, mode javmm.Mode, out io.Writer) error {
 			total = m.Report.TotalTime
 			traffic = m.Report.TotalBytes()
 		}
+		if o.Retry {
+			status = fmt.Sprintf("%s [%s, %d attempt(s)]", status, m.Outcome, len(m.Attempts))
+		}
 		fmt.Fprintf(out, "%-10s %-12s %-10v %-8v %-7d %-10v %-12v %-10s %s\n",
 			m.Name, m.From+"->"+m.To,
 			m.LaunchedAt.Round(time.Millisecond),
@@ -601,6 +647,25 @@ func runPlan(o options, mode javmm.Mode, out io.Writer) error {
 			total.Round(time.Millisecond),
 			m.WorkloadDowntime.Round(time.Millisecond),
 			mb(traffic), status)
+	}
+
+	if o.Retry {
+		hs := res.Healing()
+		fmt.Fprintf(out, "\nhealing: %d retries, %d relocations, %d breaker opens, backoff %v, token reuse saved %s\n",
+			hs.Retries, hs.Relocations, hs.BreakerOpens,
+			hs.BackoffTotal.Round(time.Millisecond), mb(hs.TokenSavedBytes))
+		for _, mh := range hs.Moves {
+			if mh.Attempts > 1 || mh.Relocations > 0 {
+				fmt.Fprintf(out, "  %-10s %s: %d attempts, %d relocations, refetched %d pages\n",
+					mh.VM, mh.Outcome, mh.Attempts, mh.Relocations, mh.RefetchPages)
+			}
+		}
+		if o.HealOut != "" {
+			if err := hs.WriteJSON(o.HealOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  healing summary     %s\n", o.HealOut)
+		}
 	}
 
 	// Aborted moves resume from their tokens with the fault plane detached,

@@ -436,3 +436,83 @@ func TestRunPlanReplaysChaosRepro(t *testing.T) {
 		t.Fatalf("replay output missing the verification failure (run err: %v):\n%s", err, out)
 	}
 }
+
+// The healing twin of TestRunPlanReplaysChaosRepro: a violation found by the
+// healing search carries the -retry/-max-attempts/-move-deadline/
+// -plan-deadline/-breaker flags, parses through the real flag definitions,
+// and replays to the same planted verification failure with healing on.
+func TestRunPlanReplaysHealChaosRepro(t *testing.T) {
+	res := chaos.SearchFleet(chaos.FleetOptions{Seed: 2, Plans: 64, Heal: true, DisableIntegrityAudit: true})
+	v := res.Violation
+	if v == nil {
+		t.Fatal("healing search with the audit disabled found no violation to replay")
+	}
+	var o options
+	fs := flag.NewFlagSet("javmm-migrate", flag.ContinueOnError)
+	defineFlags(fs, &o)
+	if err := fs.Parse(v.Repro()); err != nil {
+		t.Fatalf("healing repro args do not parse through the CLI flag set: %v\nargs: %v", err, v.Repro())
+	}
+	if !o.Retry {
+		t.Fatalf("healing repro did not set -retry: %v", v.Repro())
+	}
+	var buf bytes.Buffer
+	err := run(o, &buf)
+	if err == nil {
+		t.Fatalf("healing repro replay did not reproduce the violation %q:\n%s", v.Invariant, buf.String())
+	}
+	if out := buf.String(); !strings.Contains(out, "VERIFY FAILED") || !strings.Contains(out, "healing:") {
+		t.Fatalf("replay output missing the verification failure or healing summary (run err: %v):\n%s", err, out)
+	}
+}
+
+// -retry surfaces the healing outcome table: a host crash on the preferred
+// destination relocates the move, the status column says so, and -heal-out
+// round-trips the summary JSON.
+func TestRunPlanRetryHealsHostCrash(t *testing.T) {
+	o := base()
+	o.Cluster = "host src ram 64G; host d1 ram 64G; host d2 ram 64G; vm fv0 on src workload mpeg mem 512M"
+	o.Plan = "evacuate host src"
+	o.Ordering = "admission"
+	o.MaxPerLink = 1
+	o.MaxPerHost = 1
+	o.Warmup = 2 * time.Second
+	o.Mode = "xen"
+	o.Retry = true
+	o.Relocate = true
+	o.Faults = []string{"host.crash@0s,for=10m,host=d1"}
+	o.HealOut = filepath.Join(t.TempDir(), "heal.json")
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatalf("healed plan run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"[relocated, 2 attempt(s)]",
+		"healing: 1 retries, 1 relocations",
+		"healing summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("healed plan output missing %q:\n%s", want, out)
+		}
+	}
+	hs, err := javmm.ReadHealingSummary(o.HealOut)
+	if err != nil {
+		t.Fatalf("reading healing summary: %v", err)
+	}
+	if len(hs.Moves) != 1 || hs.Relocations != 1 || hs.Moves[0].Outcome != "relocated" {
+		t.Fatalf("healing summary = %+v, want one relocated move", hs)
+	}
+}
+
+// -heal-out without -retry is a usage error, not a silent no-op.
+func TestRunPlanHealOutNeedsRetry(t *testing.T) {
+	o := base()
+	o.Cluster = planCluster
+	o.Plan = "evacuate host a"
+	o.Ordering = "admission"
+	o.HealOut = "x.json"
+	if err := run(o, new(bytes.Buffer)); err == nil || !strings.Contains(err.Error(), "-retry") {
+		t.Fatalf("err = %v, want the -heal-out usage error", err)
+	}
+}

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"javmm/internal/faults"
@@ -35,6 +36,15 @@ type FleetOptions struct {
 	// unhealed in-flight corruption then reaches the final image, which the
 	// per-move verification must flag). Leave false for real searches.
 	DisableIntegrityAudit bool
+	// Heal turns on the healing search: fault plans draw host-scoped sites
+	// (host.crash, host.flaky) aimed at the trial destinations, trials run
+	// with the self-healing layer enabled, and the healing invariants are
+	// checked — every move ends in a terminal outcome (completed
+	// digest-verified on an admissible host, or failed with the source
+	// cleanly resumed), admission caps hold across every retry and
+	// relocation, and the whole healing run replays byte-identically at the
+	// same seed.
+	Heal bool
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -79,6 +89,23 @@ var trialPolicy = fleet.AdmissionPolicy{MaxPerLink: 1, MaxPerHost: 1}
 // executes inside the fault plans' activation window.
 const trialFleetWarmup = 2 * time.Second
 
+// trialFleetHosts is the destination universe healing fault plans aim
+// host-scoped rules at.
+var trialFleetHosts = []string{"d1", "d2"}
+
+// trialRetry is the healing policy every Heal trial (and its CLI repro)
+// runs: backoff and jitter seed stay at the policy defaults so the repro
+// flags (-retry/-max-attempts/-move-deadline/-plan-deadline/-breaker) pin
+// the run completely. The breaker thresholds are tightened to trial
+// timescale so host-crash plans actually exercise open/cooldown transitions.
+var trialRetry = fleet.RetryPolicy{
+	Enabled:      true,
+	MaxAttempts:  3,
+	MoveDeadline: 4 * time.Minute,
+	PlanDeadline: 10 * time.Minute,
+	Breaker:      fleet.BreakerPolicy{Threshold: 2, Window: 30 * time.Second, Cooldown: 5 * time.Second},
+}
+
 // FleetViolation is one fleet-invariant breach with its minimal reproducer.
 type FleetViolation struct {
 	Violation
@@ -87,9 +114,11 @@ type FleetViolation struct {
 	VMs int
 	VM  string
 	// BaseSeed is the search's workload seed (every trial boots with it);
-	// AuditDisabled records a search run with the digest audit off.
+	// AuditDisabled records a search run with the digest audit off; Heal a
+	// search run with the self-healing layer enabled.
 	BaseSeed      int64
 	AuditDisabled bool
+	Heal          bool
 }
 
 // Repro returns the exact javmm-migrate arguments that replay the shrunk
@@ -108,6 +137,15 @@ func (v *FleetViolation) Repro() []string {
 	}
 	if v.AuditDisabled {
 		args = append(args, "-verify=false")
+	}
+	if v.Heal {
+		args = append(args,
+			"-retry",
+			"-max-attempts", fmt.Sprintf("%d", trialRetry.MaxAttempts),
+			"-move-deadline", trialRetry.MoveDeadline.String(),
+			"-plan-deadline", trialRetry.PlanDeadline.String(),
+			"-breaker", trialRetry.Breaker.String(),
+		)
 	}
 	for _, r := range v.Shrunk {
 		args = append(args, "-fault", r.String())
@@ -132,7 +170,12 @@ func SearchFleet(opts FleetOptions) *FleetResult {
 	for i := 0; i < opts.Plans; i++ {
 		seed := opts.Seed + int64(i)
 		mode := modes[i%len(modes)]
-		plan := faults.RandomPlan(seed, opts.Budget)
+		var plan faults.Plan
+		if opts.Heal {
+			plan = faults.RandomPlanHosts(seed, opts.Budget, trialFleetHosts)
+		} else {
+			plan = faults.RandomPlan(seed, opts.Budget)
+		}
 		res.PlansRun++
 		inv, detail, vm := runFleetTrial(&opts, mode, plan)
 		if inv == "" {
@@ -148,6 +191,7 @@ func SearchFleet(opts FleetOptions) *FleetResult {
 			},
 			VMs: opts.VMs, VM: vm,
 			BaseSeed: opts.Seed, AuditDisabled: opts.DisableIntegrityAudit,
+			Heal: opts.Heal,
 		}
 		return res
 	}
@@ -177,17 +221,15 @@ func shrinkFleet(opts *FleetOptions, mode migration.Mode, plan faults.Plan) faul
 	return cur
 }
 
-// runFleetTrial executes one evacuation under the fault plan and checks the
-// fleet invariants. Returns ("", "", "") when every invariant holds, else
-// the breached invariant, a detail line, and the breaching VM (if any).
-func runFleetTrial(opts *FleetOptions, mode migration.Mode, plan faults.Plan) (string, string, string) {
+// runFleetOrch executes the trial evacuation once.
+func runFleetOrch(opts *FleetOptions, mode migration.Mode, plan faults.Plan) (*fleet.PlanResult, error) {
 	cluster, err := fleet.ParseCluster(TrialFleetCluster(opts.VMs))
 	if err != nil {
-		return "trial-setup", err.Error(), ""
+		return nil, fmt.Errorf("trial-setup: %w", err)
 	}
 	batch, err := fleet.ParseMigrationPlan(TrialFleetPlan)
 	if err != nil {
-		return "trial-setup", err.Error(), ""
+		return nil, fmt.Errorf("trial-setup: %w", err)
 	}
 	oo := fleet.OrchestratorOptions{
 		Cluster:   cluster,
@@ -199,9 +241,38 @@ func runFleetTrial(opts *FleetOptions, mode migration.Mode, plan faults.Plan) (s
 		Warmup:    trialFleetWarmup,
 		FaultPlan: plan,
 	}
+	if opts.Heal {
+		oo.Retry = trialRetry
+	}
 	oo.Engine.Recovery.EnableResume = true
 	oo.Engine.Integrity.Disable = opts.DisableIntegrityAudit
-	res, err := fleet.Orchestrate(oo)
+	return fleet.Orchestrate(oo)
+}
+
+// fleetFingerprint reduces a plan result to a replay-comparable string:
+// every scheduling decision, attempt window, outcome and healing byte count
+// lands in it, so two runs of the same seed must produce the same string.
+func fleetFingerprint(res *fleet.PlanResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan=%d\n", res.MakeSpan)
+	for i := range res.Moves {
+		m := &res.Moves[i]
+		fmt.Fprintf(&b, "%s to=%s outcome=%s start=%d end=%d launched=%d defer=%d reloc=%d backoff=%d saved=%d err=%v\n",
+			m.Name, m.To, m.Outcome, m.StartAt, m.EndAt, m.LaunchedAt,
+			m.Deferrals, m.Relocations, m.HealBackoff, m.TokenSavedBytes, m.Err)
+		for _, a := range m.Attempts {
+			fmt.Fprintf(&b, "  attempt to=%s start=%d end=%d backoff=%d reuse=%v saved=%d refetch=%d err=%s\n",
+				a.To, a.StartAt, a.EndAt, a.Backoff, a.TokenReused, a.SavedBytes, a.RefetchPages, a.Err)
+		}
+	}
+	return b.String()
+}
+
+// runFleetTrial executes one evacuation under the fault plan and checks the
+// fleet invariants. Returns ("", "", "") when every invariant holds, else
+// the breached invariant, a detail line, and the breaching VM (if any).
+func runFleetTrial(opts *FleetOptions, mode migration.Mode, plan faults.Plan) (string, string, string) {
+	res, err := runFleetOrch(opts, mode, plan)
 	if err != nil {
 		// Orchestrate only fails outright on setup errors or a fabric
 		// byte-conservation breach; under an arbitrary fault plan both are
@@ -210,9 +281,23 @@ func runFleetTrial(opts *FleetOptions, mode migration.Mode, plan faults.Plan) (s
 	}
 
 	// Invariant: the admission controller never over-committed a link's or
-	// destination's cap, faults or no faults.
+	// destination's cap, faults or no faults — and with healing enabled,
+	// every retry and relocation attempt is held to the same caps.
 	if err := fleet.VerifyAdmission(res.Moves, trialPolicy); err != nil {
 		return "admission-overcommit", err.Error(), ""
+	}
+
+	if opts.Heal {
+		// Invariant: the same seed replays byte-identically, healing
+		// decisions (backoff draws, relocations, breaker trips) included.
+		res2, err2 := runFleetOrch(opts, mode, plan)
+		if err2 != nil {
+			return "replay-diverged", fmt.Sprintf("replay failed outright: %v", err2), ""
+		}
+		if a, b := fleetFingerprint(res), fleetFingerprint(res2); a != b {
+			return "replay-diverged", fmt.Sprintf("fingerprints differ:\n--- run1\n%s--- run2\n%s", a, b), ""
+		}
+		return checkHealTrial(res)
 	}
 
 	for i := range res.Moves {
@@ -252,6 +337,68 @@ func runFleetTrial(opts *FleetOptions, mode migration.Mode, plan faults.Plan) (s
 		if ic := m.Report.Integrity; ic != nil && ic.Repairs != ic.Mismatches {
 			return "unhealed-mismatch",
 				fmt.Sprintf("move %s completed with %d repairs for %d mismatches", m.Name, ic.Repairs, ic.Mismatches), m.Name
+		}
+	}
+	return "", "", ""
+}
+
+// checkHealTrial verifies the healing invariants over a completed plan:
+// every planned move reached a terminal outcome; successful outcomes are
+// digest-verified images on an admissible destination (never the evacuated
+// host); failed outcomes left the source VM cleanly resumed and — when an
+// attempt actually aborted — carry clean recovery metadata and a token a
+// post-plan operator resume completes from.
+func checkHealTrial(res *fleet.PlanResult) (string, string, string) {
+	for i := range res.Moves {
+		m := &res.Moves[i]
+		switch m.Outcome {
+		case fleet.OutcomeCompleted, fleet.OutcomeRetried, fleet.OutcomeRelocated:
+			if m.Err != nil {
+				return "healed-outcome",
+					fmt.Sprintf("move %s outcome %s yet err: %v", m.Name, m.Outcome, m.Err), m.Name
+			}
+			if m.Report == nil {
+				return "healed-outcome",
+					fmt.Sprintf("move %s outcome %s without a report", m.Name, m.Outcome), m.Name
+			}
+			if m.VerifyErr != nil {
+				return "image-diverged",
+					fmt.Sprintf("move %s (%s) completed but: %v", m.Name, m.Outcome, m.VerifyErr), m.Name
+			}
+			if m.To == m.From || m.To == "src" {
+				return "healed-outcome",
+					fmt.Sprintf("move %s landed on inadmissible host %s", m.Name, m.To), m.Name
+			}
+			if (m.Outcome == fleet.OutcomeRelocated) != (m.Relocations > 0) {
+				return "healed-outcome",
+					fmt.Sprintf("move %s outcome %s with %d relocations", m.Name, m.Outcome, m.Relocations), m.Name
+			}
+		case fleet.OutcomeFailed:
+			if m.Err == nil {
+				return "healed-outcome",
+					fmt.Sprintf("move %s failed without an error", m.Name), m.Name
+			}
+			// The paper's contract survives healing: a failed migration
+			// leaves the source VM running where it was.
+			if !m.SourceRunning() {
+				return "source-not-resumed",
+					fmt.Sprintf("move %s failed (%v) with its source still paused", m.Name, m.Err), m.Name
+			}
+			if m.Report == nil {
+				continue // abandoned before its first attempt: nothing aborted
+			}
+			rec := m.Report.Recovery
+			if rec == nil || !rec.Aborted || rec.AbortReason == "" || rec.Token == nil {
+				return "abort-metadata",
+					fmt.Sprintf("move %s failed (%v) without clean recovery metadata", m.Name, m.Err), m.Name
+			}
+			if _, rerr := res.ResumeAborted(i); rerr != nil {
+				return "resume-diverged",
+					fmt.Sprintf("move %s: %v", m.Name, rerr), m.Name
+			}
+		default:
+			return "healed-outcome",
+				fmt.Sprintf("move %s ended without a terminal outcome (%s)", m.Name, m.Outcome), m.Name
 		}
 	}
 	return "", "", ""

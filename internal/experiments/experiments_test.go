@@ -860,3 +860,61 @@ func TestAblationOrchestrationShapes(t *testing.T) {
 		}
 	}
 }
+
+func TestAblationHealingShapes(t *testing.T) {
+	tab, err := AblationHealing(Options{Warmup: 15 * time.Second, Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 modes x 3 policies)", len(tab.Rows))
+	}
+	for i := 0; i < 6; i += 3 {
+		if got := tab.Rows[i][2]; got != "1/2" {
+			t.Fatalf("no-retry completed = %s, want 1/2 (the d1 move is stranded)", got)
+		}
+		if got := tab.Rows[i+1][2]; got != "1/2" {
+			t.Fatalf("retry-same completed = %s, want 1/2 (every retry re-dials the dead host)", got)
+		}
+		if got := tab.Rows[i+2][2]; got != "2/2" {
+			t.Fatalf("relocate completed = %s, want 2/2", got)
+		}
+		if got := tab.Rows[i+2][5]; got != "1" {
+			t.Fatalf("relocate relocations = %s, want 1", got)
+		}
+	}
+}
+
+// The X17 acceptance criterion: full healing (destination re-selection)
+// beats no healing on the priced SLA metric, in both modes — the stranded-VM
+// penalty the relocation avoids dominates the extra copy it pays for.
+func TestAblationHealingWins(t *testing.T) {
+	o := Options{Warmup: 15 * time.Second, Seeds: []int64{1}}
+	price := func(arm string, mode migration.Mode) float64 {
+		t.Helper()
+		res, err := healingPlan(o, mode, arm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stranded := 0
+		for i := range res.Moves {
+			if res.Moves[i].Err != nil {
+				stranded++
+			}
+		}
+		if arm == "relocate" && stranded != 0 {
+			t.Fatalf("relocate stranded %d moves", stranded)
+		}
+		cost, err := healingCost(res, stranded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost
+	}
+	for _, mode := range []migration.Mode{migration.ModeVanilla, migration.ModeAppAssisted} {
+		noRetry, relocate := price("no-retry", mode), price("relocate", mode)
+		if relocate >= noRetry {
+			t.Fatalf("%s: relocate cost %.3f did not beat no-retry %.3f", mode, relocate, noRetry)
+		}
+	}
+}

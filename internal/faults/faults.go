@@ -63,19 +63,35 @@ const (
 	// succeeds at the wire level but the destination receives (and digests)
 	// wrong content. Only the end-to-end integrity audit can catch it.
 	SiteCorruptPage Site = "corrupt-page-stream"
+	// SiteHostCrash takes a destination host down for a window: every
+	// receive at the host fails permanently (the destination behaves as
+	// crashed) and fabric ports dialled to it refuse transfers, killing
+	// every in-flight move targeting the host. Rule.Host scopes the crash to
+	// one named host; an empty Host matches any (windowed).
+	SiteHostCrash Site = "host.crash"
+	// SiteHostFlaky makes every page receive at a host fail transiently for
+	// a window; engines ride it out with retry/backoff. Rule.Host scopes it
+	// like SiteHostCrash (windowed).
+	SiteHostFlaky Site = "host.flaky"
 )
 
 // Sites returns every site in deterministic presentation order.
 func Sites() []Site {
 	return []Site{SiteLinkPartition, SiteLinkBandwidth, SiteNetlinkLoss,
 		SiteNetlinkDelay, SiteLKMHandshake, SiteDestReceive, SiteDestCrash,
-		SitePostCopyFetch, SiteCorruptPage}
+		SitePostCopyFetch, SiteCorruptPage, SiteHostCrash, SiteHostFlaky}
 }
 
 // Windowed reports whether the site is window-activated (time span) rather
 // than occurrence-activated.
 func (s Site) Windowed() bool {
-	return s == SiteLinkPartition || s == SiteLinkBandwidth
+	return s == SiteLinkPartition || s == SiteLinkBandwidth ||
+		s == SiteHostCrash || s == SiteHostFlaky
+}
+
+// HostScoped reports whether the site targets a host (Rule.Host applies).
+func (s Site) HostScoped() bool {
+	return s == SiteHostCrash || s == SiteHostFlaky
 }
 
 // valid reports whether s names a known site.
@@ -109,6 +125,15 @@ type Rule struct {
 	Factor float64
 	// Delay is the late-delivery latency of SiteNetlinkDelay.
 	Delay time.Duration
+	// Host scopes a host fault (SiteHostCrash, SiteHostFlaky) to one named
+	// host; empty matches any host, which is how single-VM runs (whose
+	// destination has no name) see host faults too.
+	Host string
+}
+
+// matchesHost reports whether the rule covers the named host.
+func (r Rule) matchesHost(host string) bool {
+	return r.Host == "" || r.Host == host
 }
 
 // Validate checks the rule for internal consistency.
@@ -123,6 +148,9 @@ func (r Rule) Validate() error {
 		if r.Nth != 0 || r.Count != 0 {
 			return fmt.Errorf("faults: %s is window-activated; #nth/count do not apply", r.Site)
 		}
+	}
+	if r.Host != "" && !r.Site.HostScoped() {
+		return fmt.Errorf("faults: %s is not host-scoped; host= does not apply", r.Site)
 	}
 	if r.Site == SiteLinkBandwidth && (r.Factor <= 0 || r.Factor >= 1) {
 		return fmt.Errorf("faults: %s factor %v out of (0,1)", r.Site, r.Factor)
@@ -328,6 +356,70 @@ func (i *Injector) BandwidthFactor() float64 {
 		}
 	}
 	return f
+}
+
+// HostDown reports whether a host.crash window covers the named host at the
+// current virtual time. While down, every receive at the host fails
+// permanently and fabric ports dialled to it refuse transfers.
+func (i *Injector) HostDown(host string) bool {
+	_, down := i.hostWindow(SiteHostCrash, host)
+	return down
+}
+
+// HostDownUntil returns the latest end of the host.crash windows covering
+// the named host now — the instant the host is expected back — and whether
+// any window is active. The healing layer blacklists the host from
+// destination re-selection until then.
+func (i *Injector) HostDownUntil(host string) (time.Duration, bool) {
+	if !i.Armed() {
+		return 0, false
+	}
+	now := i.clock.Now()
+	var until time.Duration
+	down := false
+	for _, rs := range i.rules {
+		if rs.Site != SiteHostCrash || !rs.matchesHost(host) {
+			continue
+		}
+		start := i.base + rs.At
+		if now >= start && now < start+rs.For {
+			down = true
+			if end := start + rs.For; end > until {
+				until = end
+			}
+		}
+	}
+	return until, down
+}
+
+// HostFlaky reports whether a host.flaky window covers the named host:
+// every page receive at the host fails transiently until it passes.
+func (i *Injector) HostFlaky(host string) bool {
+	_, flaky := i.hostWindow(SiteHostFlaky, host)
+	return flaky
+}
+
+// hostWindow is windowActive with host matching: the first covering rule of
+// the host-scoped site wins, and its activation is recorded once.
+func (i *Injector) hostWindow(site Site, host string) (*ruleState, bool) {
+	if !i.Armed() {
+		return nil, false
+	}
+	now := i.clock.Now()
+	for _, rs := range i.rules {
+		if rs.Site != site || !rs.matchesHost(host) {
+			continue
+		}
+		start := i.base + rs.At
+		if now >= start && now < start+rs.For {
+			if !rs.logged {
+				rs.logged = true
+				i.record(site, 0)
+			}
+			return rs, true
+		}
+	}
+	return nil, false
 }
 
 // After schedules fn on the injector's virtual clock — the delayed-delivery

@@ -188,6 +188,8 @@ func TestPlanValidate(t *testing.T) {
 		{Site: SiteLinkBandwidth, For: time.Second},            // factor unset
 		{Site: SiteLinkBandwidth, For: time.Second, Factor: 2}, // factor out of range
 		{Site: SiteNetlinkDelay},                               // delay unset
+		{Site: SiteHostCrash},                                  // windowed without For
+		{Site: SiteDestReceive, Host: "d1"},                    // host= on a non-host-scoped site
 	}
 	for _, r := range bad {
 		if err := r.Validate(); err == nil {
@@ -200,6 +202,8 @@ func TestPlanValidate(t *testing.T) {
 		{Site: SiteNetlinkDelay, Delay: time.Millisecond},
 		{Site: SiteLKMHandshake},
 		{Site: SiteDestCrash, At: 30 * time.Second},
+		{Site: SiteHostCrash, At: time.Second, For: time.Minute, Host: "d1"},
+		{Site: SiteHostFlaky, For: time.Second}, // unscoped: matches any host
 	}
 	if err := good.Validate(); err != nil {
 		t.Fatalf("valid plan rejected: %v", err)
@@ -218,6 +222,8 @@ func TestParseRule(t *testing.T) {
 		{"netlink.delay#1,delay=50ms", Rule{Site: SiteNetlinkDelay, Nth: 1, Delay: 50 * time.Millisecond}},
 		{"dest.crash@30s", Rule{Site: SiteDestCrash, At: 30 * time.Second}},
 		{"postcopy.fetch@1s#2", Rule{Site: SitePostCopyFetch, At: time.Second, Nth: 2}},
+		{"host.crash@30s,for=2m,host=d1", Rule{Site: SiteHostCrash, At: 30 * time.Second, For: 2 * time.Minute, Host: "d1"}},
+		{"host.flaky,for=45s", Rule{Site: SiteHostFlaky, For: 45 * time.Second}},
 	}
 	for _, c := range cases {
 		got, err := ParseRule(c.spec)
@@ -248,7 +254,10 @@ func TestParseRuleErrors(t *testing.T) {
 		"dest.receive,bogus=1",      // unknown key
 		"dest.receive,count",        // not key=value
 		"link.bandwidth@1s,for=1s,factor=1.5",
-		"netlink.delay#1", // missing delay=
+		"netlink.delay#1",         // missing delay=
+		"host.crash,for=1s,host=", // empty host=
+		"dest.receive,host=d1",    // host= on a non-host-scoped site
+		"host.crash@1s,host=d1",   // windowed without for=
 	}
 	for _, s := range bad {
 		if _, err := ParseRule(s); err == nil {
@@ -291,5 +300,41 @@ func TestDeterminism(t *testing.T) {
 	a, b := run(), run()
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("identical plans diverged:\n%v\n%v", a, b)
+	}
+}
+
+func TestHostWindowsScopeToNamedHost(t *testing.T) {
+	clock := simclock.New()
+	inj, err := NewInjector(clock, Plan{
+		{Site: SiteHostCrash, At: time.Second, For: 2 * time.Second, Host: "d1"},
+		{Site: SiteHostFlaky, At: time.Second, For: 2 * time.Second}, // unscoped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Begin()
+	if inj.HostDown("d1") || inj.HostFlaky("d1") {
+		t.Fatal("host faults active before their windows")
+	}
+	clock.Advance(time.Second)
+	if !inj.HostDown("d1") {
+		t.Fatal("d1 up inside its crash window")
+	}
+	if inj.HostDown("d2") {
+		t.Fatal("crash scoped to d1 took d2 down")
+	}
+	// The unscoped flaky window covers every host.
+	if !inj.HostFlaky("d1") || !inj.HostFlaky("d2") {
+		t.Fatal("unscoped flaky window missed a host")
+	}
+	if until, ok := inj.HostDownUntil("d1"); !ok || until != 3*time.Second {
+		t.Fatalf("HostDownUntil(d1) = %v,%v, want 3s", until, ok)
+	}
+	if _, ok := inj.HostDownUntil("d2"); ok {
+		t.Fatal("HostDownUntil(d2) reported a window")
+	}
+	clock.Advance(2 * time.Second)
+	if inj.HostDown("d1") || inj.HostFlaky("d2") {
+		t.Fatal("host faults outlived their windows")
 	}
 }

@@ -15,7 +15,8 @@ import (
 // start at which the rule becomes eligible, #nth (discrete sites) selects the
 // Nth occurrence, and key=value pairs set the remaining fields: for=<dur>
 // (window length), factor=<0..1> (bandwidth multiplier), delay=<dur> (late
-// delivery), count=<n> (occurrences affected). Examples:
+// delivery), count=<n> (occurrences affected), host=<name> (host-scoped
+// sites: which host the fault hits; omit to hit any). Examples:
 //
 //	link.partition@10s,for=2s       partition the link for 2s, 10s in
 //	link.bandwidth@5s,for=1s,factor=0.1
@@ -23,6 +24,8 @@ import (
 //	netlink.delay#1,delay=50ms      deliver the 1st netlink message 50ms late
 //	lkm.handshake                   swallow the first suspension handshake
 //	dest.crash@30s                  crash the destination after 30s
+//	host.crash@30s,for=2m,host=d1   host d1 dies at 30s, back after 2m
+//	host.flaky@10s,for=45s          every receive (any host) fails for 45s
 func ParseRule(spec string) (Rule, error) {
 	var r Rule
 	head, rest, _ := strings.Cut(spec, ",")
@@ -89,6 +92,11 @@ func ParseRule(spec string) (Rule, error) {
 					return r, fmt.Errorf("faults: bad count=%q (want positive integer)", val)
 				}
 				r.Count = n
+			case "host":
+				if val == "" {
+					return r, fmt.Errorf("faults: empty host= in %q", spec)
+				}
+				r.Host = val
 			default:
 				return r, fmt.Errorf("faults: unknown option %q in %q", key, spec)
 			}
@@ -135,6 +143,9 @@ func (r Rule) String() string {
 	}
 	if r.Count > 0 {
 		fmt.Fprintf(&b, ",count=%d", r.Count)
+	}
+	if r.Host != "" {
+		fmt.Fprintf(&b, ",host=%s", r.Host)
 	}
 	return b.String()
 }

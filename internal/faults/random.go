@@ -18,11 +18,31 @@ import (
 // the first 20 virtual seconds, occurrence triggers within the first few
 // hundred events of a site.
 func RandomPlan(seed int64, budget int) Plan {
+	return RandomPlanHosts(seed, budget, nil)
+}
+
+// RandomPlanHosts is RandomPlan with a host universe: the host-scoped sites
+// (host.crash, host.flaky) join the draw, and their rules aim at a host from
+// hosts half the time (staying unscoped — matching any host — otherwise), so
+// fleet chaos searches can point crashes at named destinations. A nil or
+// empty universe removes the host-scoped sites from the draw entirely, which
+// keeps RandomPlan's sequence byte-identical to the pre-host-fault catalog:
+// published repro seeds keep reproducing.
+func RandomPlanHosts(seed int64, budget int, hosts []string) Plan {
 	if budget <= 0 {
 		return nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	sites := Sites()
+	if len(hosts) == 0 {
+		kept := make([]Site, 0, len(sites))
+		for _, s := range sites {
+			if !s.HostScoped() {
+				kept = append(kept, s)
+			}
+		}
+		sites = kept
+	}
 	n := 1 + rng.Intn(budget)
 	plan := make(Plan, 0, n)
 	for i := 0; i < n; i++ {
@@ -31,6 +51,9 @@ func RandomPlan(seed int64, budget int) Plan {
 		// Onset: 0 (immediate) a third of the time, else inside [0, 20s).
 		if rng.Intn(3) > 0 {
 			r.At = time.Duration(rng.Int63n(int64(20 * time.Second)))
+		}
+		if site.HostScoped() && len(hosts) > 0 && rng.Intn(2) == 0 {
+			r.Host = hosts[rng.Intn(len(hosts))]
 		}
 		if site.Windowed() {
 			r.For = 10*time.Millisecond + time.Duration(rng.Int63n(int64(2*time.Second)))

@@ -45,3 +45,55 @@ func TestRandomPlanZeroBudget(t *testing.T) {
 		t.Fatalf("budget 0 should yield nil plan, got %v", p)
 	}
 }
+
+// The published repro-seed compatibility guarantee: with no host universe,
+// RandomPlanHosts must generate the exact pre-host-fault sequence, and
+// RandomPlan must never emit a host-scoped site.
+func TestRandomPlanHostsEmptyUniverseMatchesRandomPlan(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		if !reflect.DeepEqual(RandomPlan(seed, 6), RandomPlanHosts(seed, 6, nil)) {
+			t.Fatalf("seed %d: nil-universe RandomPlanHosts diverged from RandomPlan", seed)
+		}
+		for _, r := range RandomPlan(seed, 6) {
+			if r.Site.HostScoped() {
+				t.Fatalf("seed %d: RandomPlan drew host-scoped site %s", seed, r.Site)
+			}
+		}
+	}
+}
+
+func TestRandomPlanHostsValidatesAndAims(t *testing.T) {
+	hosts := []string{"d1", "d2"}
+	sawHostSite, sawNamedHost, sawUnscoped := false, false, false
+	for seed := int64(0); seed < 500; seed++ {
+		p := RandomPlanHosts(seed, 6, hosts)
+		if !reflect.DeepEqual(p, RandomPlanHosts(seed, 6, hosts)) {
+			t.Fatalf("seed %d: generation is not deterministic", seed)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid plan %v: %v", seed, p, err)
+		}
+		for _, r := range p {
+			if r.Host != "" && r.Host != "d1" && r.Host != "d2" {
+				t.Fatalf("seed %d: rule aims at %q outside the universe", seed, r.Host)
+			}
+			if r.Site.HostScoped() {
+				sawHostSite = true
+				if r.Host != "" {
+					sawNamedHost = true
+				} else {
+					sawUnscoped = true
+				}
+			}
+			// Repro round-trip through the CLI grammar.
+			back, err := ParseRule(r.String())
+			if err != nil || !reflect.DeepEqual(back, r) {
+				t.Fatalf("seed %d: round-trip %v -> %q -> %v (%v)", seed, r, r.String(), back, err)
+			}
+		}
+	}
+	if !sawHostSite || !sawNamedHost || !sawUnscoped {
+		t.Fatalf("500 seeds never exercised host sites fully: site=%v named=%v unscoped=%v",
+			sawHostSite, sawNamedHost, sawUnscoped)
+	}
+}

@@ -1,7 +1,9 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"javmm/internal/faults"
@@ -82,6 +84,11 @@ type OrchestratorOptions struct {
 	// Admission bounds concurrency for OrderAdmission and OrderCycleAware;
 	// OrderNaive ignores it.
 	Admission AdmissionPolicy
+	// Retry, when Enabled, turns on the self-healing layer: failed moves are
+	// retried (token-reusing) or relocated under attempt/deadline budgets
+	// and a per-host circuit breaker. Disabled, Orchestrate is exactly the
+	// legacy one-attempt-per-move orchestrator.
+	Retry RetryPolicy
 
 	// Warmup is how long the guests run before the orchestrator makes its
 	// first launch decision (default 60 s).
@@ -137,6 +144,9 @@ func (o *OrchestratorOptions) fillDefaults() error {
 	if o.GuestQuantum == 0 {
 		o.GuestQuantum = time.Millisecond
 	}
+	if o.Retry.Enabled {
+		o.Retry.fillDefaults()
+	}
 	return nil
 }
 
@@ -159,12 +169,32 @@ type MoveResult struct {
 	// bounded-wait launch after QuietHorizon overrode the cycle logic.
 	QuietLaunch, Forced bool
 
+	// Outcome is the healing layer's terminal classification; Attempts the
+	// per-launch record (empty when healing is disabled — the legacy
+	// single-attempt fields StartAt/EndAt/Err tell the whole story then).
+	Outcome  MoveOutcome
+	Attempts []Attempt
+	// Relocations counts destination re-selections; HealBackoff total
+	// healing backoff time; TokenSavedBytes wire bytes token reuse avoided
+	// resending across all attempts.
+	Relocations     int
+	HealBackoff     time.Duration
+	TokenSavedBytes uint64
+
 	src   *migration.Source
 	guest frameChecker
 }
 
 type frameChecker interface {
 	Allocated(mem.PFN) bool
+}
+
+// SourceRunning reports whether the move's source VM is executing (not
+// paused) — the "failed moves leave their source cleanly resumed" healing
+// invariant. True also for moves that never launched: the source never
+// stopped.
+func (m *MoveResult) SourceRunning() bool {
+	return m.src == nil || !m.src.Dom.Paused()
 }
 
 // PlanResult is a whole executed plan.
@@ -187,6 +217,7 @@ type PlanResult struct {
 	fabric    *netsim.Fabric
 	linkNames []string
 	faults    *faults.Injector
+	heal      *healState
 }
 
 // detachFaults removes the fault plane from every layer, so a resumed
@@ -198,6 +229,7 @@ func (r *PlanResult) detachFaults() {
 	for _, l := range r.linkNames {
 		r.fabric.SetLinkFaults(l, nil)
 	}
+	r.fabric.SetHostFaults(nil)
 	for i := range r.Moves {
 		m := &r.Moves[i]
 		if m.src == nil {
@@ -295,6 +327,11 @@ func Orchestrate(opts OrchestratorOptions) (*PlanResult, error) {
 			fabric.SetLinkFaults(l.Name, opts.Faults)
 		}
 	}
+	if opts.Faults != nil {
+		// Host-scoped fault rules (host.crash) make the fabric's ports refuse
+		// transfers toward a downed destination host, fail-fast.
+		fabric.SetHostFaults(opts.Faults)
+	}
 
 	res.Moves = make([]MoveResult, n)
 	// Live progress fan-in: the cycle-aware policy watches in-flight
@@ -318,6 +355,7 @@ func Orchestrate(opts OrchestratorOptions) (*PlanResult, error) {
 
 	vms := make([]*workload.VM, n)
 	profs := make([]workload.Profile, n)
+	planes := make([]*fleetobs.VMPlane, n)
 	for i, mv := range moves {
 		m := &res.Moves[i]
 		m.From, m.To = mv.From, mv.To
@@ -335,6 +373,7 @@ func Orchestrate(opts OrchestratorOptions) (*PlanResult, error) {
 		if coll != nil {
 			plane = coll.AttachVM(mv.VM.Name)
 		}
+		planes[i] = plane
 		vm, err := workload.Boot(workload.BootConfig{
 			Name:     mv.VM.Name,
 			MemBytes: mv.VM.memBytes(),
@@ -354,9 +393,15 @@ func Orchestrate(opts OrchestratorOptions) (*PlanResult, error) {
 			return nil, fmt.Errorf("fleet: %w", err)
 		}
 		dest := migration.NewDestination(vm.Dom.NumPages())
+		dest.SetHostName(mv.To)
 
 		cfg := opts.Engine
 		cfg.Mode = opts.Mode
+		if opts.Retry.Enabled {
+			// Healing retries reuse the abort's ResumeToken; that only saves
+			// anything when aborts keep the destination image.
+			cfg.Recovery.EnableResume = true
+		}
 		if opts.Faults != nil {
 			cfg.Faults = opts.Faults
 			dest.SetFaults(opts.Faults)
@@ -398,6 +443,11 @@ func Orchestrate(opts OrchestratorOptions) (*PlanResult, error) {
 	inflight := make([]bool, n)
 	adm := newAdmissionState(opts.Admission)
 	remaining := n
+	var heal *healState
+	if opts.Retry.Enabled {
+		heal = newHealState(opts.Retry, n, opts.Warmup)
+		res.heal = heal
+	}
 
 	for i := range vms {
 		vm := vms[i]
@@ -412,10 +462,201 @@ func Orchestrate(opts OrchestratorOptions) (*PlanResult, error) {
 			}
 		})
 	}
+	// finishMove is the shared success bookkeeping: workload downtime
+	// attribution and the completion-instant verify.
+	finishMove := func(i int, report *migration.Report) {
+		vm, m := vms[i], &res.Moves[i]
+		hist := vm.Heap.GCHistory()
+		for j := len(hist) - 1; j >= 0; j-- {
+			if st := hist[j]; st.Enforced {
+				m.EnforcedGC = st.Duration
+				break
+			}
+		}
+		m.WorkloadDowntime = report.VMDowntime
+		if report.EffectiveMode() == migration.ModeAppAssisted {
+			m.WorkloadDowntime += m.EnforcedGC + report.FinalUpdate
+		}
+		// Verify at the completion instant, while this process still
+		// holds the baton (see fleet.Run).
+		if !opts.SkipVerify && report.PostCopy == nil {
+			m.VerifyErr = migration.VerifyMigration(
+				vm.Dom.Store(), m.src.Dest.Store, report.FinalTransfer,
+				m.guest.Allocated)
+		}
+	}
+
 	for i := range vms {
 		i := i
 		vm := vms[i]
 		m := &res.Moves[i]
+		if opts.Retry.Enabled {
+			plane := planes[i]
+			pol := &opts.Retry
+			sched.Go(vm.Dom.Name()+"/engine", func() {
+				defer func() { remaining-- }()
+				// Per-move jitter PRNG: the whole healing schedule replays
+				// byte-identically at the same policy seed.
+				rng := rand.New(rand.NewSource(pol.Seed + int64(i)))
+				var token *migration.ResumeToken
+				for {
+					sched.Wait(func() bool { return granted[i] || heal.abandon[i] }, opts.DecisionQuantum)
+					if heal.abandon[i] {
+						m.Outcome = OutcomeFailed
+						if m.Err == nil {
+							m.Err = fmt.Errorf("fleet: heal: %s: plan deadline %v exceeded before launch",
+								m.Name, pol.PlanDeadline)
+						} else {
+							m.Err = fmt.Errorf("fleet: heal: %s: deadline exhausted: %w", m.Name, m.Err)
+						}
+						return
+					}
+					heal.attempts[i]++
+					att := Attempt{
+						To: m.To, Route: append([]string(nil), m.Route...),
+						StartAt: clock.Now(), TokenReused: token != nil,
+					}
+					if heal.attempts[i] == 1 {
+						m.StartAt = att.StartAt
+					}
+					var report *migration.Report
+					var err error
+					if token != nil {
+						report, err = m.src.Resume(token)
+					} else {
+						report, err = m.src.Migrate()
+					}
+					att.EndAt = clock.Now()
+					m.EndAt = att.EndAt
+					m.Report = report
+					inflight[i] = false
+					granted[i] = false
+					if opts.Ordering != OrderNaive {
+						adm.release(att.Route, att.To)
+					}
+					if report != nil && report.Resume != nil {
+						att.SavedBytes = report.Resume.SavedBytes
+						att.RefetchPages = report.Resume.RefetchPages
+						m.TokenSavedBytes += report.Resume.SavedBytes
+					}
+					if err == nil {
+						m.Attempts = append(m.Attempts, att)
+						m.Err = nil
+						if werr := vm.Driver.Err; werr != nil {
+							m.Err = fmt.Errorf("fleet: workload failed during migration: %w", werr)
+							m.Outcome = OutcomeFailed
+							return
+						}
+						switch {
+						case m.Relocations > 0:
+							m.Outcome = OutcomeRelocated
+						case heal.attempts[i] > 1:
+							m.Outcome = OutcomeRetried
+						default:
+							m.Outcome = OutcomeCompleted
+						}
+						finishMove(i, report)
+						return
+					}
+					// Failure: classify, feed the breaker, keep the freshest
+					// token (a discarded image's token is worthless — Resume
+					// degrades on it — but carrying it is harmless).
+					att.Err = err.Error()
+					permanent := errors.Is(err, migration.ErrDestinationLost)
+					att.Transient = !permanent
+					m.Err = err
+					failedHost := m.To
+					if heal.breaker.fail(failedHost, clock.Now()) && coll != nil {
+						coll.FleetMetrics().Counter("fleet.heal.breaker_opens").Inc()
+					}
+					if report != nil && report.Recovery != nil && report.Recovery.Token != nil {
+						token = report.Recovery.Token
+					}
+					now := clock.Now()
+					if heal.attempts[i] >= pol.MaxAttempts {
+						m.Attempts = append(m.Attempts, att)
+						m.Err = fmt.Errorf("fleet: heal: %s: %d attempts exhausted: %w",
+							m.Name, heal.attempts[i], err)
+						m.Outcome = OutcomeFailed
+						return
+					}
+					if now >= heal.planEnd || now-heal.firstLaunch[i] >= pol.MoveDeadline {
+						m.Attempts = append(m.Attempts, att)
+						m.Err = fmt.Errorf("fleet: heal: %s: deadline blown after %d attempts: %w",
+							m.Name, heal.attempts[i], err)
+						m.Outcome = OutcomeFailed
+						return
+					}
+					if permanent && !pol.DisableRelocation {
+						newTo, rerr := heal.pickDestination(&opts, res, moves, i, failedHost, clock.Now())
+						for rerr != nil {
+							// All candidates breaker-open: wait out the
+							// earliest cooldown if the deadlines allow — a
+							// bounded sleep, not a spin — then re-select.
+							var ho *HostOpenError
+							if !errors.As(rerr, &ho) {
+								break
+							}
+							if ho.Until >= heal.planEnd ||
+								ho.Until-heal.firstLaunch[i] >= pol.MoveDeadline {
+								break
+							}
+							sched.Sleep(ho.Until - clock.Now())
+							newTo, rerr = heal.pickDestination(&opts, res, moves, i, failedHost, clock.Now())
+						}
+						if rerr != nil {
+							m.Attempts = append(m.Attempts, att)
+							m.Err = fmt.Errorf("fleet: heal: %s: cannot relocate off %s: %w",
+								m.Name, failedHost, rerr)
+							m.Outcome = OutcomeFailed
+							return
+						}
+						port, derr := fabric.Dial(m.From, newTo)
+						route, rterr := fabric.Route(m.From, newTo)
+						if derr != nil || rterr != nil {
+							m.Attempts = append(m.Attempts, att)
+							m.Err = fmt.Errorf("fleet: heal: %s: rewiring to %s: %w",
+								m.Name, newTo, errors.Join(derr, rterr))
+							m.Outcome = OutcomeFailed
+							return
+						}
+						ndest := migration.NewDestination(vm.Dom.NumPages())
+						ndest.SetHostName(newTo)
+						if opts.Faults != nil {
+							ndest.SetFaults(opts.Faults)
+						}
+						if plane != nil {
+							port.SetMetrics(plane.Metrics)
+							ndest.SetMetrics(plane.Metrics)
+						}
+						m.src.Link = port
+						m.src.Dest = ndest
+						m.dest = ndest
+						m.To = newTo
+						m.Route = route
+						m.Relocations++
+						if coll != nil {
+							coll.FleetMetrics().Counter("fleet.heal.relocations").Inc()
+						}
+					}
+					d := healBackoff(rng, pol, heal.attempts[i])
+					att.Backoff = d
+					m.HealBackoff += d
+					heal.notBefore[i] = clock.Now() + d
+					if until, open := heal.breaker.open(m.To, clock.Now()); open && until > heal.notBefore[i] {
+						heal.notBefore[i] = until
+					}
+					m.Attempts = append(m.Attempts, att)
+					heal.pending[i] = true
+					if coll != nil {
+						fm := coll.FleetMetrics()
+						fm.Counter("fleet.heal.retries").Inc()
+						fm.Counter("fleet.heal.backoff_ns").AddDuration(d)
+					}
+				}
+			})
+			continue
+		}
 		sched.Go(vm.Dom.Name()+"/engine", func() {
 			defer func() { remaining-- }()
 			sched.Wait(func() bool { return granted[i] }, opts.DecisionQuantum)
@@ -429,41 +670,77 @@ func Orchestrate(opts OrchestratorOptions) (*PlanResult, error) {
 			}
 			if err != nil {
 				m.Err = err
+				m.Outcome = OutcomeFailed
 				return
 			}
 			if werr := vm.Driver.Err; werr != nil {
 				m.Err = fmt.Errorf("fleet: workload failed during migration: %w", werr)
+				m.Outcome = OutcomeFailed
 				return
 			}
-			hist := vm.Heap.GCHistory()
-			for j := len(hist) - 1; j >= 0; j-- {
-				if st := hist[j]; st.Enforced {
-					m.EnforcedGC = st.Duration
-					break
-				}
-			}
-			m.WorkloadDowntime = report.VMDowntime
-			if report.EffectiveMode() == migration.ModeAppAssisted {
-				m.WorkloadDowntime += m.EnforcedGC + report.FinalUpdate
-			}
-			// Verify at the completion instant, while this process still
-			// holds the baton (see fleet.Run).
-			if !opts.SkipVerify && report.PostCopy == nil {
-				m.VerifyErr = migration.VerifyMigration(
-					vm.Dom.Store(), m.src.Dest.Store, report.FinalTransfer,
-					m.guest.Allocated)
-			}
+			m.Outcome = OutcomeCompleted
+			finishMove(i, report)
 		})
 	}
 
 	// The orchestrator process: one decision tick every DecisionQuantum,
-	// granting launches in compiled plan order.
+	// granting launches in compiled plan order. With healing enabled it
+	// keeps ticking for the plan's whole life, re-granting retries and
+	// relocations through the same decision logic (admission and cycle
+	// policy hold across relaunches) and abandoning moves whose deadlines
+	// passed; without it, the legacy single-grant loop runs unchanged.
 	sched.Go("orchestrator", func() {
 		if d := opts.Warmup - clock.Now(); d > 0 {
 			sched.Sleep(d)
 		}
 		for i := range res.Moves {
 			res.Moves[i].EligibleAt = clock.Now()
+		}
+		if heal != nil {
+			for i := range heal.pending {
+				heal.pending[i] = true
+			}
+			for remaining > 0 {
+				now := clock.Now()
+				for i := range res.Moves {
+					if !heal.pending[i] || granted[i] || heal.abandon[i] {
+						continue
+					}
+					m := &res.Moves[i]
+					if now >= heal.planEnd ||
+						(heal.launchedOnce[i] && now-heal.firstLaunch[i] >= opts.Retry.MoveDeadline) {
+						heal.abandon[i] = true
+						heal.pending[i] = false
+						continue
+					}
+					if now < heal.notBefore[i] {
+						continue // backoff/cooldown gate, not a deferral
+					}
+					if _, open := heal.breaker.open(m.To, now); open {
+						continue
+					}
+					if decideLaunch(&opts, res, profs, lastProgress, haveProgress, inflight, adm, i) {
+						if !heal.launchedOnce[i] {
+							m.LaunchedAt = now
+							m.QuietLaunch = profs[i].Cycle.Enabled() && profs[i].Cycle.QuietAt(now)
+							heal.launchedOnce[i] = true
+							heal.firstLaunch[i] = now
+						}
+						granted[i] = true
+						inflight[i] = true
+						if opts.Ordering != OrderNaive {
+							adm.admit(m.Route, m.To)
+						}
+						heal.pending[i] = false
+					} else {
+						m.Deferrals++
+					}
+				}
+				if remaining > 0 {
+					sched.Sleep(opts.DecisionQuantum)
+				}
+			}
+			return
 		}
 		launched := 0
 		for launched < n {
@@ -493,10 +770,15 @@ func Orchestrate(opts OrchestratorOptions) (*PlanResult, error) {
 	sched.Run()
 
 	var first, last time.Duration
+	started := false
 	for i := range res.Moves {
 		m := &res.Moves[i]
-		if i == 0 || m.StartAt < first {
+		if m.StartAt == 0 && m.EndAt == 0 {
+			continue // abandoned before its first attempt: no span to count
+		}
+		if !started || m.StartAt < first {
 			first = m.StartAt
+			started = true
 		}
 		if m.EndAt > last {
 			last = m.EndAt

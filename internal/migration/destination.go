@@ -24,6 +24,11 @@ type Destination struct {
 	crashed   bool
 	discarded bool
 
+	// host is the destination's fleet identity: the host name the fabric
+	// dialled, empty for single-VM runs. Host-scoped fault rules match
+	// against it, and ResumeTokens are minted bound to it.
+	host string
+
 	// Integrity state: a per-PFN digest table over the payloads actually
 	// received (recomputed on receipt, so in-flight corruption lands here,
 	// not in the source's expectation), the set of PFNs ever received, a
@@ -46,6 +51,15 @@ func (d *Destination) SetMetrics(m *obs.Metrics) { d.metrics = m }
 // the rest of the run (every receive fails with ErrDestinationLost). A nil
 // injector changes nothing.
 func (d *Destination) SetFaults(inj *faults.Injector) { d.faults = inj }
+
+// SetHostName names the host this destination lives on (the fleet's move
+// target). Host-scoped fault rules (host.crash, host.flaky) match against
+// it; the empty default matches only unscoped rules, which is how single-VM
+// runs see host faults.
+func (d *Destination) SetHostName(name string) { d.host = name }
+
+// HostName returns the destination's host identity ("" outside a fleet).
+func (d *Destination) HostName() string { return d.host }
 
 // Discard models tearing down the destination's half-received VM after an
 // aborted migration: the memory image is released (zeroed) and the
@@ -117,9 +131,19 @@ func (d *Destination) ReceivePage(p mem.PFN, payload []byte) error {
 	if d.crashed {
 		return ErrDestinationLost
 	}
+	if d.faults.HostDown(d.host) {
+		// The whole host died: like dest.crash, but window-scoped — a later
+		// attempt (after Discard resets the image) can land on the same host
+		// once the window passes.
+		d.crashed = true
+		return ErrDestinationLost
+	}
 	if d.faults.Fire(faults.SiteDestCrash) {
 		d.crashed = true
 		return ErrDestinationLost
+	}
+	if d.faults.HostFlaky(d.host) {
+		return fmt.Errorf("migration: host %q refused page %d (flaky window)", d.host, p)
 	}
 	if d.faults.Fire(faults.SiteDestReceive) {
 		return fmt.Errorf("migration: destination refused page %d (injected)", p)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"javmm/internal/mem"
+	"javmm/internal/netsim"
 	"javmm/internal/obs"
 )
 
@@ -89,6 +90,13 @@ func (s *Source) retryAfter(stage string, err0 error, sleep func(time.Duration),
 	pol := &s.Cfg.Recovery
 	deadline := s.Clock.Now() + pol.StageDeadline
 	for attempt := 1; ; attempt++ {
+		if errors.Is(err, netsim.ErrHostDown) {
+			// The fabric refused the flow because the destination host is
+			// inside a crash window: permanent for this attempt, like a
+			// destination crash — the healing layer decides whether to wait
+			// the window out or relocate.
+			return fmt.Errorf("%w: %s: %w", ErrDestinationLost, stage, err)
+		}
 		if errors.Is(err, ErrDestinationLost) {
 			return err
 		}

@@ -43,6 +43,12 @@ type ResumeToken struct {
 	// no digests.
 	Received *mem.Bitmap
 	Digests  []uint64
+	// Dest is the host identity of the destination the token describes
+	// (empty for single-VM runs, whose destination has no name). A token
+	// presented to a different destination is worthless — the pages it
+	// vouches for live on another machine — and degrades to a full first
+	// copy. This is what makes relocation after a host crash safe.
+	Dest string
 	// AbortedAt is the virtual time of the abort; Reason its cause.
 	AbortedAt time.Duration
 	Reason    string
@@ -67,6 +73,9 @@ func (s *Source) mintResumeToken(reason string) *ResumeToken {
 		tok.Generation = ig.dsink.Generation()
 		tok.Received = ig.dsink.ReceivedPages().Clone()
 		tok.Digests = ig.dsink.DigestSnapshot()
+	}
+	if s.Dest != nil {
+		tok.Dest = s.Dest.HostName()
 	}
 	return tok
 }
@@ -102,6 +111,11 @@ func (s *Source) resumeTrust(token *ResumeToken) (trusted *mem.Bitmap, reason st
 		return nil, "sink carries no digests"
 	case token.Received == nil:
 		return nil, "token carries no digest table"
+	case s.Dest != nil && token.Dest != s.Dest.HostName():
+		// Destination binding: the token describes pages held by another
+		// host. After a relocation the new destination holds nothing of the
+		// old image, whatever the generation counters happen to say.
+		return nil, "token bound to a different destination"
 	case token.Generation != ig.dsink.Generation():
 		// The destination was discarded or rebuilt since the token was
 		// minted (a crashed destination is always discarded): whatever the

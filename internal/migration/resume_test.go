@@ -2,6 +2,7 @@ package migration
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -317,4 +318,54 @@ func TestAbortMetadataParityAllModes(t *testing.T) {
 			}
 		})
 	}
+}
+
+// Destination binding (regression for healing relocation): a token minted at
+// one named host must not be honoured at another, even when the image it
+// describes is intact and the generation counters still match. The binding
+// check alone forces the full first copy.
+func TestResumeTokenBoundToOtherDestinationDegrades(t *testing.T) {
+	const pages = 1024
+	r := newRig(pages, 100*1000*1000)
+	r.dest.SetHostName("d1")
+	inj := r.injector(t, faults.Plan{
+		{Site: faults.SiteDestReceive, Nth: 50, Count: 1 << 40},
+	})
+	r.dest.SetFaults(inj)
+	cfgA := resumeCfg(ModeVanilla)
+	cfgA.Faults = inj
+	repA, err := r.source(cfgA, nil).Migrate()
+	if err == nil {
+		t.Fatal("expected abort")
+	}
+	tok := repA.Recovery.Token
+	if tok == nil {
+		t.Fatal("aborted run minted no token")
+	}
+	if tok.Dest != "d1" {
+		t.Fatalf("token bound to %q, want d1", tok.Dest)
+	}
+	if r.dest.Discarded() {
+		t.Fatal("abort discarded the image the binding test needs intact")
+	}
+
+	// Same destination object — intact image, unchanged generation — wearing
+	// a different host identity: the binding check must fire on its own.
+	r.dest.SetFaults(nil)
+	r.dest.SetHostName("d2")
+	repB, err := r.source(resumeCfg(ModeVanilla), nil).Resume(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := repB.Resume
+	if rs == nil || !rs.FullFirstCopy {
+		t.Fatalf("cross-destination resume trusted the token: %+v", rs)
+	}
+	if !strings.Contains(rs.Reason, "different destination") {
+		t.Fatalf("reason = %q, want the destination-binding reason", rs.Reason)
+	}
+	if repB.TotalPagesSent < pages {
+		t.Fatalf("full first copy sent %d < %d pages", repB.TotalPagesSent, pages)
+	}
+	r.verify(t, repB)
 }

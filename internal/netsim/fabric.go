@@ -33,6 +33,10 @@ type Fabric struct {
 	trunks []*trunk // NICs then shared links, insertion order
 	flows  []*flowStat
 
+	// hostFaults, when set, scopes host.crash windows onto the fabric: a
+	// port dialled to a crashed host refuses admission with ErrHostDown.
+	hostFaults *faults.Injector
+
 	active []*Transfer // admission order — the deterministic settle order
 	lastAt time.Duration
 	timer  *simclock.Timer
@@ -180,6 +184,12 @@ func (f *Fabric) SetLinkFaults(link string, inj *faults.Injector) {
 	panic(fmt.Sprintf("netsim: no link %q", link))
 }
 
+// SetHostFaults attaches a fault injector whose host.crash windows the
+// fabric enforces at admission: Transfer and SendErr on a port dialled to a
+// covered destination host fail fast with ErrHostDown instead of stalling.
+// A nil injector detaches.
+func (f *Fabric) SetHostFaults(inj *faults.Injector) { f.hostFaults = inj }
+
 // Dial returns a point-to-point port from src to dst: a *Link whose
 // transfers cross the (BFS-shortest, insertion-order-deterministic) path of
 // trunks between the two hosts and contend with everything else on them.
@@ -223,6 +233,7 @@ func (f *Fabric) Dial(src, dst string) (*Link, error) {
 	l := NewLink(f.clock, bw, lat)
 	l.fabric = f
 	l.path = path
+	l.destHost = dst
 	// Register the port as a named flow for per-flow fair-share accounting.
 	// Repeat dials of the same pair get #2, #3, ... suffixes so every flow
 	// name (and trace track) stays unique and deterministic in dial order.
@@ -338,6 +349,13 @@ func (l *Link) Arbitrated() bool { return l.fabric != nil }
 func (l *Link) Transfer(n uint64) (*Transfer, error) {
 	if l.fabric == nil {
 		panic("netsim: Transfer on a non-fabric link (gate on Arbitrated)")
+	}
+	if l.hostDown() {
+		l.failedSends++
+		if m := l.metrics; m != nil {
+			m.Counter("net.failed_sends").Inc()
+		}
+		return nil, ErrHostDown
 	}
 	if l.faults.LinkDown() {
 		l.failedSends++

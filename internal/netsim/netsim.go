@@ -26,6 +26,13 @@ import (
 // budget runs out.
 var ErrPartitioned = errors.New("netsim: link partitioned")
 
+// ErrHostDown is returned by a fabric port's Transfer/SendErr while a
+// host.crash fault window covers the port's destination host: the host is
+// gone, so the failure is permanent for this flow (unlike a partition, which
+// heals). The migration engine treats it like a destination crash and aborts
+// the move rather than retrying.
+var ErrHostDown = errors.New("netsim: destination host down")
+
 // Common effective bandwidths. A gigabit link moves 125 MB/s at line rate;
 // after Ethernet/IP/TCP framing the payload rate observed by migration tools
 // is ~117 MB/s, consistent with the paper's §4.2 arithmetic (950 MB in a bit
@@ -57,11 +64,13 @@ type Link struct {
 	metrics *obs.Metrics
 	faults  *faults.Injector
 
-	// fabric/path/flow are set only on ports minted by Fabric.Dial; a plain
-	// NewLink link never arbitrates and keeps the legacy cost model exactly.
-	fabric *Fabric
-	path   []*trunk
-	flow   *flowStat
+	// fabric/path/flow/destHost are set only on ports minted by Fabric.Dial;
+	// a plain NewLink link never arbitrates and keeps the legacy cost model
+	// exactly.
+	fabric   *Fabric
+	path     []*trunk
+	flow     *flowStat
+	destHost string
 }
 
 // SetMetrics attaches a metrics registry: Send accounts net.bytes_sent,
@@ -158,6 +167,13 @@ func (l *Link) Send(n uint64) time.Duration {
 // surface as retryable errors; Send keeps the legacy always-succeeds
 // contract for callers with no fault story (e.g. the replication stream).
 func (l *Link) SendErr(n uint64) (time.Duration, error) {
+	if l.hostDown() {
+		l.failedSends++
+		if m := l.metrics; m != nil {
+			m.Counter("net.failed_sends").Inc()
+		}
+		return 0, ErrHostDown
+	}
 	if l.faults.LinkDown() {
 		l.failedSends++
 		if m := l.metrics; m != nil {
@@ -166,6 +182,13 @@ func (l *Link) SendErr(n uint64) (time.Duration, error) {
 		return 0, ErrPartitioned
 	}
 	return l.Send(n), nil
+}
+
+// hostDown reports whether the port's destination host is inside a
+// host.crash fault window. Only fabric ports have a destination identity;
+// plain links always report false.
+func (l *Link) hostDown() bool {
+	return l.fabric != nil && l.fabric.hostFaults.HostDown(l.destHost)
 }
 
 // BytesSent returns total payload bytes accounted through Send.

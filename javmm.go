@@ -246,6 +246,28 @@ type (
 	PlanMoveResult = fleet.MoveResult
 	// PlanResult is a whole executed batch plan.
 	PlanResult = fleet.PlanResult
+	// RetryPolicy is the self-healing layer's budget: per-move retries with
+	// seeded backoff, move/plan deadlines, destination re-selection and a
+	// per-host circuit breaker (OrchestratorOptions.Retry; DESIGN.md §18).
+	RetryPolicy = fleet.RetryPolicy
+	// BreakerPolicy is the per-host circuit breaker inside a RetryPolicy:
+	// K failures inside a window open the host; it rejoins re-selection
+	// after the cooldown.
+	BreakerPolicy = fleet.BreakerPolicy
+	// HostOpenError is the typed refusal when every otherwise-admissible
+	// destination is breaker-open — check with errors.As; Until says when
+	// the earliest breaker closes.
+	HostOpenError = fleet.HostOpenError
+	// MoveOutcome classifies how a healed move ended (completed, retried,
+	// relocated, failed).
+	MoveOutcome = fleet.MoveOutcome
+	// MoveAttempt is one launch of a healed move: destination, window,
+	// failure classification and token reuse.
+	MoveAttempt = fleet.Attempt
+	// HealingSummary is PlanResult.Healing()'s per-move outcome table with
+	// retry/relocation/backoff/token-savings totals, reconciled against the
+	// ledger's resume-refetch tags (javmm-analyze -heal ingests its JSON).
+	HealingSummary = fleet.HealingSummary
 )
 
 // Progress phases, in the order a run moves through them.
@@ -296,6 +318,14 @@ const (
 	// FaultCorruptPageStream flips a bit in a page payload in flight; the
 	// digest audit detects and repairs it (or aborts cleanly).
 	FaultCorruptPageStream = faults.SiteCorruptPage
+	// FaultHostCrash takes a destination host down for a window: every
+	// in-flight move targeting it dies with ErrDestinationLost and the
+	// fabric refuses new transfers toward it until the window passes.
+	// Scope with host=<name>; unscoped it matches every host.
+	FaultHostCrash = faults.SiteHostCrash
+	// FaultHostFlaky makes a host refuse page receives (transiently) for a
+	// window — the engine's retry/backoff rides it out or exhausts.
+	FaultHostFlaky = faults.SiteHostFlaky
 )
 
 // Errors surfaced by aborted migrations, re-exported for errors.Is checks.
@@ -338,6 +368,13 @@ func FaultSites() []FaultSite { return faults.Sites() }
 // seed — the chaos search's plan generator, also handy for ad-hoc fuzzing.
 // The same seed always yields the same plan.
 func RandomFaultPlan(seed int64, budget int) FaultPlan { return faults.RandomPlan(seed, budget) }
+
+// RandomFaultPlanHosts is RandomFaultPlan with a host universe: host-scoped
+// sites (host.crash, host.flaky) join the draw and may aim at the named
+// hosts. With no hosts it is exactly RandomFaultPlan.
+func RandomFaultPlanHosts(seed int64, budget int, hosts []string) FaultPlan {
+	return faults.RandomPlanHosts(seed, budget, hosts)
+}
 
 // Migration modes.
 const (
@@ -405,6 +442,31 @@ const (
 // the chosen ordering under admission control, and the whole plan replays
 // bit-identically at the same seed. See DESIGN.md §17.
 func Orchestrate(opts OrchestratorOptions) (*PlanResult, error) { return fleet.Orchestrate(opts) }
+
+// Move outcomes for a healed plan (PlanMoveResult.Outcome).
+const (
+	// MovePending never reached a terminal state (healing off, or the move
+	// never launched).
+	MovePending = fleet.OutcomePending
+	// MoveCompleted succeeded on the first attempt.
+	MoveCompleted = fleet.OutcomeCompleted
+	// MoveRetried succeeded after 1+ retries against the same destination.
+	MoveRetried = fleet.OutcomeRetried
+	// MoveRelocated succeeded after re-selection to another destination.
+	MoveRelocated = fleet.OutcomeRelocated
+	// MoveFailed exhausted its healing budget; the source VM keeps running.
+	MoveFailed = fleet.OutcomeFailed
+)
+
+// ParseBreakerPolicy parses the CLI breaker grammar
+// "threshold/window/cooldown" (e.g. "3/2m/5m") or "off".
+func ParseBreakerPolicy(s string) (BreakerPolicy, error) { return fleet.ParseBreakerPolicy(s) }
+
+// ReadHealingSummary reads a healing summary written by
+// HealingSummary.WriteJSON (javmm-migrate -heal-out).
+func ReadHealingSummary(path string) (*HealingSummary, error) {
+	return fleet.ReadHealingSummary(path)
+}
 
 // ParseCluster parses the declarative cluster grammar (statements separated
 // by semicolons or newlines):

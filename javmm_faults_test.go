@@ -366,6 +366,7 @@ func TestFaultSiteCatalog(t *testing.T) {
 		javmm.FaultLKMHandshake, javmm.FaultDestReceive,
 		javmm.FaultDestCrash, javmm.FaultPostCopyFetch,
 		javmm.FaultCorruptPageStream,
+		javmm.FaultHostCrash, javmm.FaultHostFlaky,
 	}
 	got := javmm.FaultSites()
 	if !reflect.DeepEqual(got, want) {
